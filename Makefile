@@ -1,0 +1,49 @@
+# Make targets mirroring the paper's automation (Section II: "make infra",
+# "make run_deployed_benchmark") plus the usual development entry points.
+
+PYTHON ?= python
+
+# One-time infrastructure setup. On the real platform this provisions the
+# Kubernetes cluster, the storage bucket and service accounts; here it
+# verifies the simulated equivalents come up.
+.PHONY: infra
+infra:
+	$(PYTHON) -c "from repro.cluster import make_infra; \
+	infra = make_infra(); \
+	print('cluster ready; bucket:', infra.bucket.name); \
+	print('service accounts:', ', '.join(infra.service_accounts))"
+
+# One deployed benchmark. Usage:
+#   make run_deployed_benchmark MODEL=gru4rec CATALOG=1000000 RPS=500 INSTANCE=GPU-T4
+MODEL ?= gru4rec
+CATALOG ?= 1000000
+RPS ?= 500
+INSTANCE ?= GPU-T4
+REPLICAS ?= 1
+.PHONY: run_deployed_benchmark
+run_deployed_benchmark:
+	$(PYTHON) -m repro run --model $(MODEL) --catalog $(CATALOG) \
+	  --rps $(RPS) --instance $(INSTANCE) --replicas $(REPLICAS) --plot
+
+.PHONY: install
+install:
+	$(PYTHON) setup.py develop
+
+.PHONY: test
+test:
+	$(PYTHON) -m pytest tests/
+
+.PHONY: benchmarks
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+.PHONY: reproduce
+reproduce:
+	$(PYTHON) -m repro reproduce --out reproduction_report.md
+	@echo "wrote reproduction_report.md"
+
+.PHONY: examples
+examples:
+	@for script in examples/*.py; do \
+	  echo "=== $$script"; $(PYTHON) $$script || exit 1; \
+	done

@@ -1,0 +1,206 @@
+"""Ablations of ETUDE's own design choices (DESIGN.md Section 5).
+
+Not a paper artifact, but the design-choice evidence DESIGN.md calls for:
+
+- the GPU batching window (2 ms / 1,024) against alternatives;
+- backpressure-aware load generation vs. naive open-loop overload;
+- the contribution of individual JIT passes.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.registry import AssetRegistry
+from repro.hardware import GPU_T4, LatencyModel
+from repro.loadgen.generator import LoadGenerator
+from repro.metrics.collector import MetricsCollector
+from repro.serving.actix import EtudeInferenceServer
+from repro.serving.batching import BatchingConfig
+from repro.simulation import RandomStreams, Simulator
+from repro.tensor import cost_trace
+from repro.tensor.jit import (
+    eliminate_dead_ops,
+    eliminate_dropout,
+    fold_constants,
+    fuse_elementwise,
+    fuse_linear_activation,
+    trace as jit_trace,
+    ScriptedModule,
+    OptimizationReport,
+)
+from repro.workload import SyntheticWorkloadGenerator, WorkloadStatistics
+
+
+def _drive_gpu_server(batching, target_rps=800, duration_s=60.0):
+    """Run a fixed GPU deployment under the given batching config."""
+    registry = AssetRegistry()
+    assets = registry.assets("gru4rec", 10_000_000, GPU_T4.device, "jit")
+    simulator = Simulator()
+    streams = RandomStreams(7)
+    server = EtudeInferenceServer(
+        simulator,
+        GPU_T4.device,
+        assets.profile,
+        streams.stream("server"),
+        batching=batching,
+    )
+    workload = SyntheticWorkloadGenerator(
+        WorkloadStatistics.bol_like(10_000_000), seed=5
+    )
+    collector = MetricsCollector()
+    LoadGenerator(
+        simulator,
+        server.submit,
+        workload.iter_sessions(),
+        target_rps=target_rps,
+        duration_s=duration_s,
+        collector=collector,
+    ).start()
+    simulator.run()
+    return collector
+
+
+def test_ablation_batching_window(benchmark):
+    """No batching cannot sustain the load; the 2 ms window is a good spot."""
+
+    def sweep():
+        outcomes = {}
+        for label, config in (
+            ("no-batching", BatchingConfig(max_batch_size=1, max_delay_s=0.0)),
+            ("paper 2ms/1024", BatchingConfig(max_batch_size=1024, max_delay_s=0.002)),
+            ("long 20ms/1024", BatchingConfig(max_batch_size=1024, max_delay_s=0.020)),
+            ("tiny 2ms/4", BatchingConfig(max_batch_size=4, max_delay_s=0.002)),
+        ):
+            collector = _drive_gpu_server(config)
+            outcomes[label] = (
+                collector.percentile_ms(90) if collector.ok else float("inf"),
+                collector.achieved_throughput(),
+            )
+        return outcomes
+
+    outcomes = run_once(benchmark, sweep)
+    print()
+    print(f"{'batching':<16} {'p90 ms':>10} {'achieved rps':>13}")
+    for label, (p90, rps) in outcomes.items():
+        print(f"{label:<16} {p90:>10.1f} {rps:>13.1f}")
+
+    paper_p90, paper_rps = outcomes["paper 2ms/1024"]
+    nobatch_p90, nobatch_rps = outcomes["no-batching"]
+    long_p90, _ = outcomes["long 20ms/1024"]
+    tiny_p90, _ = outcomes["tiny 2ms/4"]
+    assert nobatch_rps < paper_rps * 0.6 or nobatch_p90 > 5 * paper_p90
+    assert long_p90 > paper_p90  # longer linger only adds latency here
+    assert tiny_p90 > paper_p90  # tiny batches forfeit amortization
+
+
+def test_ablation_backpressure(benchmark):
+    """Without backpressure an overloaded server's queue runs away; with it
+    the generator throttles and the experiment stays interpretable."""
+
+    def run_with_backpressure():
+        # Target far above a single T4's capacity at C=1e7.
+        return _drive_gpu_server(
+            BatchingConfig(), target_rps=3000, duration_s=40.0
+        )
+
+    collector = run_once(benchmark, run_with_backpressure)
+    # Every accepted request completed: nothing lost, no error avalanche.
+    assert collector.errors == 0
+    # But far fewer than the open-loop offered integral (3000*40/2 = 60k).
+    assert collector.total < 45_000
+    print(
+        f"\nbackpressure kept {collector.total} requests "
+        f"(open-loop would offer ~60,000), p90="
+        f"{collector.percentile_ms(90):.0f} ms"
+    )
+
+
+def test_ablation_flash_sale_schedule(benchmark):
+    """Beyond the paper's ramp: a 4x flash-sale burst against a GPU
+    deployment. The batching buffer absorbs the spike by growing the batch;
+    latency rises during the burst window and recovers afterwards."""
+    from repro.loadgen import FlashSaleSchedule
+
+    def run_flash_sale():
+        registry = AssetRegistry()
+        assets = registry.assets("gru4rec", 10_000_000, GPU_T4.device, "jit")
+        simulator = Simulator()
+        streams = RandomStreams(11)
+        server = EtudeInferenceServer(
+            simulator, GPU_T4.device, assets.profile,
+            streams.stream("server"), batching=BatchingConfig(),
+        )
+        workload = SyntheticWorkloadGenerator(
+            WorkloadStatistics.bol_like(10_000_000), seed=3
+        )
+        collector = MetricsCollector()
+        LoadGenerator(
+            simulator, server.submit, workload.iter_sessions(),
+            target_rps=200, duration_s=120.0, collector=collector,
+            schedule=FlashSaleSchedule(
+                baseline_rps=200, burst_factor=4.0,
+                burst_start_fraction=0.5, burst_end_fraction=0.7,
+            ),
+        ).start()
+        simulator.run()
+        return collector
+
+    collector = run_once(benchmark, run_flash_sale)
+    buckets = collector.buckets()
+    before = [b for b in buckets if 20 <= b.second < 55 and b.p90_ms() is not None]
+    burst = [b for b in buckets if 62 <= b.second < 82 and b.p90_ms() is not None]
+    after = [b for b in buckets if 90 <= b.second < 115 and b.p90_ms() is not None]
+    p90_before = float(np.median([b.p90_ms() for b in before]))
+    p90_burst = float(np.median([b.p90_ms() for b in burst]))
+    p90_after = float(np.median([b.p90_ms() for b in after]))
+    batch_before = float(np.median([np.mean(b.batch_sizes) for b in before]))
+    batch_burst = float(np.median([np.mean(b.batch_sizes) for b in burst]))
+    print(
+        f"\nflash sale on one T4 (C=1e7): p90 {p90_before:.1f} -> "
+        f"{p90_burst:.1f} -> {p90_after:.1f} ms; mean batch "
+        f"{batch_before:.1f} -> {batch_burst:.1f}"
+    )
+    assert p90_burst > p90_before * 1.3, "the burst must be visible"
+    assert p90_after < p90_burst, "latency recovers after the burst"
+    assert batch_burst > batch_before, "batching absorbs the spike"
+    assert collector.errors == 0
+
+
+def test_ablation_jit_passes(benchmark):
+    """Per-pass contribution to launch-count reduction (CPU, C=1e5)."""
+    from repro.models import ModelConfig, create_model
+
+    def measure():
+        model = create_model("sasrec", ModelConfig.for_catalog(100_000))
+        inputs = model.example_inputs()
+        contributions = {}
+        graph = jit_trace(model, inputs)
+        baseline = graph.launch_count()
+        contributions["eager"] = baseline
+        for label, passes in (
+            ("+dropout-elim", [eliminate_dropout]),
+            ("+dead-op-elim", [eliminate_dead_ops]),
+            ("+const-fold", [fold_constants, eliminate_dead_ops]),
+            ("+linear-act-fuse", [fuse_linear_activation]),
+            ("+elementwise-fuse", [fuse_elementwise]),
+        ):
+            for optimization in passes:
+                optimization(graph)
+            contributions[label] = graph.launch_count()
+        # The fully optimized graph must still compute the same answer.
+        scripted = ScriptedModule(model, graph, OptimizationReport())
+        items, length = inputs
+        from repro.tensor.tensor import Tensor
+
+        expected = model(Tensor(items), Tensor(length)).numpy()
+        np.testing.assert_array_equal(scripted(items, length).numpy(), expected)
+        return contributions
+
+    contributions = run_once(benchmark, measure)
+    print()
+    print(f"{'pipeline stage':<20} {'kernel launches':>16}")
+    for label, launches in contributions.items():
+        print(f"{label:<20} {launches:>16d}")
+    values = list(contributions.values())
+    assert values[-1] < values[0], "the pipeline reduces launches overall"
+    assert all(b <= a for a, b in zip(values, values[1:])), "no pass regresses"

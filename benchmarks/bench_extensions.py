@@ -1,0 +1,197 @@
+"""EXT — the paper's future-work directions, implemented and measured.
+
+Section IV: "we plan to extend ETUDE with more inference runtimes such as
+ONNX ... we will explore ... model quantisation ... as well as approximate
+nearest neighbor search ... as well as the automatic choice of appropriate
+instance types for declaratively specified workloads."
+
+Three quality/latency trade-off studies:
+
+- int8 quantization of the catalog table (4x less scan traffic);
+- IVF-Flat ANN search (recall vs probed fraction);
+- the ONNX-style static-plan executor vs eager/TorchScript;
+
+plus cross-cloud planning with the AWS/Azure catalogs.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.ann import AnnSessionRecModel, recall_at_k
+from repro.core.registry import AssetRegistry
+from repro.hardware import CPU_E2, GPU_T4, LatencyModel
+from repro.models import ModelConfig, create_model
+from repro.tensor import Tensor, cost_trace
+from repro.tensor.quantization import quantize_model
+
+CATALOG = 1_000_000
+SESSIONS = [
+    [5, 17, 900, 42],
+    [123_456, 9, 9, 77],
+    [40_000, 41_000, 42_000],
+    [1],
+    [999_999, 2, 999_999],
+]
+
+
+def _latency_ms(model, device, session):
+    items, length = model.prepare_inputs(session)
+    with cost_trace() as trace:
+        model.forward(Tensor(items), Tensor(length))
+    return LatencyModel(device).profile(trace).latency(1) * 1e3
+
+
+def test_ext_quantization_tradeoff(benchmark):
+    def measure():
+        model = create_model("gru4rec", ModelConfig.for_catalog(CATALOG))
+        quantized = quantize_model(model)
+        overlaps = []
+        for session in SESSIONS:
+            exact = set(model.recommend(session).tolist())
+            approx = set(quantized.recommend(session).tolist())
+            overlaps.append(len(exact & approx) / model.top_k)
+        return {
+            "overlap": float(np.mean(overlaps)),
+            "fp32_cpu_ms": _latency_ms(model, CPU_E2.device, SESSIONS[0]),
+            "int8_cpu_ms": _latency_ms(quantized, CPU_E2.device, SESSIONS[0]),
+            "fp32_gpu_ms": _latency_ms(model, GPU_T4.device, SESSIONS[0]),
+            "int8_gpu_ms": _latency_ms(quantized, GPU_T4.device, SESSIONS[0]),
+        }
+
+    stats = run_once(benchmark, measure)
+    print()
+    print(f"EXT quantization (C={CATALOG:,}): top-k overlap {stats['overlap']:.2f}")
+    print(f"  CPU    fp32 {stats['fp32_cpu_ms']:.2f} ms -> int8 "
+          f"{stats['int8_cpu_ms']:.2f} ms ({stats['fp32_cpu_ms'] / stats['int8_cpu_ms']:.1f}x)")
+    print(f"  GPU-T4 fp32 {stats['fp32_gpu_ms']:.2f} ms -> int8 "
+          f"{stats['int8_gpu_ms']:.2f} ms ({stats['fp32_gpu_ms'] / stats['int8_gpu_ms']:.1f}x)")
+    assert stats["overlap"] > 0.85
+    assert stats["int8_cpu_ms"] < 0.5 * stats["fp32_cpu_ms"]
+
+
+def test_ext_ann_tradeoff(benchmark):
+    def measure():
+        model = create_model("gru4rec", ModelConfig.for_catalog(CATALOG))
+        ann = AnnSessionRecModel(model, nlist=181, nprobe=1)
+        rows = []
+        for nprobe in (1, 4, 16, 64, 181):
+            ann.set_nprobe(nprobe)
+            recalls = []
+            for session in SESSIONS:
+                exact = model.recommend(session)
+                approx = ann.recommend(session)
+                recalls.append(recall_at_k(exact, approx))
+            rows.append(
+                (
+                    nprobe,
+                    float(np.mean(recalls)),
+                    _latency_ms(ann, CPU_E2.device, SESSIONS[0]),
+                )
+            )
+        exact_ms = _latency_ms(model, CPU_E2.device, SESSIONS[0])
+        return rows, exact_ms
+
+    rows, exact_ms = run_once(benchmark, measure)
+    print()
+    print(f"EXT ANN (IVF-Flat, C={CATALOG:,}; exact scan {exact_ms:.1f} ms on CPU)")
+    print(f"{'nprobe':>7} {'recall@21':>10} {'CPU ms':>8} {'speedup':>8}")
+    for nprobe, recall, latency in rows:
+        print(f"{nprobe:>7} {recall:>10.2f} {latency:>8.2f} {exact_ms / latency:>7.1f}x")
+    # Full probe = exact recall; small probes trade recall for latency.
+    assert rows[-1][1] == 1.0
+    assert rows[0][2] < 0.2 * exact_ms
+    recalls = [recall for _n, recall, _l in rows]
+    assert all(a <= b + 0.05 for a, b in zip(recalls, recalls[1:]))
+
+
+def test_ext_onnx_runtime(benchmark):
+    def measure():
+        registry = AssetRegistry()
+        rows = []
+        for model in ("gru4rec", "sasrec", "core"):
+            eager = registry.profile(model, 10_000, GPU_T4.device, "eager")
+            jit = registry.profile(model, 10_000, GPU_T4.device, "jit")
+            onnx = registry.profile(model, 10_000, GPU_T4.device, "onnx")
+            rows.append(
+                (model, eager.latency(1) * 1e3, jit.latency(1) * 1e3, onnx.latency(1) * 1e3)
+            )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    print()
+    print("EXT ONNX-style runtime (GPU-T4, C=1e4 — the dispatch-bound regime)")
+    print(f"{'model':<10} {'eager ms':>9} {'jit ms':>8} {'onnx ms':>8}")
+    for model, eager, jit, onnx in rows:
+        print(f"{model:<10} {eager:>9.3f} {jit:>8.3f} {onnx:>8.3f}")
+    for _model, eager, jit, onnx in rows:
+        assert onnx <= jit <= eager * 1.001
+
+
+def test_ext_non_neural_baseline(benchmark, experiment_runner):
+    """The paper's closing observation: twenty-million-item catalogs 'can
+    be handled much cheaper with non-neural approaches' [13]. VMIS-kNN on
+    a single $108 CPU machine vs the neural models' 3x$6,026 A100 fleet."""
+    from conftest import DURATION_S
+
+    from repro.core import ExperimentSpec, HardwareSpec
+    from repro.hardware import CPU_E2, GPU_A100
+
+    def measure():
+        knn = experiment_runner.run(
+            ExperimentSpec(
+                model="vmisknn", catalog_size=20_000_000, target_rps=1000,
+                hardware=HardwareSpec("CPU", 1), duration_s=DURATION_S,
+                execution="eager",
+            )
+        )
+        neural = experiment_runner.run(
+            ExperimentSpec(
+                model="gru4rec", catalog_size=20_000_000, target_rps=1000,
+                hardware=HardwareSpec("GPU-A100", 3), duration_s=DURATION_S,
+            )
+        )
+        return knn, neural
+
+    knn, neural = run_once(benchmark, measure)
+    knn_cost = CPU_E2.monthly_cost_usd
+    neural_cost = GPU_A100.cost_for(3)
+    print()
+    print("EXT non-neural baseline @ Platform (C=2e7, 1,000 req/s):")
+    print(f"  vmisknn  CPU x1      ${knn_cost:>8,.0f}/mo  "
+          f"p90@target={knn.p90_at_target_ms:6.2f} ms  "
+          f"SLO={'yes' if knn.meets_slo(50) else 'no'}")
+    print(f"  gru4rec  GPU-A100 x3 ${neural_cost:>8,.0f}/mo  "
+          f"p90@target={neural.p90_at_target_ms:6.2f} ms  "
+          f"SLO={'yes' if neural.meets_slo(50) else 'no'}")
+    print(f"  -> {neural_cost / knn_cost:.0f}x cheaper non-neurally")
+    assert knn.meets_slo(50)
+    assert neural.meets_slo(50)
+    assert knn_cost < neural_cost / 50
+
+
+def test_ext_cross_cloud_planning(benchmark):
+    from repro.core import DeploymentPlanner, ExperimentRunner
+    from repro.core.spec import Scenario
+    from repro.hardware.clouds import all_clouds
+
+    def plan():
+        planner = DeploymentPlanner(
+            runner=ExperimentRunner(seed=88), duration_s=60.0, max_replicas=6
+        )
+        scenario = Scenario("cross-cloud fashion", 1_000_000, 500)
+        plans = planner.plan(scenario, ["gru4rec"], instances=all_clouds())
+        return plans["gru4rec"]
+
+    plan_result = run_once(benchmark, plan)
+    print()
+    print("EXT cross-cloud plan (Fashion-like: C=1e6, 500 req/s)")
+    for option in sorted(plan_result.options, key=lambda o: o.monthly_cost_usd):
+        print(
+            f"  {option.instance_type:<14} x{option.replicas} "
+            f"${option.monthly_cost_usd:>8,.0f}/month "
+            f"p90@target={option.result.p90_at_target_ms:6.1f} ms"
+        )
+    cheapest = plan_result.cheapest()
+    assert cheapest is not None
+    # The cheapest T4 offering wins across clouds (AWS g4dn at $232 here).
+    assert "T4" in cheapest.instance_type

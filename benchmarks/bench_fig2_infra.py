@@ -1,0 +1,49 @@
+"""FIG2 — the serving-infrastructure test (paper Figure 2).
+
+Ramp to 1,000 req/s with no model inference on a 2-vCPU machine.
+Paper findings to reproduce:
+
+- TorchServe "cannot keep up with the load and starts to return a large
+  number of HTTP errors (due to reaching the internal timeout of 100ms)",
+  handling survivors at a p90 between 100 and 200 ms;
+- the Actix server "easily handles the load with a p90 latency of around
+  one millisecond ... and does not throw any HTTP errors".
+"""
+
+from conftest import DURATION_S, run_once
+
+from repro.core import run_infra_test
+from repro.core.report import render_latency_series
+
+
+def test_fig2_torchserve(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_infra_test("torchserve", target_rps=1000, duration_s=DURATION_S),
+    )
+    benchmark.extra_info["p90_ms"] = result.p90_ms
+    benchmark.extra_info["error_rate"] = result.error_rate
+    print()
+    print(render_latency_series(result.series, "FIG2 TorchServe (no inference)"))
+    print(
+        f"TorchServe: errors={result.errors}/{result.total} "
+        f"({result.error_rate * 100:.1f}%), p90={result.p90_ms:.1f} ms"
+    )
+    assert result.error_rate > 0.1, "TorchServe should shed load via timeouts"
+    assert 50 < result.p90_ms < 300, "survivor p90 should sit near the timeout"
+
+
+def test_fig2_actix(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: run_infra_test("actix", target_rps=1000, duration_s=DURATION_S),
+    )
+    benchmark.extra_info["p90_ms"] = result.p90_ms
+    benchmark.extra_info["error_rate"] = result.error_rate
+    print()
+    print(render_latency_series(result.series, "FIG2 Actix/ETUDE (no inference)"))
+    print(
+        f"Actix: errors={result.errors}/{result.total}, p90={result.p90_ms:.2f} ms"
+    )
+    assert result.errors == 0, "the Actix server throws no HTTP errors"
+    assert result.p90_ms < 3.0, "p90 around one millisecond"

@@ -1,0 +1,93 @@
+"""FIG3 — single-machine microbenchmark (paper Figure 3).
+
+Serial requests, p90 prediction latency, for all ten models across catalog
+sizes 1e4..1e7, CPU vs GPU-T4, eager vs JIT. Paper findings to reproduce:
+
+- latency scales linearly with the catalog size;
+- from one million items the GPU is more than an order of magnitude
+  faster (and the CPU needs >50 ms for the heavier implementations);
+- at ten thousand items the CPU is on par with or lower than the GPU in
+  six out of ten cases;
+- JIT optimization always helps and never hurts;
+- LightSANs cannot be JIT-optimized (dynamic code paths).
+"""
+
+from conftest import MICRO_REQUESTS, run_once
+
+from repro.core import serial_microbenchmark
+from repro.core.report import render_microbench_table
+from repro.hardware import CPU_E2, GPU_T4
+from repro.models import BENCHMARK_MODELS
+
+CATALOG_SIZES = (10_000, 100_000, 1_000_000, 10_000_000)
+MODELS = tuple(m for m in BENCHMARK_MODELS)
+
+
+def _sweep():
+    results = []
+    for model in MODELS:
+        for instance in (CPU_E2, GPU_T4):
+            for mode in ("eager", "jit"):
+                for catalog_size in CATALOG_SIZES:
+                    results.append(
+                        serial_microbenchmark(
+                            model,
+                            catalog_size,
+                            instance,
+                            mode,
+                            num_requests=MICRO_REQUESTS,
+                        )
+                    )
+    return results
+
+
+def test_fig3_microbenchmark(benchmark):
+    results = run_once(benchmark, _sweep)
+    print()
+    print(render_microbench_table(results, CATALOG_SIZES))
+
+    by_key = {
+        (r.model, r.instance_type, r.execution_requested, r.catalog_size): r
+        for r in results
+    }
+
+    # Linear scaling in C (checked on the two largest decades, CPU, jit).
+    for model in ("gru4rec", "sasrec", "stamp"):
+        mid = by_key[(model, "CPU", "jit", 1_000_000)].p90_ms
+        big = by_key[(model, "CPU", "jit", 10_000_000)].p90_ms
+        assert 5.0 < big / mid < 25.0, (model, mid, big)
+
+    # GPU more than an order of magnitude faster at >= 1e6.
+    gpu_speedups = []
+    for model in ("gru4rec", "narm", "stamp", "sasrec", "sine"):
+        cpu = by_key[(model, "CPU", "jit", 1_000_000)].p90_ms
+        gpu = by_key[(model, "GPU-T4", "jit", 1_000_000)].p90_ms
+        gpu_speedups.append(cpu / gpu)
+    assert min(gpu_speedups) > 10.0
+
+    # CPU on par or lower at 1e4 in roughly six of ten cases.
+    cpu_lower = sum(
+        1
+        for model in MODELS
+        if by_key[(model, "CPU", "jit", 10_000)].p90_ms
+        <= by_key[(model, "GPU-T4", "jit", 10_000)].p90_ms
+    )
+    print(f"CPU on par/lower at C=1e4: {cpu_lower}/10 models (paper: 6/10)")
+    assert 4 <= cpu_lower <= 8
+
+    # JIT always helps (or at worst is a wash), never hurts.
+    regressions = []
+    for model in MODELS:
+        for instance in ("CPU", "GPU-T4"):
+            for catalog_size in CATALOG_SIZES:
+                eager = by_key[(model, instance, "eager", catalog_size)].p90_ms
+                jit = by_key[(model, instance, "jit", catalog_size)].p90_ms
+                if jit > eager * 1.05:
+                    regressions.append((model, instance, catalog_size))
+    assert not regressions, f"JIT should never hurt: {regressions}"
+
+    # LightSANs falls back to eager.
+    lightsans = by_key[("lightsans", "CPU", "jit", 10_000)]
+    assert lightsans.jit_failed and lightsans.execution_effective == "eager"
+
+    benchmark.extra_info["configurations"] = len(results)

@@ -1,0 +1,85 @@
+"""FIG4 — end-to-end latency/throughput per scenario and instance type.
+
+For each Table I scenario the paper plots observed latency against offered
+throughput for the (JIT) models on different instance types; the figure's
+qualitative content is which deployments track the ramp with a flat latency
+profile and which diverge. This bench regenerates those per-second series
+for a representative deployment per (scenario, instance type).
+"""
+
+from conftest import DURATION_S, REPETITIONS, experiment_runner, run_once
+
+from repro.core import ExperimentSpec, HardwareSpec
+from repro.core.report import render_latency_series
+from repro.models import HEALTHY_MODELS
+
+# (scenario name, catalog, target rps, [(instance, replicas)...])
+FIG4_PANELS = (
+    ("Groceries (small)", 10_000, 100, (("CPU", 1),)),
+    ("Fashion", 1_000_000, 500, (("CPU", 3), ("GPU-T4", 1))),
+    ("e-Commerce", 10_000_000, 1_000, (("GPU-T4", 5), ("GPU-A100", 2))),
+    ("Platform", 20_000_000, 1_000, (("GPU-T4", 5), ("GPU-A100", 3))),
+)
+
+
+def test_fig4_series(benchmark, experiment_runner):
+    outcomes = {}
+
+    def sweep():
+        for scenario, catalog, rps, deployments in FIG4_PANELS:
+            for instance, replicas in deployments:
+                for model in HEALTHY_MODELS:
+                    spec = ExperimentSpec(
+                        model=model,
+                        catalog_size=catalog,
+                        target_rps=rps,
+                        hardware=HardwareSpec(instance, replicas),
+                        duration_s=DURATION_S,
+                    )
+                    try:
+                        result = experiment_runner.run_repeated(
+                            spec, repetitions=REPETITIONS
+                        )
+                    except Exception as error:  # DeploymentError -> infeasible
+                        outcomes[(scenario, instance, replicas, model)] = error
+                        continue
+                    outcomes[(scenario, instance, replicas, model)] = result
+        return outcomes
+
+    run_once(benchmark, sweep)
+
+    print()
+    for scenario, catalog, rps, deployments in FIG4_PANELS:
+        for instance, replicas in deployments:
+            print(f"=== FIG4 {scenario} | {instance} x{replicas} @ {rps} req/s")
+            for model in HEALTHY_MODELS:
+                result = outcomes[(scenario, instance, replicas, model)]
+                if not hasattr(result, "p90_at_target_ms"):
+                    print(f"  {model:8s}  infeasible ({result})")
+                    continue
+                p90 = result.p90_at_target_ms
+                print(
+                    f"  {model:8s}  p90@target="
+                    f"{p90:7.1f} ms  errors={result.error_requests:5d}  "
+                    f"ok={'yes' if result.meets_slo(50) else 'NO'}"
+                )
+            # One representative per-second series per panel.
+            sample = outcomes[(scenario, instance, replicas, "gru4rec")]
+            if hasattr(sample, "series") and sample.series is not None:
+                print(
+                    render_latency_series(
+                        sample.series,
+                        f"{scenario} gru4rec on {instance} x{replicas}",
+                        every=max(int(DURATION_S // 9), 1),
+                    )
+                )
+
+    # Shape assertions mirroring the paper's discussion of Figure 4.
+    fashion_t4 = outcomes[("Fashion", "GPU-T4", 1, "gru4rec")]
+    assert fashion_t4.meets_slo(50), "one T4 handles the Fashion scenario"
+    ecommerce_t4 = outcomes[("e-Commerce", "GPU-T4", 5, "gru4rec")]
+    assert ecommerce_t4.meets_slo(50), "five T4s handle e-Commerce"
+    platform_t4 = outcomes[("Platform", "GPU-T4", 5, "gru4rec")]
+    assert not platform_t4.meets_slo(50), "T4s cannot handle Platform"
+    platform_a100 = outcomes[("Platform", "GPU-A100", 3, "gru4rec")]
+    assert platform_a100.meets_slo(50), "three A100s handle Platform"

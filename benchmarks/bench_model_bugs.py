@@ -1,0 +1,89 @@
+"""BUGS — the RecBole implementation bottlenecks (paper Section III-C).
+
+"The RepeatNet model contains expensive tensor multiplications of very
+sparse matrices which are implemented with dense operations ... and the
+SR-GNN and GC-SAN models contain NumPy operations in their inference
+functions which require repeated data transfers between CPU and GPU at
+inference time."
+
+This bench quantifies both root causes from the op traces and shows their
+end-to-end consequences.
+"""
+
+from conftest import DURATION_S, experiment_runner, run_once
+
+from repro.core import ExperimentSpec, HardwareSpec
+from repro.core.registry import GLOBAL_REGISTRY
+from repro.hardware import GPU_T4, LatencyModel
+
+
+def test_bugs_trace_evidence(benchmark):
+    def collect():
+        evidence = {}
+        for model in ("gru4rec", "repeatnet", "srgnn", "gcsan"):
+            trace, _mode, _failed = GLOBAL_REGISTRY.trace(model, 1_000_000, "jit")
+            evidence[model] = {
+                "activation_gb": trace.total_activation_bytes / 1e9,
+                "transfer_mb": trace.total_transfer_bytes / 1e6,
+                "host_ops": trace.host_op_count,
+                "gpu_per_item_ms": LatencyModel(GPU_T4.device)
+                .profile(trace)
+                .per_item_s
+                * 1e3,
+            }
+        return evidence
+
+    evidence = run_once(benchmark, collect)
+    print()
+    print(f"{'model':<10} {'act GB/req':>11} {'PCIe MB/req':>12} "
+          f"{'host ops':>9} {'T4 per-item ms':>15}")
+    for model, stats in evidence.items():
+        print(
+            f"{model:<10} {stats['activation_gb']:>11.3f} "
+            f"{stats['transfer_mb']:>12.2f} {stats['host_ops']:>9d} "
+            f"{stats['gpu_per_item_ms']:>15.3f}"
+        )
+
+    # RepeatNet: the dense one-hot scatter moves ~L*C floats per request.
+    assert evidence["repeatnet"]["activation_gb"] > 10 * (
+        evidence["gru4rec"]["activation_gb"]
+    )
+    # SR-GNN / GC-SAN: host ops in the inference function.
+    assert evidence["srgnn"]["host_ops"] >= 3
+    assert evidence["gcsan"]["host_ops"] >= 3
+    assert evidence["gru4rec"]["host_ops"] == 0
+    # Their per-request GPU cost is dominated by transfer/sync stalls.
+    assert (
+        evidence["srgnn"]["gpu_per_item_ms"]
+        > 3 * evidence["gru4rec"]["gpu_per_item_ms"]
+    )
+    benchmark.extra_info["srgnn_per_item_ms"] = evidence["srgnn"]["gpu_per_item_ms"]
+
+
+def test_bugs_end_to_end_consequences(benchmark, experiment_runner):
+    def measure():
+        outcomes = {}
+        for model in ("gru4rec", "repeatnet", "srgnn"):
+            outcomes[model] = experiment_runner.run(
+                ExperimentSpec(
+                    model=model,
+                    catalog_size=1_000_000,
+                    target_rps=500,
+                    hardware=HardwareSpec("GPU-T4", 1),
+                    duration_s=DURATION_S,
+                )
+            )
+        return outcomes
+
+    outcomes = run_once(benchmark, measure)
+    print()
+    for model, result in outcomes.items():
+        p90 = result.p90_at_target_ms
+        print(
+            f"{model:<10} Fashion-on-T4: p90@target="
+            f"{p90 if p90 is None else round(p90, 1)} ms, "
+            f"feasible={result.meets_slo(50)}"
+        )
+    assert outcomes["gru4rec"].meets_slo(50)
+    assert not outcomes["repeatnet"].meets_slo(50)
+    assert not outcomes["srgnn"].meets_slo(50)

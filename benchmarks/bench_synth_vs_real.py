@@ -1,0 +1,105 @@
+"""VAL-SYN — synthetic vs. real click-log replay (paper Section III-A).
+
+"We also run a validation experiment for the synthetic click generation,
+where we compare the latency measurements achieved by replaying a real
+click log from bol.com to the measurements achieved when using a synthetic
+workload generated based on statistics from the real click log. We find
+that the achieved latencies resemble each other closely."
+
+The proprietary log is replaced by the rich generative surrogate in
+:mod:`repro.workload.clicklog`; its marginals are fitted, Algorithm 1
+regenerates a synthetic log, and both are replayed against the same
+deployment.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from conftest import DURATION_S, run_once
+
+from repro.cluster.service import ClusterIPService
+from repro.core import ExperimentRunner, ExperimentSpec, HardwareSpec
+from repro.hardware import CPU_E2
+from repro.loadgen.generator import LoadGenerator
+from repro.metrics.collector import MetricsCollector
+from repro.workload import (
+    SyntheticWorkloadGenerator,
+    WorkloadStatistics,
+    synthesize_real_clicklog,
+)
+
+CATALOG = 100_000
+TARGET_RPS = 200
+
+
+def _replay(runner, session_source):
+    """Deploy gru4rec on one CPU and replay the given session stream."""
+    assets = runner.registry.assets("gru4rec", CATALOG, CPU_E2.device, "jit")
+    artifact = runner._ensure_artifact(assets)
+    runner.infra.reset_simulator()
+    simulator = runner.infra.simulator
+    deployment = runner.infra.cluster.deploy_model(
+        name="valsyn",
+        instance_type=CPU_E2,
+        replicas=1,
+        artifact_path=artifact,
+        service_profile=assets.profile,
+        resident_bytes=assets.resident_bytes,
+        score_bytes_per_item=assets.score_bytes_per_item,
+    )
+    collector = MetricsCollector()
+
+    def coordinator():
+        yield deployment.ready_signal
+        service = ClusterIPService(
+            simulator, deployment, np.random.default_rng(3)
+        )
+        LoadGenerator(
+            simulator,
+            service.submit,
+            session_source,
+            target_rps=TARGET_RPS,
+            duration_s=DURATION_S,
+            collector=collector,
+        ).start()
+
+    simulator.spawn(coordinator())
+    simulator.run()
+    return collector
+
+
+def test_valsyn_latencies_resemble(benchmark):
+    def run_both():
+        runner = ExperimentRunner(seed=424242)
+        real_log = synthesize_real_clicklog(CATALOG, 50_000, seed=31)
+        fitted = WorkloadStatistics.from_clicklog(real_log, CATALOG)
+        synthetic = SyntheticWorkloadGenerator(fitted, seed=17)
+        synthetic_log = SyntheticWorkloadGenerator(fitted, seed=18).generate_clicks(
+            50_000
+        )
+        from repro.workload import validate_synthetic
+
+        stats_report = validate_synthetic(real_log, synthetic_log, CATALOG)
+        real_collector = _replay(runner, itertools.cycle(real_log.sessions()))
+        synthetic_collector = _replay(runner, synthetic.iter_sessions())
+        return fitted, stats_report, real_collector, synthetic_collector
+
+    fitted, stats_report, real, synthetic = run_once(benchmark, run_both)
+    print()
+    print(f"VAL-SYN marginals: {stats_report.summary()}")
+    assert stats_report.session_length_ks < 0.2
+
+    rows = []
+    for q in (50, 90, 99):
+        rows.append((q, real.percentile_ms(q), synthetic.percentile_ms(q)))
+    print()
+    print(f"VAL-SYN (fitted alpha_l={fitted.alpha_length:.2f}, "
+          f"alpha_c={fitted.alpha_clicks:.2f})")
+    print(f"{'pct':>4} {'real log (ms)':>14} {'synthetic (ms)':>15}")
+    for q, real_ms, synthetic_ms in rows:
+        print(f"{q:>4} {real_ms:>14.2f} {synthetic_ms:>15.2f}")
+
+    # "The achieved latencies resemble each other closely."
+    for q, real_ms, synthetic_ms in rows:
+        assert synthetic_ms == pytest.approx(real_ms, rel=0.30), q

@@ -1,0 +1,84 @@
+"""TAB1 — cost-efficient deployment options (paper Table I).
+
+Runs the deployment planner over the five scenarios and the six healthy
+models, printing the Table I layout. Paper findings to reproduce:
+
+(i)   both grocery scenarios run on a single $108/month CPU machine;
+(ii)  Fashion (1M items) runs on a single GPU-T4 ($268) for all models, and
+      the leanest models are also deployable on 3 CPU machines ($324);
+(iii) e-Commerce (10M) needs GPUs — five T4s ($1,340) beat two A100s
+      ($4,018) on cost; Platform (20M) needs three A100s ($6,026) and is
+      infeasible on T4s.
+"""
+
+from conftest import DURATION_S, REPETITIONS, experiment_runner, run_once
+
+from repro.core import DeploymentPlanner, SCENARIOS
+from repro.core.report import render_scenario_table
+from repro.hardware import CPU_E2, GPU_A100, GPU_T4
+from repro.models import HEALTHY_MODELS
+
+
+def test_table1(benchmark, experiment_runner):
+    planner = DeploymentPlanner(
+        runner=experiment_runner,
+        duration_s=DURATION_S,
+        max_replicas=8,
+        repetitions=REPETITIONS,
+    )
+
+    def plan_all():
+        return {
+            scenario.name: planner.plan(scenario, HEALTHY_MODELS)
+            for scenario in SCENARIOS
+        }
+
+    plans = run_once(benchmark, plan_all)
+
+    print()
+    print(render_scenario_table(plans, HEALTHY_MODELS))
+
+    def option(scenario, model, instance_name):
+        for candidate in plans[scenario][model].options:
+            if candidate.instance_type == instance_name:
+                return candidate
+        return None
+
+    # (i) groceries on one CPU machine, for every model.
+    for scenario in ("Groceries (small)", "Groceries (large)"):
+        for model in HEALTHY_MODELS:
+            cpu = option(scenario, model, "CPU")
+            assert cpu is not None and cpu.replicas == 1, (scenario, model)
+        cheapest = min(
+            plans[scenario][m].cheapest().monthly_cost_usd for m in HEALTHY_MODELS
+        )
+        assert round(cheapest) == 108
+
+    # (ii) Fashion: one T4 for every model; lean models also on CPUs.
+    for model in HEALTHY_MODELS:
+        t4 = option("Fashion", model, "GPU-T4")
+        assert t4 is not None and t4.replicas == 1, model
+    for model in ("sasrec", "stamp"):
+        cpu = option("Fashion", model, "CPU")
+        assert cpu is not None and cpu.replicas <= 3, model
+    # CORE cannot handle Fashion with the listed $324 3-CPU option (the
+    # paper's empty cell); the planner may still find a larger CPU fleet.
+    core_cpu = option("Fashion", "core", "CPU")
+    assert core_cpu is None or core_cpu.replicas > 3
+
+    # (iii) e-Commerce: five T4s cheaper than two A100s; Platform A100-only.
+    ecommerce_t4 = option("e-Commerce", "gru4rec", "GPU-T4")
+    ecommerce_a100 = option("e-Commerce", "gru4rec", "GPU-A100")
+    assert ecommerce_t4 is not None and ecommerce_t4.replicas == 5
+    assert ecommerce_a100 is not None and ecommerce_a100.replicas == 2
+    assert ecommerce_t4.monthly_cost_usd < ecommerce_a100.monthly_cost_usd
+    assert option("e-Commerce", "gru4rec", "CPU") is None
+
+    platform = plans["Platform"]["gru4rec"]
+    assert option("Platform", "gru4rec", "GPU-T4") is None
+    a100 = option("Platform", "gru4rec", "GPU-A100")
+    assert a100 is not None and a100.replicas == 3
+    assert round(a100.monthly_cost_usd) == 6026
+
+    benchmark.extra_info["scenarios"] = len(SCENARIOS)
+    benchmark.extra_info["models"] = len(HEALTHY_MODELS)

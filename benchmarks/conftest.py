@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the rows/series the paper reports (run with ``-s`` to see them). By default
+the load-test durations are scaled down from the paper's ten minutes —
+virtual time is free but event processing is not; the *shape* conclusions
+are duration-invariant (see EXPERIMENTS.md). Set ``ETUDE_BENCH_FULL=1`` for
+paper-scale durations and the three-repetition protocol.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("ETUDE_BENCH_FULL", "0") == "1"
+
+#: Load-test duration (paper: 600 s).
+DURATION_S = 600.0 if FULL else 90.0
+#: Repetitions per configuration (paper: 3, dropping best and worst).
+REPETITIONS = 3 if FULL else 1
+#: Serial requests per microbenchmark point.
+MICRO_REQUESTS = 300 if FULL else 120
+
+
+@pytest.fixture(scope="session")
+def experiment_runner():
+    from repro.core import ExperimentRunner
+
+    return ExperimentRunner(seed=20240704)
+
+
+def run_once(benchmark, fn):
+    """Time one full regeneration of an artifact (no repetition rounds)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

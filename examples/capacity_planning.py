@@ -1,0 +1,49 @@
+"""Capacity planning: which hardware serves my workload, and at what cost?
+
+The ETUDE workflow from the paper's Table I, applied to a custom scenario:
+a mid-size fashion retailer with a two-million-item catalog expecting
+600 requests/second at peak, with a 50 ms p90 budget. The planner searches
+the smallest feasible replica count per instance type and compares monthly
+costs.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import SLO, ExperimentRunner
+from repro.core import DeploymentPlanner
+from repro.core.spec import Scenario
+
+SCENARIO = Scenario("Fashion (custom)", catalog_size=2_000_000, target_rps=600)
+MODELS = ("gru4rec", "stamp", "core")
+
+planner = DeploymentPlanner(
+    runner=ExperimentRunner(),
+    slo=SLO(p90_latency_ms=50.0),
+    duration_s=90.0,
+    max_replicas=8,
+)
+
+print(f"Scenario: {SCENARIO.name} — C={SCENARIO.catalog_size:,} items, "
+      f"target {SCENARIO.target_rps} req/s, p90 <= 50 ms\n")
+
+plans = planner.plan(SCENARIO, MODELS)
+
+for model in MODELS:
+    plan = plans[model]
+    print(f"{model}:")
+    for option in sorted(plan.options, key=lambda o: o.monthly_cost_usd):
+        result = option.result
+        print(
+            f"  {option.instance_type:<9} x{option.replicas}  "
+            f"${option.monthly_cost_usd:>8,.0f}/month   "
+            f"p90@target={result.p90_at_target_ms:6.1f} ms"
+        )
+    for instance, reason in plan.infeasible.items():
+        print(f"  {instance:<9} infeasible: {reason}")
+    cheapest = plan.cheapest()
+    if cheapest:
+        print(
+            f"  -> cheapest: {cheapest.instance_type} x{cheapest.replicas} "
+            f"at ${cheapest.monthly_cost_usd:,.0f}/month"
+        )
+    print()

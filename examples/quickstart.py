@@ -1,0 +1,53 @@
+"""Quickstart: recommend items, then benchmark a deployment.
+
+Walks the two halves of the library in ~40 lines:
+
+1. the model zoo — build a session-based recommender over a catalog and get
+   actual top-k recommendations (eager and JIT-optimized);
+2. ETUDE — declaratively describe a deployment and measure whether it holds
+   a 50 ms p90 at the target throughput.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExperimentRunner,
+    ExperimentSpec,
+    HardwareSpec,
+    ModelConfig,
+    create_model,
+)
+from repro.tensor import optimize_for_inference
+
+# --- 1. A model over a 100k-item catalog --------------------------------------
+
+config = ModelConfig.for_catalog(100_000, top_k=10)
+model = create_model("gru4rec", config)
+
+session = [4123, 907, 4123, 88_412]  # the visitor's clicks so far
+print("session:", session)
+print("eager recommendations:", model.recommend(session).tolist())
+
+scripted = optimize_for_inference(model, model.example_inputs())
+items, length = model.prepare_inputs(session)
+print("jit    recommendations:", scripted(items, length).numpy().tolist())
+
+# --- 2. Can this model serve 250 req/s on one CPU machine? ---------------------
+
+runner = ExperimentRunner()
+spec = ExperimentSpec(
+    model="gru4rec",
+    catalog_size=100_000,
+    target_rps=250,
+    hardware=HardwareSpec("CPU", replicas=1),
+    duration_s=120.0,  # ramp to the target over two (simulated) minutes
+)
+result = runner.run(spec)
+
+print()
+print(f"deployed on {spec.hardware.instance_type} x{spec.hardware.replicas}:")
+print(f"  requests: {result.ok_requests} ok, {result.error_requests} errors")
+print(f"  p50/p90/p99: {result.p50_ms:.1f} / {result.p90_ms:.1f} / "
+      f"{result.p99_ms:.1f} ms")
+print(f"  p90 at the 250 req/s target: {result.p90_at_target_ms:.1f} ms")
+print(f"  meets the 50 ms p90 SLO: {result.meets_slo(p90_limit_ms=50)}")

@@ -1,0 +1,103 @@
+"""Operating SBR serving in production: failures and autoscaling.
+
+Two operational scenarios on top of the ETUDE substrate:
+
+1. **pod failure** — one of two replicas crashes mid-load-test; the
+   ClusterIP service reroutes, the kubelet restarts the pod, capacity
+   recovers;
+2. **autoscaling** — a single replica faces a ramp far beyond its
+   capacity; an HPA-style controller watches per-pod queue pressure and
+   scales the deployment out, then back in when the ramp ends.
+
+Run:  python examples/resilient_serving.py
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterIPService,
+    HorizontalPodAutoscaler,
+    make_infra,
+)
+from repro.core.registry import GLOBAL_REGISTRY
+from repro.hardware import CPU_E2
+from repro.loadgen.generator import LoadGenerator
+from repro.metrics.collector import MetricsCollector
+from repro.workload import SyntheticWorkloadGenerator, WorkloadStatistics
+
+CATALOG = 1_000_000  # ~30 ms/prediction on CPU: capacity ~150 req/s/pod
+ASSETS = GLOBAL_REGISTRY.assets("gru4rec", CATALOG, CPU_E2.device, "jit")
+
+
+def deploy(infra, replicas):
+    path = "models/demo.pt"
+    if not infra.bucket.exists(path):
+        infra.bucket.upload(path, b"demo-artifact" * 100)
+    return infra.cluster.deploy_model(
+        name="demo",
+        instance_type=CPU_E2,
+        replicas=replicas,
+        artifact_path=path,
+        service_profile=ASSETS.profile,
+        resident_bytes=ASSETS.resident_bytes,
+        score_bytes_per_item=ASSETS.score_bytes_per_item,
+    )
+
+
+def drive(infra, deployment, target_rps, duration_s, extra=None):
+    collector = MetricsCollector()
+    sim = infra.simulator
+    workload = SyntheticWorkloadGenerator(WorkloadStatistics.bol_like(CATALOG))
+
+    def coordinator():
+        yield deployment.ready_signal
+        service = ClusterIPService(sim, deployment, np.random.default_rng(1))
+        LoadGenerator(
+            sim, service.submit, workload.iter_sessions(),
+            target_rps=target_rps, duration_s=duration_s, collector=collector,
+        ).start()
+        if extra is not None:
+            extra()
+
+    sim.spawn(coordinator())
+    return collector
+
+
+# --- Scenario 1: pod failure + restart -----------------------------------------
+
+print("=== Scenario 1: pod crash at t=150s, kubelet restart 15s later")
+infra = make_infra(seed=42)
+deployment = deploy(infra, replicas=2)
+collector = drive(infra, deployment, target_rps=240, duration_s=240)
+infra.cluster.inject_pod_failure(deployment, 0, at_time=150.0, restart_after=15.0)
+infra.simulator.run()
+
+print(f"requests: {collector.ok} ok, {collector.errors} failed during the outage")
+print(f"overall p90: {collector.percentile_ms(90):.1f} ms")
+print(f"pods ready at the end: {len(deployment.ready_pods)}/2 "
+      f"(pod 0 restarted at t={deployment.pods[0].ready_at:.0f}s)\n")
+
+# --- Scenario 2: autoscaling under an overload ramp ------------------------------
+
+print("=== Scenario 2: HPA on a single replica facing a 4x-overload ramp")
+infra = make_infra(seed=43)
+deployment = deploy(infra, replicas=1)
+autoscaler = HorizontalPodAutoscaler(
+    infra.cluster,
+    deployment,
+    AutoscalerConfig(min_replicas=1, max_replicas=5,
+                     target_queue_per_pod=3.0, interval_s=15.0),
+)
+collector = drive(
+    infra, deployment, target_rps=500, duration_s=300, extra=autoscaler.start
+)
+infra.simulator.run(until=700.0)
+
+for event in autoscaler.events:
+    print(f"  t={event.time:5.0f}s scale {event.direction:<4} "
+          f"{event.from_replicas} -> {event.to_replicas} "
+          f"(queue/pod ~{event.observed_queue_per_pod:.1f})")
+print(f"final replica count: {len(deployment.ready_pods)}")
+print(f"requests: {collector.ok} ok, {collector.errors} errors, "
+      f"p90 {collector.percentile_ms(90):.1f} ms")

@@ -1,0 +1,36 @@
+"""Serving-stack shoot-out: TorchServe vs. the ETUDE (Actix-style) server.
+
+Reproduces the paper's Figure 2 experiment interactively: both stacks serve
+a model that performs NO inference on a small 2-vCPU machine while the load
+generator ramps to 1,000 requests/second. Any latency or error is pure
+serving overhead.
+
+Run:  python examples/torchserve_vs_etude.py
+"""
+
+from repro import run_infra_test
+from repro.core.report import render_latency_series
+
+TARGET_RPS = 1_000
+DURATION_S = 180.0
+
+print(
+    f"Infra test: ramp to {TARGET_RPS} req/s over {DURATION_S:.0f}s, "
+    "empty model, 2 vCPUs\n"
+)
+
+for server in ("torchserve", "actix"):
+    result = run_infra_test(server, target_rps=TARGET_RPS, duration_s=DURATION_S)
+    print(render_latency_series(result.series, server, every=20))
+    print(
+        f"{server}: {result.ok}/{result.total} answered, "
+        f"{result.errors} HTTP errors ({result.error_rate * 100:.1f}%), "
+        f"p90 = {result.p90_ms:.2f} ms\n"
+    )
+
+print(
+    "Conclusion (paper Sec. III-A): TorchServe's Java-frontend/Python-worker\n"
+    "pipeline saturates far below 1,000 req/s and sheds load through its\n"
+    "internal 100 ms timeout; the Rust/Actix runtime answers the same load\n"
+    "at ~1 ms p90 with zero errors."
+)

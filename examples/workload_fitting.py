@@ -1,0 +1,67 @@
+"""Privacy-preserving load testing: fit once, generate forever.
+
+The paper's Algorithm 1 workflow: estimate two power-law exponents from a
+production click log ONCE, discard the sensitive log, and regenerate
+statistically faithful synthetic sessions at >1M clicks/second whenever a
+load test needs them.
+
+Run:  python examples/workload_fitting.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    SyntheticWorkloadGenerator,
+    WorkloadStatistics,
+    synthesize_real_clicklog,
+)
+
+CATALOG = 1_000_000
+
+# --- 1. The "production" log (a rich generative surrogate here) ---------------
+
+print("replaying 200k clicks of production traffic...")
+real_log = synthesize_real_clicklog(CATALOG, 200_000, seed=11)
+real_lengths = real_log.session_lengths()
+print(f"  sessions: {real_log.num_sessions:,}, "
+      f"mean length {real_lengths.mean():.2f}, max {real_lengths.max()}")
+
+# --- 2. One-time estimation of the two marginal statistics ---------------------
+
+fitted = WorkloadStatistics.from_clicklog(real_log, CATALOG)
+print(f"\nfitted exponents: alpha_length = {fitted.alpha_length:.3f}, "
+      f"alpha_clicks = {fitted.alpha_clicks:.3f}")
+print("(the production log can be discarded now)")
+
+# --- 3. Synthetic generation from the statistics alone -------------------------
+
+generator = SyntheticWorkloadGenerator(fitted, seed=99)
+started = time.perf_counter()
+synthetic = generator.generate_clicks(2_000_000)
+elapsed = time.perf_counter() - started
+print(f"\ngenerated {len(synthetic):,} synthetic clicks in {elapsed:.2f}s "
+      f"({len(synthetic) / elapsed / 1e6:.1f} M clicks/s)")
+
+# --- 4. Do the marginals match? -------------------------------------------------
+
+synthetic_lengths = synthetic.session_lengths()
+print("\nmarginal comparison (real vs synthetic):")
+print(f"  mean session length : {real_lengths.mean():6.2f} vs "
+      f"{synthetic_lengths.mean():6.2f}")
+print(f"  p99 session length  : {np.percentile(real_lengths, 99):6.1f} vs "
+      f"{np.percentile(synthetic_lengths, 99):6.1f}")
+
+real_counts = np.sort(real_log.click_counts(CATALOG))[::-1]
+synthetic_counts = np.sort(synthetic.click_counts(CATALOG))[::-1]
+for share in (0.001, 0.01):
+    top = int(CATALOG * share)
+    real_share = real_counts[:top].sum() / max(real_counts.sum(), 1)
+    synthetic_share = synthetic_counts[:top].sum() / max(synthetic_counts.sum(), 1)
+    print(f"  clicks on top {share:.1%} items: {real_share:6.1%} vs "
+          f"{synthetic_share:6.1%}")
+
+print("\nStreaming mode for live load tests (endless sessions):")
+stream = generator.iter_sessions()
+print("  first five session lengths:", [len(next(stream)) for _ in range(5)])

@@ -1,0 +1,105 @@
+"""ETUDE reproduction — evaluating the inference latency of session-based
+recommendation models at scale (Kersbergen et al., ICDE 2024).
+
+Public API façade. Typical use::
+
+    from repro import (
+        ExperimentRunner, ExperimentSpec, HardwareSpec, SCENARIOS,
+        DeploymentPlanner, serial_microbenchmark, run_infra_test,
+    )
+
+    runner = ExperimentRunner()
+    result = runner.run(
+        ExperimentSpec(
+            model="gru4rec",
+            catalog_size=1_000_000,
+            target_rps=500,
+            hardware=HardwareSpec("GPU-T4", replicas=1),
+            duration_s=600.0,
+        )
+    )
+    print(result.p90_at_target_ms, result.meets_slo(p90_limit_ms=50))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    SCENARIOS,
+    SLO,
+    DeploymentPlanner,
+    ExperimentRunner,
+    ExperimentSpec,
+    HardwareSpec,
+    InfraTestResult,
+    MicrobenchResult,
+    Scenario,
+    run_infra_test,
+    scenario_by_name,
+    serial_microbenchmark,
+)
+from repro.hardware import CPU_E2, GPU_A100, GPU_T4, INSTANCE_TYPES, instance_by_name
+from repro.metrics import RunResult
+from repro.models import (
+    BENCHMARK_MODELS,
+    HEALTHY_MODELS,
+    MODEL_REGISTRY,
+    ModelConfig,
+    SessionRecModel,
+    create_model,
+)
+from repro.workload import (
+    ClickLog,
+    SyntheticWorkloadGenerator,
+    WorkloadStatistics,
+    generate_synthetic_sessions,
+    synthesize_real_clicklog,
+)
+from repro.ann import AnnSessionRecModel, IVFFlatIndex, recall_at_k
+from repro.hardware.clouds import cloud_catalog
+from repro.tensor.quantization import quantize_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "HardwareSpec",
+    "SLO",
+    "Scenario",
+    "SCENARIOS",
+    "scenario_by_name",
+    "DeploymentPlanner",
+    "serial_microbenchmark",
+    "MicrobenchResult",
+    "run_infra_test",
+    "InfraTestResult",
+    "RunResult",
+    # models
+    "create_model",
+    "ModelConfig",
+    "SessionRecModel",
+    "MODEL_REGISTRY",
+    "BENCHMARK_MODELS",
+    "HEALTHY_MODELS",
+    # hardware
+    "CPU_E2",
+    "GPU_T4",
+    "GPU_A100",
+    "INSTANCE_TYPES",
+    "instance_by_name",
+    # workload
+    "WorkloadStatistics",
+    "SyntheticWorkloadGenerator",
+    "generate_synthetic_sessions",
+    "ClickLog",
+    "synthesize_real_clicklog",
+    # future-work extensions
+    "quantize_model",
+    "AnnSessionRecModel",
+    "IVFFlatIndex",
+    "recall_at_k",
+    "cloud_catalog",
+]

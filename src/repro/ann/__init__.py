@@ -1,0 +1,18 @@
+"""Approximate nearest-neighbor search — the paper's future-work item.
+
+"... as well as approximate nearest neighbor search [37]" (Section IV,
+citing the faiss line of work). Inference latency is dominated by the exact
+maximum-inner-product scan over all C catalog items; an IVF index scans
+only ``nprobe / nlist`` of the catalog plus a small centroid table, trading
+top-k recall for latency.
+
+- :class:`~repro.ann.ivf.IVFFlatIndex` — k-means coarse quantizer + inverted
+  lists, with cost accounting through the standard op machinery;
+- :class:`~repro.ann.ivf.AnnSessionRecModel` — a SessionRecModel wrapper
+  whose scoring head queries the index;
+- :func:`~repro.ann.ivf.recall_at_k` — overlap against the exact top-k.
+"""
+
+from repro.ann.ivf import AnnSessionRecModel, IVFFlatIndex, recall_at_k
+
+__all__ = ["IVFFlatIndex", "AnnSessionRecModel", "recall_at_k"]

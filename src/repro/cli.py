@@ -1,0 +1,393 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The paper drives experiments through ``make`` targets (``make infra``,
+``make run_deployed_benchmark``); this CLI is the equivalent surface:
+
+- ``models``      list the model zoo;
+- ``infra-test``  the Figure 2 serving-stack test;
+- ``micro``       the Figure 3 serial microbenchmark for one configuration;
+- ``run``         one deployed benchmark (Figure 4 style);
+- ``plan``        the Table I cost-efficiency planner for a scenario;
+- ``workload``    generate a synthetic click log (Algorithm 1) to CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    SLO,
+    DeploymentPlanner,
+    ExperimentRunner,
+    ExperimentSpec,
+    HardwareSpec,
+    run_infra_test,
+    serial_microbenchmark,
+)
+from repro.core.report import render_latency_series, render_scenario_table
+from repro.core.spec import Scenario
+from repro.hardware.clouds import cloud_catalog
+from repro.hardware.instances import instance_by_name
+from repro.models import BENCHMARK_MODELS, HEALTHY_MODELS, MODEL_REGISTRY
+from repro.workload import SyntheticWorkloadGenerator, WorkloadStatistics
+
+
+def _add_models_command(subparsers) -> None:
+    subparsers.add_parser("models", help="list the model zoo")
+
+
+def _add_infra_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "infra-test", help="Figure 2: serving stacks with no model inference"
+    )
+    parser.add_argument("--server", choices=("actix", "torchserve"), default="actix")
+    parser.add_argument("--rps", type=int, default=1000)
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=1234)
+
+
+def _add_micro_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "micro", help="Figure 3: serial prediction-latency microbenchmark"
+    )
+    parser.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    parser.add_argument("--catalog", type=int, required=True)
+    parser.add_argument("--instance", default="CPU")
+    parser.add_argument("--execution", choices=("eager", "jit", "onnx"), default="jit")
+    parser.add_argument("--requests", type=int, default=200)
+
+
+def _add_run_command(subparsers) -> None:
+    parser = subparsers.add_parser("run", help="one deployed benchmark")
+    parser.add_argument("--spec", help="declarative JSON spec file (overrides flags)")
+    parser.add_argument("--model", choices=sorted(MODEL_REGISTRY))
+    parser.add_argument("--catalog", type=int)
+    parser.add_argument("--rps", type=int)
+    parser.add_argument("--instance", default="CPU")
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--execution", choices=("eager", "jit", "onnx"), default="jit")
+    parser.add_argument("--p90-limit", type=float, default=50.0)
+    parser.add_argument("--series", action="store_true", help="print per-second series")
+    parser.add_argument("--plot", action="store_true",
+                        help="ASCII latency-vs-load chart (the Figure 4 view)")
+
+
+def _add_plan_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "plan", help="Table I: cheapest feasible deployment per instance type"
+    )
+    parser.add_argument("--catalog", type=int, required=True)
+    parser.add_argument("--rps", type=int, required=True)
+    parser.add_argument(
+        "--models", default=",".join(HEALTHY_MODELS),
+        help="comma-separated model names",
+    )
+    parser.add_argument("--cloud", choices=("gcp", "aws", "azure"), default="gcp")
+    parser.add_argument("--p90-limit", type=float, default=50.0)
+    parser.add_argument("--duration", type=float, default=90.0)
+    parser.add_argument("--max-replicas", type=int, default=8)
+
+
+def _add_compare_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "compare", help="run several models on the same deployment"
+    )
+    parser.add_argument(
+        "--models", default=",".join(HEALTHY_MODELS),
+        help="comma-separated model names",
+    )
+    parser.add_argument("--catalog", type=int, required=True)
+    parser.add_argument("--rps", type=int, required=True)
+    parser.add_argument("--instance", default="CPU")
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=90.0)
+    parser.add_argument("--p90-limit", type=float, default=50.0)
+
+
+def _add_profile_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "profile", help="per-op cost breakdown of one model forward pass"
+    )
+    parser.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    parser.add_argument("--catalog", type=int, required=True)
+    parser.add_argument("--instance", default="CPU")
+    parser.add_argument("--rows", type=int, default=15)
+
+
+def _add_reproduce_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "reproduce", help="regenerate the paper's evaluation as markdown"
+    )
+    parser.add_argument(
+        "--artifacts", default="fig2,fig3,fig4,tab1,alg1,bugs",
+        help="comma-separated subset of fig2,fig3,fig4,tab1,alg1,bugs",
+    )
+    parser.add_argument("--duration", type=float, default=90.0)
+    parser.add_argument("--micro-requests", type=int, default=120)
+    parser.add_argument("--out", default="-", help="markdown path or '-'")
+
+
+def _add_workload_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "workload", help="Algorithm 1: generate a synthetic click log"
+    )
+    parser.add_argument("--catalog", type=int, required=True)
+    parser.add_argument("--clicks", type=int, default=100_000)
+    parser.add_argument("--alpha-length", type=float, default=1.85)
+    parser.add_argument("--alpha-clicks", type=float, default=1.35)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--out", default="-", help="CSV path or '-' for stdout")
+    parser.add_argument("--head", type=int, default=20,
+                        help="rows to print when writing to stdout")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ETUDE reproduction: benchmark SBR model serving.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_models_command(subparsers)
+    _add_infra_command(subparsers)
+    _add_micro_command(subparsers)
+    _add_run_command(subparsers)
+    _add_plan_command(subparsers)
+    _add_compare_command(subparsers)
+    _add_profile_command(subparsers)
+    _add_reproduce_command(subparsers)
+    _add_workload_command(subparsers)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_models(_args, out) -> int:
+    out.write("benchmarked models (paper Section II):\n")
+    for name in BENCHMARK_MODELS:
+        healthy = "" if name in HEALTHY_MODELS else "   [known performance bug]"
+        out.write(f"  {name}{healthy}\n")
+    out.write("plus: noop (Figure 2 infrastructure test)\n")
+    return 0
+
+
+def _cmd_infra(args, out) -> int:
+    result = run_infra_test(
+        args.server, target_rps=args.rps, duration_s=args.duration, seed=args.seed
+    )
+    out.write(render_latency_series(result.series, args.server, every=20) + "\n")
+    out.write(
+        f"{args.server}: {result.ok}/{result.total} ok, "
+        f"{result.errors} errors ({result.error_rate * 100:.1f}%), "
+        f"p90={result.p90_ms:.2f} ms\n"
+    )
+    return 0
+
+
+def _cmd_micro(args, out) -> int:
+    result = serial_microbenchmark(
+        args.model,
+        args.catalog,
+        instance_by_name(args.instance),
+        args.execution,
+        num_requests=args.requests,
+    )
+    fallback = " (JIT failed -> eager)" if result.jit_failed else ""
+    out.write(
+        f"{args.model} C={args.catalog:,} on {args.instance} "
+        f"[{result.execution_effective}{fallback}]: "
+        f"mean={result.mean_ms:.3f} p50={result.p50_ms:.3f} "
+        f"p90={result.p90_ms:.3f} p99={result.p99_ms:.3f} ms\n"
+    )
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    runner = ExperimentRunner()
+    if args.spec:
+        from repro.core.specfile import load_spec_file
+
+        jobs = load_spec_file(args.spec)
+    else:
+        for required in ("model", "catalog", "rps"):
+            if getattr(args, required) is None:
+                raise SystemExit(f"--{required} is required without --spec")
+        from repro.core.spec import SLO
+
+        jobs = [
+            (
+                ExperimentSpec(
+                    model=args.model,
+                    catalog_size=args.catalog,
+                    target_rps=args.rps,
+                    hardware=HardwareSpec(args.instance, args.replicas),
+                    duration_s=args.duration,
+                    execution=args.execution,
+                ),
+                SLO(p90_latency_ms=args.p90_limit),
+            )
+        ]
+
+    all_ok = True
+    for spec, slo in jobs:
+        result = runner.run(spec)
+        if args.series and result.series is not None:
+            out.write(
+                render_latency_series(result.series, spec.model, every=10) + "\n"
+            )
+        if args.plot and result.series is not None:
+            from repro.core.ascii_plot import plot_latency_curve
+
+            out.write(plot_latency_curve(result.series, title=spec.model) + "\n")
+        p90_target = result.p90_at_target_ms
+        meets = result.meets_slo(slo.p90_latency_ms, slo.max_error_rate)
+        all_ok = all_ok and meets
+        out.write(
+            f"{spec.model} C={spec.catalog_size:,} on "
+            f"{spec.hardware.instance_type} x{spec.hardware.replicas} "
+            f"@ {spec.target_rps} req/s [{result.execution_mode}]\n"
+            f"  ok={result.ok_requests} errors={result.error_requests} "
+            f"achieved={result.achieved_rps:.0f} req/s\n"
+            f"  p50/p90/p99={result.p50_ms:.1f}/{result.p90_ms:.1f}/"
+            f"{result.p99_ms:.1f} ms, p90@target="
+            f"{'n/a' if p90_target is None else f'{p90_target:.1f} ms'}\n"
+            f"  meets p90<={slo.p90_latency_ms:.0f}ms SLO: {meets}\n"
+        )
+    return 0 if all_ok else 2
+
+
+def _cmd_plan(args, out) -> int:
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    scenario = Scenario("custom", args.catalog, args.rps)
+    planner = DeploymentPlanner(
+        runner=ExperimentRunner(),
+        slo=SLO(p90_latency_ms=args.p90_limit),
+        duration_s=args.duration,
+        max_replicas=args.max_replicas,
+    )
+    instances = cloud_catalog(args.cloud)
+    plans = planner.plan(scenario, models, instances=instances)
+    out.write(
+        render_scenario_table(
+            {scenario.name: plans},
+            models,
+            instance_names=[i.name for i in instances],
+        )
+        + "\n"
+    )
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    from repro.core.studies import compare_models
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    outcomes = compare_models(
+        ExperimentRunner(),
+        models,
+        catalog_size=args.catalog,
+        target_rps=args.rps,
+        hardware=HardwareSpec(args.instance, args.replicas),
+        duration_s=args.duration,
+        p90_limit_ms=args.p90_limit,
+    )
+    out.write(
+        f"C={args.catalog:,} @ {args.rps} req/s on {args.instance} "
+        f"x{args.replicas} (p90 <= {args.p90_limit:.0f} ms)\n"
+    )
+    out.write(f"{'model':<12} {'p90@target ms':>14} {'errors':>8} {'SLO':>5}\n")
+    for model in models:
+        result = outcomes[model]
+        if result is None:
+            out.write(f"{model:<12} {'cannot deploy':>14} {'-':>8} {'no':>5}\n")
+            continue
+        p90 = result.p90_at_target_ms
+        out.write(
+            f"{model:<12} {p90 if p90 is None else f'{p90:.1f}':>14} "
+            f"{result.error_requests:>8} "
+            f"{'yes' if result.meets_slo(args.p90_limit) else 'no':>5}\n"
+        )
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    from repro.models import ModelConfig, create_model
+    from repro.tensor.profiler import profile_model
+
+    model = create_model(args.model, ModelConfig.for_catalog(args.catalog))
+    report = profile_model(model, instance_by_name(args.instance).device)
+    out.write(f"{args.model} C={args.catalog:,}\n")
+    out.write(report.render(max_rows=args.rows) + "\n")
+    return 0
+
+
+def _cmd_reproduce(args, out) -> int:
+    from repro.core.reproduce import ReproduceConfig, reproduce
+
+    config = ReproduceConfig(
+        duration_s=args.duration,
+        micro_requests=args.micro_requests,
+        artifacts=tuple(
+            artifact.strip() for artifact in args.artifacts.split(",") if artifact.strip()
+        ),
+    )
+    report = reproduce(config)
+    if args.out == "-":
+        out.write(report + "\n")
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(report + "\n")
+        out.write(f"wrote report to {args.out}\n")
+    return 0
+
+
+def _cmd_workload(args, out) -> int:
+    statistics = WorkloadStatistics(
+        catalog_size=args.catalog,
+        alpha_length=args.alpha_length,
+        alpha_clicks=args.alpha_clicks,
+    )
+    log = SyntheticWorkloadGenerator(statistics, seed=args.seed).generate_clicks(
+        args.clicks
+    )
+    lines = ["session_id,item_id,step"]
+    lines.extend(
+        f"{s},{i},{t}"
+        for s, i, t in zip(log.session_ids, log.item_ids, log.steps)
+    )
+    if args.out == "-":
+        for line in lines[: args.head + 1]:
+            out.write(line + "\n")
+        out.write(f"... {len(log):,} clicks, {log.num_sessions:,} sessions\n")
+    else:
+        with open(args.out, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        out.write(f"wrote {len(log):,} clicks to {args.out}\n")
+    return 0
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "infra-test": _cmd_infra,
+    "micro": _cmd_micro,
+    "run": _cmd_run,
+    "plan": _cmd_plan,
+    "compare": _cmd_compare,
+    "profile": _cmd_profile,
+    "reproduce": _cmd_reproduce,
+    "workload": _cmd_workload,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

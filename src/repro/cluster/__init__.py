@@ -1,0 +1,40 @@
+"""Kubernetes/GCP-like deployment substrate.
+
+Replaces the paper's Google Kubernetes Engine setup with an API-faithful
+simulation: a :class:`~repro.cluster.kubernetes.Cluster` provisions nodes of
+the catalog instance types, runs model-serving pods with readiness probes,
+and exposes them through a round-robin
+:class:`~repro.cluster.service.ClusterIPService`. Model artifacts are
+fetched from the :class:`~repro.cluster.storage.StorageBucket` during pod
+startup, exactly like the paper's deployment flow (serialized models in a
+Google storage bucket).
+"""
+
+from repro.cluster.storage import StorageBucket
+from repro.cluster.kubernetes import (
+    Cluster,
+    DeploymentError,
+    ModelDeployment,
+    Pod,
+)
+from repro.cluster.service import ClusterIPService
+from repro.cluster.provisioning import Infrastructure, make_infra
+from repro.cluster.autoscaler import (
+    AutoscalerConfig,
+    HorizontalPodAutoscaler,
+    ScalingEvent,
+)
+
+__all__ = [
+    "StorageBucket",
+    "Cluster",
+    "Pod",
+    "ModelDeployment",
+    "DeploymentError",
+    "ClusterIPService",
+    "Infrastructure",
+    "make_infra",
+    "AutoscalerConfig",
+    "HorizontalPodAutoscaler",
+    "ScalingEvent",
+]

@@ -1,0 +1,362 @@
+"""Cluster, nodes, pods, deployments, readiness probes.
+
+Mirrors the paper's flow: "ETUDE will then deploy the model onto a
+dedicated machine in Kubernetes. Once the model deployment is finished
+(determined via Kubernetes's readiness probes), a ClusterIP service
+interface is deployed ...". Deployment timing: node provisioning (Autopilot
+spins up a machine), artifact download from the storage bucket, model load
++ (optional) JIT warm-up, then the readiness probe flips and the pod joins
+the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cluster.storage import StorageBucket
+from repro.hardware.instances import InstanceType
+from repro.hardware.latency_model import LatencyModel, ServiceTimeProfile
+from repro.serving.actix import EtudeInferenceServer
+from repro.serving.batching import BatchingConfig
+from repro.serving.profiles import ActixProfile
+from repro.simulation import Signal, Simulator
+
+
+class DeploymentError(RuntimeError):
+    """The deployment cannot run on the requested hardware."""
+
+
+@dataclass
+class Pod:
+    """One serving replica on one node."""
+
+    name: str
+    instance_type: InstanceType
+    server: Optional[EtudeInferenceServer] = None
+    ready: bool = False
+    ready_at: float = float("inf")
+
+
+class ModelDeployment:
+    """A replicated model-serving deployment."""
+
+    def __init__(
+        self,
+        name: str,
+        pods: List[Pod],
+        ready_signal: Signal,
+        restart_context: Optional[dict] = None,
+    ):
+        self.name = name
+        self.pods = pods
+        self.ready_signal = ready_signal
+        #: Everything needed to restart a crashed pod (kept by the cluster).
+        self.restart_context = restart_context or {}
+
+    @property
+    def ready_pods(self) -> List[Pod]:
+        return [pod for pod in self.pods if pod.ready]
+
+    @property
+    def all_ready(self) -> bool:
+        return all(pod.ready for pod in self.pods)
+
+
+class Cluster:
+    """The Kubernetes cluster (Autopilot-style: nodes appear on demand)."""
+
+    #: Node provisioning time range (Autopilot cold starts), seconds.
+    PROVISION_MIN_S = 25.0
+    PROVISION_MAX_S = 75.0
+    #: Fixed pod startup cost: image pull + container boot, seconds.
+    POD_BOOT_S = 8.0
+    #: Model load rate from local disk into (device) memory, bytes/second.
+    MODEL_LOAD_BANDWIDTH = 400e6
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        bucket: StorageBucket,
+        rng: np.random.Generator,
+    ):
+        self.simulator = simulator
+        self.bucket = bucket
+        self.rng = rng
+        self.deployments: List[ModelDeployment] = []
+        self._pod_counter = 0
+
+    # -- feasibility ------------------------------------------------------------
+
+    @staticmethod
+    def fit_batching(
+        instance_type: InstanceType,
+        resident_bytes: float,
+        score_bytes_per_item: float,
+        requested: Optional[BatchingConfig] = None,
+    ) -> BatchingConfig:
+        """Cap the batching buffer so batched score tensors fit device memory.
+
+        Real GPU serving sizes the batch to the device: with a C-item
+        catalog every batched request materializes a C-float score vector.
+        Raises :class:`DeploymentError` when not even a single request fits.
+        """
+        requested = requested or BatchingConfig()
+        device = instance_type.device
+        if not device.is_accelerator:
+            return requested
+        reserve = 2e9
+        available = device.memory_bytes - resident_bytes - reserve
+        if score_bytes_per_item <= 0:
+            return requested
+        max_fit = int(available // score_bytes_per_item)
+        if max_fit < 1:
+            raise DeploymentError(
+                f"model ({resident_bytes / 1e9:.1f} GB resident) leaves no room "
+                f"for even one batched request on {device.name} "
+                f"({device.memory_bytes / 1e9:.0f} GB)"
+            )
+        return BatchingConfig(
+            max_batch_size=min(requested.max_batch_size, max_fit),
+            max_delay_s=requested.max_delay_s,
+        )
+
+    @staticmethod
+    def check_fit(
+        instance_type: InstanceType,
+        resident_bytes: float,
+        max_batch: int,
+        score_bytes_per_item: float,
+    ) -> None:
+        """Raise :class:`DeploymentError` if the model cannot be resident.
+
+        On GPUs: parameters + the batched score buffers + runtime reserve
+        must fit device memory. On CPUs: parameters must fit RAM.
+        """
+        device = instance_type.device
+        model = LatencyModel(device)
+        if device.is_accelerator:
+            if not model.fits_in_memory(resident_bytes, max_batch, score_bytes_per_item):
+                raise DeploymentError(
+                    f"model ({resident_bytes / 1e9:.1f} GB resident) does not fit "
+                    f"{device.name} memory ({device.memory_bytes / 1e9:.0f} GB) "
+                    f"with batch {max_batch}"
+                )
+        elif resident_bytes + 4e9 > instance_type.ram_bytes:
+            raise DeploymentError(
+                f"model ({resident_bytes / 1e9:.1f} GB) does not fit "
+                f"{instance_type.name} RAM ({instance_type.ram_bytes / 1e9:.0f} GB)"
+            )
+
+    # -- deployment --------------------------------------------------------------
+
+    def deploy_model(
+        self,
+        name: str,
+        instance_type: InstanceType,
+        replicas: int,
+        artifact_path: str,
+        service_profile: ServiceTimeProfile,
+        resident_bytes: float,
+        score_bytes_per_item: float,
+        batching: Optional[BatchingConfig] = None,
+        server_profile: Optional[ActixProfile] = None,
+        model=None,
+        jit_warmup_s: float = 0.0,
+        load_bytes: Optional[float] = None,
+    ) -> ModelDeployment:
+        """Create a deployment; pods become ready asynchronously.
+
+        Wait on ``deployment.ready_signal`` (the readiness-probe equivalent)
+        before routing traffic.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        batching = self.fit_batching(
+            instance_type, resident_bytes, score_bytes_per_item, batching
+        )
+        self.check_fit(
+            instance_type,
+            resident_bytes,
+            batching.max_batch_size,
+            score_bytes_per_item,
+        )
+        if not self.bucket.exists(artifact_path):
+            raise DeploymentError(f"artifact {artifact_path!r} not in bucket")
+
+        pods: List[Pod] = []
+        ready_signal = Signal(f"{name}-ready")
+        remaining = {"count": replicas}
+        for _replica in range(replicas):
+            self._pod_counter += 1
+            pod = Pod(name=f"{name}-{self._pod_counter}", instance_type=instance_type)
+            pods.append(pod)
+            self.simulator.spawn(
+                self._start_pod(
+                    pod,
+                    artifact_path,
+                    service_profile,
+                    batching,
+                    server_profile,
+                    model,
+                    jit_warmup_s,
+                    ready_signal,
+                    remaining,
+                    load_bytes,
+                )
+            )
+        deployment = ModelDeployment(
+            name=name,
+            pods=pods,
+            ready_signal=ready_signal,
+            restart_context={
+                "artifact_path": artifact_path,
+                "service_profile": service_profile,
+                "batching": batching,
+                "server_profile": server_profile,
+                "model": model,
+                "jit_warmup_s": jit_warmup_s,
+                "load_bytes": load_bytes,
+            },
+        )
+        self.deployments.append(deployment)
+        return deployment
+
+    # -- failure injection -------------------------------------------------------
+
+    def inject_pod_failure(
+        self,
+        deployment: ModelDeployment,
+        pod_index: int,
+        at_time: float,
+        restart_after: Optional[float] = 20.0,
+    ) -> None:
+        """Crash one pod at ``at_time``; the kubelet restarts it after
+        ``restart_after`` seconds (None: stays dead).
+
+        On crash the pod drops out of the ClusterIP rotation, its queued
+        requests fail with HTTP errors, and in-flight ones fail on
+        completion (lost connections). Restart replays the container boot +
+        model load sequence on the surviving node — no re-provisioning.
+        """
+        pod = deployment.pods[pod_index]
+
+        def crash() -> None:
+            pod.ready = False
+            if pod.server is not None:
+                pod.server.crash()
+            if restart_after is not None:
+                self.simulator.spawn(self._restart_pod(deployment, pod, restart_after))
+
+        self.simulator.call_at(at_time, crash)
+
+    def add_pod(self, deployment: ModelDeployment) -> Pod:
+        """Scale a deployment up by one pod (full node provisioning path).
+
+        Used by the autoscaler; the new pod joins the ClusterIP rotation
+        once its readiness probe flips.
+        """
+        context = deployment.restart_context
+        instance_type = deployment.pods[0].instance_type
+        self._pod_counter += 1
+        pod = Pod(
+            name=f"{deployment.name}-{self._pod_counter}",
+            instance_type=instance_type,
+        )
+        deployment.pods.append(pod)
+        self.simulator.spawn(
+            self._start_pod(
+                pod,
+                context["artifact_path"],
+                context["service_profile"],
+                context["batching"],
+                context["server_profile"],
+                context["model"],
+                context["jit_warmup_s"],
+                Signal(f"{pod.name}-ready"),
+                {"count": 1},
+                context["load_bytes"],
+            )
+        )
+        return pod
+
+    @staticmethod
+    def remove_pod(deployment: ModelDeployment) -> Optional[Pod]:
+        """Scale down by one pod: take the newest ready pod out of rotation
+        (it finishes its queued work, but receives no new traffic)."""
+        ready = deployment.ready_pods
+        if len(ready) <= 1:
+            return None
+        victim = ready[-1]
+        victim.ready = False
+        return victim
+
+    def _restart_pod(self, deployment: ModelDeployment, pod: Pod, delay: float):
+        context = deployment.restart_context
+        yield delay
+        # Boot + artifact download + model load (node already provisioned).
+        _payload, transfer_s = self.bucket.download(context["artifact_path"])
+        load_bytes = context["load_bytes"]
+        if load_bytes is None:
+            load_bytes = self.bucket.blob_size(context["artifact_path"])
+        yield (
+            self.POD_BOOT_S
+            + transfer_s
+            + load_bytes / self.MODEL_LOAD_BANDWIDTH
+            + context["jit_warmup_s"]
+        )
+        pod.server = EtudeInferenceServer(
+            simulator=self.simulator,
+            device=pod.instance_type.device,
+            service_profile=context["service_profile"],
+            rng=np.random.default_rng(self.rng.integers(2**63)),
+            profile=context["server_profile"],
+            batching=context["batching"],
+            model=context["model"],
+            name=f"{pod.name}-restarted",
+        )
+        pod.ready = True
+        pod.ready_at = self.simulator.now
+
+    def _start_pod(
+        self,
+        pod: Pod,
+        artifact_path: str,
+        service_profile: ServiceTimeProfile,
+        batching: BatchingConfig,
+        server_profile: Optional[ActixProfile],
+        model,
+        jit_warmup_s: float,
+        ready_signal: Signal,
+        remaining: dict,
+        load_bytes: Optional[float] = None,
+    ):
+        # 1. Autopilot provisions a node for the pod.
+        yield float(self.rng.uniform(self.PROVISION_MIN_S, self.PROVISION_MAX_S))
+        # 2. Container boot + artifact download + model load. The virtual
+        # catalog means the stored artifact can be smaller than the logical
+        # model; ``load_bytes`` charges the logical footprint.
+        _payload, transfer_s = self.bucket.download(artifact_path)
+        effective_bytes = (
+            load_bytes if load_bytes is not None else self.bucket.blob_size(artifact_path)
+        )
+        load_s = effective_bytes / self.MODEL_LOAD_BANDWIDTH
+        yield self.POD_BOOT_S + transfer_s + load_s + jit_warmup_s
+        # 3. Server comes up; the readiness probe flips.
+        pod.server = EtudeInferenceServer(
+            simulator=self.simulator,
+            device=pod.instance_type.device,
+            service_profile=service_profile,
+            rng=np.random.default_rng(self.rng.integers(2**63)),
+            profile=server_profile,
+            batching=batching,
+            model=model,
+            name=pod.name,
+        )
+        pod.ready = True
+        pod.ready_at = self.simulator.now
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            ready_signal.fire()

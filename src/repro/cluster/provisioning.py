@@ -1,0 +1,49 @@
+"""One-time infrastructure provisioning (the paper's ``make infra``).
+
+"We automate the cloud infrastructure management via a make infra command,
+which provisions and configures essential components such as a Kubernetes
+cluster, Google Storage and the addition of service accounts ... this setup
+is a one-time operation, which can be reused for multiple experiments."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cluster.kubernetes import Cluster
+from repro.cluster.storage import StorageBucket
+from repro.simulation import RandomStreams, Simulator
+
+
+@dataclass
+class Infrastructure:
+    """Everything a benchmark experiment needs, provisioned once."""
+
+    simulator: Simulator
+    streams: RandomStreams
+    bucket: StorageBucket
+    cluster: Cluster
+    service_accounts: List[str] = field(default_factory=list)
+
+    def reset_simulator(self) -> None:
+        """Fresh virtual clock for the next experiment, same bucket/streams."""
+        self.simulator = Simulator()
+        self.cluster = Cluster(
+            self.simulator, self.bucket, self.streams.stream("cluster")
+        )
+
+
+def make_infra(seed: int = 1234, bucket_name: str = "etude-artifacts") -> Infrastructure:
+    """Provision the cluster, the storage bucket and service accounts."""
+    simulator = Simulator()
+    streams = RandomStreams(seed)
+    bucket = StorageBucket(bucket_name)
+    cluster = Cluster(simulator, bucket, streams.stream("cluster"))
+    return Infrastructure(
+        simulator=simulator,
+        streams=streams,
+        bucket=bucket,
+        cluster=cluster,
+        service_accounts=["etude-runner@repro.iam", "etude-results@repro.iam"],
+    )

@@ -1,0 +1,91 @@
+"""The ClusterIP service: round-robin routing plus network latency.
+
+"Once the model deployment is finished ... a ClusterIP service interface is
+deployed for allowing access to the serving machine. Next, the load
+generator is deployed on another machine, from which it sends the
+corresponding recommendation requests ... via the service interface."
+Intra-cluster network latency is sub-millisecond on GCP; both directions
+are charged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from repro.cluster.kubernetes import ModelDeployment
+from repro.serving.request import (
+    HTTP_SERVICE_UNAVAILABLE,
+    RecommendationRequest,
+    RecommendationResponse,
+    ResponseCallback,
+)
+from repro.simulation import Simulator
+
+
+class ClusterIPService:
+    """Round-robin load balancing over the ready pods of a deployment."""
+
+    #: One-way network latency between load generator and serving pod.
+    NETWORK_LATENCY_S = 2.5e-4
+    NETWORK_JITTER_SIGMA = 0.3
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        deployment: ModelDeployment,
+        rng: np.random.Generator,
+    ):
+        self.simulator = simulator
+        self.deployment = deployment
+        self.rng = rng
+        self._round_robin = 0
+        self.routed = 0
+        self.rejected_no_backend = 0
+
+    def _network_delay(self) -> float:
+        return self.NETWORK_LATENCY_S * float(
+            self.rng.lognormal(0.0, self.NETWORK_JITTER_SIGMA)
+        )
+
+    def submit(
+        self, request: RecommendationRequest, respond: ResponseCallback
+    ) -> None:
+        pods = self.deployment.ready_pods
+        if not pods:
+            if not self.deployment.ready_signal.fired:
+                raise RuntimeError(
+                    "no ready pods; wait for the deployment's readiness signal"
+                )
+            # All pods down after a failure: the service answers 503.
+            self.rejected_no_backend += 1
+            self.simulator.call_in(
+                self._network_delay(),
+                lambda: respond(
+                    RecommendationResponse(
+                        request_id=request.request_id,
+                        status=HTTP_SERVICE_UNAVAILABLE,
+                        completed_at=self.simulator.now,
+                        latency_s=self.simulator.now - request.sent_at,
+                    )
+                ),
+            )
+            return
+        pod = pods[self._round_robin % len(pods)]
+        self._round_robin += 1
+        self.routed += 1
+
+        def respond_via_network(response: RecommendationResponse) -> None:
+            def deliver() -> None:
+                now = self.simulator.now
+                response.completed_at = now
+                response.latency_s = now - request.sent_at
+                respond(response)
+
+            self.simulator.call_in(self._network_delay(), deliver)
+
+        self.simulator.call_in(
+            self._network_delay(),
+            lambda: pod.server.submit(request, respond_via_network),
+        )

@@ -1,0 +1,46 @@
+"""An in-memory stand-in for the Google storage bucket.
+
+Stores model artifacts (serialized state dicts) and experiment results.
+Reads report a transfer duration so pod startup times include the artifact
+download, as on the real platform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+class StorageBucket:
+    """Blob storage with simulated transfer timing."""
+
+    #: Sustained artifact download bandwidth (GCS to GCE, bytes/second).
+    DOWNLOAD_BANDWIDTH = 200e6
+
+    def __init__(self, name: str = "etude-artifacts"):
+        self.name = name
+        self._blobs: Dict[str, bytes] = {}
+
+    def upload(self, path: str, payload: bytes) -> None:
+        if not path:
+            raise ValueError("blob path must be non-empty")
+        self._blobs[path] = bytes(payload)
+
+    def exists(self, path: str) -> bool:
+        return path in self._blobs
+
+    def download(self, path: str) -> Tuple[bytes, float]:
+        """Return ``(payload, transfer_seconds)``."""
+        try:
+            payload = self._blobs[path]
+        except KeyError:
+            raise KeyError(f"no blob at gs://{self.name}/{path}") from None
+        return payload, len(payload) / self.DOWNLOAD_BANDWIDTH
+
+    def blob_size(self, path: str) -> int:
+        return len(self._blobs[path])
+
+    def list_blobs(self, prefix: str = "") -> List[str]:
+        return sorted(path for path in self._blobs if path.startswith(prefix))
+
+    def delete(self, path: str) -> None:
+        self._blobs.pop(path, None)

@@ -1,0 +1,65 @@
+"""ETUDE itself: declarative specs, experiment driver, planner, reports.
+
+This package is the paper's primary contribution. The user-facing flow:
+
+1. describe the workload and constraints declaratively
+   (:class:`~repro.core.spec.ExperimentSpec`, :class:`~repro.core.spec.SLO`,
+   the Table I :data:`~repro.core.spec.SCENARIOS`);
+2. run deployed benchmarks with
+   :class:`~repro.core.experiment.ExperimentRunner` (deploy to Kubernetes,
+   readiness probes, ClusterIP service, Algorithm 2 load generation,
+   measurements to the bucket);
+3. search cost-efficient deployments with
+   :class:`~repro.core.planner.DeploymentPlanner` (Table I);
+4. or run the single-machine serial
+   :func:`~repro.core.microbench.serial_microbenchmark` (Figure 3) and the
+   serving-stack :func:`~repro.core.infra_test.run_infra_test` (Figure 2).
+"""
+
+from repro.core.spec import (
+    SLO,
+    ExperimentSpec,
+    HardwareSpec,
+    Scenario,
+    SCENARIOS,
+    scenario_by_name,
+)
+from repro.core.registry import AssetRegistry, GLOBAL_REGISTRY, ServingAssets
+from repro.core.experiment import ExperimentRunner
+from repro.core.microbench import MicrobenchResult, serial_microbenchmark
+from repro.core.infra_test import InfraTestResult, run_infra_test
+from repro.core.planner import DeploymentOption, DeploymentPlanner, ScenarioPlan
+from repro.core.studies import (
+    CurvePoint,
+    compare_models,
+    latency_throughput_curve,
+    saturation_point,
+    throughput_sweep,
+)
+from repro.core import report
+
+__all__ = [
+    "SLO",
+    "ExperimentSpec",
+    "HardwareSpec",
+    "Scenario",
+    "SCENARIOS",
+    "scenario_by_name",
+    "AssetRegistry",
+    "GLOBAL_REGISTRY",
+    "ServingAssets",
+    "ExperimentRunner",
+    "MicrobenchResult",
+    "serial_microbenchmark",
+    "InfraTestResult",
+    "run_infra_test",
+    "DeploymentPlanner",
+    "DeploymentOption",
+    "ScenarioPlan",
+    "compare_models",
+    "throughput_sweep",
+    "saturation_point",
+    "latency_throughput_curve",
+    "CurvePoint",
+    "report",
+]

@@ -1,0 +1,110 @@
+"""ASCII charts for the terminal — the reproduction's "figures".
+
+The paper's figures plot latency against offered load over a ramp; this
+module renders the same series as text so `python -m repro` and the
+benchmark harness can show the *shape* without a plotting stack:
+
+- :func:`plot_series` — an x/y scatter-line on a character grid (optionally
+  log-scaled y), used for the Figure 2/4 latency curves;
+- :func:`sparkline` — a one-line block-character summary for compact output.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[Optional[float]]) -> str:
+    """One-line block-character profile of a series (None = gap)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return ""
+    low, high = min(present), max(present)
+    span = high - low
+    chars = []
+    for value in values:
+        if value is None:
+            chars.append(" ")
+            continue
+        if span <= 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def plot_series(
+    x: Sequence[float],
+    y: Sequence[Optional[float]],
+    width: int = 70,
+    height: int = 14,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+    marker: str = "*",
+) -> str:
+    """Render y-vs-x on a character grid with axis annotations."""
+    if len(x) != len(y):
+        raise ValueError("x and y must be parallel")
+    points = [(xv, yv) for xv, yv in zip(x, y) if yv is not None]
+    if not points:
+        return "(no data)"
+
+    def transform(value: float) -> float:
+        if not log_y:
+            return value
+        return math.log10(max(value, 1e-12))
+
+    xs = [p[0] for p in points]
+    ys = [transform(p[1]) for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(xs, ys):
+        column = int((xv - x_low) / x_span * (width - 1))
+        row = int((yv - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    def y_tick(row: int) -> str:
+        fraction = (height - 1 - row) / (height - 1) if height > 1 else 0.0
+        value = y_low + fraction * y_span
+        if log_y:
+            value = 10**value
+        return f"{value:10.2f}"
+
+    lines = []
+    if y_label:
+        lines.append(f"{y_label}")
+    for row in range(height):
+        prefix = y_tick(row) if row % max(height // 4, 1) == 0 else " " * 10
+        lines.append(f"{prefix} |{''.join(grid[row])}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    left = f"{x_low:g}"
+    right = f"{x_high:g}"
+    padding = max(width - len(left) - len(right), 1)
+    lines.append(" " * 11 + left + " " * padding + right)
+    if x_label:
+        lines.append(" " * 11 + x_label)
+    return "\n".join(lines)
+
+
+def plot_latency_curve(series, title: str = "", log_y: bool = True) -> str:
+    """Convenience: a LatencySeries as p90-vs-offered-load (Figure 4)."""
+    lines = [f"--- {title}"] if title else []
+    lines.append(
+        plot_series(
+            series.offered_rps,
+            series.p90_ms,
+            log_y=log_y,
+            x_label="offered load (req/s)",
+            y_label="p90 latency (ms)" + (" [log]" if log_y else ""),
+        )
+    )
+    return "\n".join(lines)

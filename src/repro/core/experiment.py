@@ -1,0 +1,198 @@
+"""The end-to-end experiment driver — ``make run_deployed_benchmark``.
+
+One run, as the paper describes it: upload the model artifact to the
+bucket, deploy it on Kubernetes, wait for the readiness probes, expose a
+ClusterIP service, start the load generator on another machine, ramp the
+load to the target throughput over the duration, measure, and persist the
+results.
+
+:meth:`ExperimentRunner.run_repeated` implements the paper's repetition
+protocol: "We execute each configuration three times and ignore the runs
+with the lowest and highest latencies."
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import List, Optional
+
+from repro.cluster.provisioning import Infrastructure, make_infra
+from repro.cluster.service import ClusterIPService
+from repro.core.registry import GLOBAL_REGISTRY, AssetRegistry, ServingAssets
+from repro.core.spec import ExperimentSpec
+from repro.hardware.instances import instance_by_name
+from repro.loadgen.generator import LoadGenerator
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.results import LatencySeries, RunResult
+from repro.serving.batching import BatchingConfig
+from repro.tensor.serialization import save_module_state
+from repro.workload.synthetic import SyntheticWorkloadGenerator
+
+
+class ExperimentRunner:
+    """Runs declaratively specified benchmarks on the simulated cluster."""
+
+    #: JIT warm-up on pod start (tracing + optimizing on first requests).
+    JIT_WARMUP_S = 3.0
+
+    def __init__(
+        self,
+        infra: Optional[Infrastructure] = None,
+        registry: Optional[AssetRegistry] = None,
+        seed: int = 1234,
+    ):
+        self.infra = infra or make_infra(seed)
+        self.registry = registry or GLOBAL_REGISTRY
+        self.seed = seed
+
+    # -- artifacts ------------------------------------------------------------
+
+    def _artifact_path(self, assets: ServingAssets) -> str:
+        return (
+            f"models/{assets.model_name}"
+            f"-c{assets.catalog_size}-{assets.execution_effective}.pt"
+        )
+
+    def _ensure_artifact(self, assets: ServingAssets) -> str:
+        path = self._artifact_path(assets)
+        if not self.infra.bucket.exists(path):
+            payload = save_module_state(
+                assets.model, metadata=assets.model.artifact_metadata()
+            )
+            self.infra.bucket.upload(path, payload)
+        return path
+
+    # -- running -----------------------------------------------------------------
+
+    def run(self, spec: ExperimentSpec) -> RunResult:
+        """Deploy + load-test one configuration; returns the measurements."""
+        instance = instance_by_name(spec.hardware.instance_type)
+        assets = self.registry.assets(
+            spec.model,
+            spec.catalog_size,
+            instance.device,
+            spec.execution,
+            top_k=spec.top_k,
+        )
+        artifact = self._ensure_artifact(assets)
+
+        self.infra.reset_simulator()
+        simulator = self.infra.simulator
+        cluster = self.infra.cluster
+        streams = self.infra.streams.fork(spec.seed)
+
+        deployment = cluster.deploy_model(
+            name=f"{spec.model}-bench",
+            instance_type=instance,
+            replicas=spec.hardware.replicas,
+            artifact_path=artifact,
+            service_profile=assets.profile,
+            resident_bytes=assets.resident_bytes,
+            score_bytes_per_item=assets.score_bytes_per_item,
+            batching=BatchingConfig(),
+            jit_warmup_s=(
+                self.JIT_WARMUP_S if assets.execution_effective == "jit" else 0.0
+            ),
+            load_bytes=assets.resident_bytes,
+        )
+
+        workload = SyntheticWorkloadGenerator(
+            spec.workload_statistics(),
+            seed=int(streams.stream("workload").integers(2**31)),
+        )
+        collector = MetricsCollector()
+        state = {}
+
+        def coordinator():
+            yield deployment.ready_signal
+            service = ClusterIPService(
+                simulator, deployment, streams.stream("network")
+            )
+            generator = LoadGenerator(
+                simulator=simulator,
+                submit=service.submit,
+                session_source=workload.iter_sessions(),
+                target_rps=spec.target_rps,
+                duration_s=spec.duration_s,
+                collector=collector,
+            )
+            generator.start()
+            state["generator"] = generator
+            state["started_at"] = simulator.now
+
+        simulator.spawn(coordinator())
+        simulator.run()
+
+        return self._build_result(spec, assets, collector, state)
+
+    def _build_result(
+        self,
+        spec: ExperimentSpec,
+        assets: ServingAssets,
+        collector: MetricsCollector,
+        state: dict,
+    ) -> RunResult:
+        generator = state.get("generator")
+        series = LatencySeries.from_collector(collector)
+        execution = assets.execution_effective
+        if assets.jit_fell_back:
+            execution = "jit-fallback-eager"
+        result = RunResult(
+            model=spec.model,
+            instance_type=spec.hardware.instance_type,
+            replicas=spec.hardware.replicas,
+            catalog_size=spec.catalog_size,
+            target_rps=spec.target_rps,
+            duration_s=spec.duration_s,
+            execution_mode=execution,
+            total_requests=collector.total,
+            ok_requests=collector.ok,
+            error_requests=collector.errors,
+            achieved_rps=collector.achieved_throughput(),
+            p50_ms=collector.percentile_ms(50) if collector.ok else None,
+            p90_ms=collector.percentile_ms(90) if collector.ok else None,
+            p99_ms=collector.percentile_ms(99) if collector.ok else None,
+            p90_at_target_ms=series.p90_at_load(spec.target_rps),
+            mean_inference_ms=(
+                collector.inference.mean() * 1000.0
+                if len(collector.inference)
+                else None
+            ),
+            series=series if spec.collect_series else None,
+            backpressure_stalls=generator.backpressure_stalls if generator else 0,
+        )
+        self._persist_result(spec, result)
+        return result
+
+    def _persist_result(self, spec: ExperimentSpec, result: RunResult) -> None:
+        """Results go to the bucket on termination, as in the paper."""
+        path = (
+            f"results/{spec.model}-c{spec.catalog_size}"
+            f"-{spec.hardware.instance_type}-x{spec.hardware.replicas}"
+            f"-r{spec.target_rps}-{spec.execution}.json"
+        )
+        payload = dict(asdict(result))
+        payload.pop("series", None)
+        self.infra.bucket.upload(path, json.dumps(payload).encode("utf-8"))
+
+    def run_repeated(self, spec: ExperimentSpec, repetitions: int = 3) -> RunResult:
+        """Paper protocol: run ``repetitions`` times, drop best and worst
+        (by p90), return the median run."""
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        results: List[RunResult] = []
+        for repetition in range(repetitions):
+            rep_spec = ExperimentSpec(
+                **{**asdict_shallow(spec), "seed": spec.seed + repetition}
+            )
+            results.append(self.run(rep_spec))
+        if len(results) < 3:
+            return results[0]
+        results.sort(key=lambda r: (r.p90_ms if r.p90_ms is not None else float("inf")))
+        return results[len(results) // 2]
+
+
+def asdict_shallow(spec: ExperimentSpec) -> dict:
+    """Dataclass fields without deep-copying nested dataclasses."""
+    return {name: getattr(spec, name) for name in spec.__dataclass_fields__}

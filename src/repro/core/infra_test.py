@@ -1,0 +1,123 @@
+"""The serving-infrastructure test of Figure 2.
+
+"In order to measure the serving performance of TorchServe independent of
+the model inference overhead, we deploy TorchServe on a 2 vCPU e2 machine
+with 2GB of memory, and implement a Python model that returns an empty
+response and does not conduct any computation. Next, we configure our load
+generator to ramp up to 1,000 requests per second over the duration of ten
+minutes, and measure the response latencies. We deploy our Actix-based
+inference server analogously."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.registry import GLOBAL_REGISTRY, AssetRegistry
+from repro.hardware.device import DeviceModel
+from repro.loadgen.generator import LoadGenerator
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.results import LatencySeries
+from repro.serving.actix import EtudeInferenceServer
+from repro.serving.batching import BatchingConfig
+from repro.serving.torchserve import TorchServeServer
+from repro.simulation import RandomStreams, Simulator
+from repro.workload.statistics import WorkloadStatistics
+from repro.workload.synthetic import SyntheticWorkloadGenerator
+
+#: The small machine the infra test runs on (2 vCPUs, 2 GB).
+INFRA_TEST_DEVICE = DeviceModel(
+    name="cpu-e2-small",
+    kind="cpu",
+    flops_per_s=2.0e10,
+    weight_bandwidth=4.5e9,
+    activation_bandwidth=4.5e9,
+    launch_overhead_s=5.0e-6,
+    per_request_overhead_s=1.5e-4,
+    memory_bytes=2e9,
+    concurrent_workers=2,
+    shared_bandwidth=1.2e10,
+)
+
+
+@dataclass
+class InfraTestResult:
+    """Outcome of one Figure 2 run."""
+
+    server: str
+    target_rps: int
+    duration_s: float
+    total: int
+    ok: int
+    errors: int
+    p50_ms: Optional[float]
+    p90_ms: Optional[float]
+    p99_ms: Optional[float]
+    series: LatencySeries
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.total if self.total else 0.0
+
+
+def run_infra_test(
+    server_kind: str,
+    target_rps: int = 1000,
+    duration_s: float = 600.0,
+    seed: int = 1234,
+    registry: Optional[AssetRegistry] = None,
+) -> InfraTestResult:
+    """Run the no-inference serving test with one of the two stacks."""
+    if server_kind not in ("torchserve", "actix"):
+        raise ValueError("server_kind must be 'torchserve' or 'actix'")
+    registry = registry or GLOBAL_REGISTRY
+    assets = registry.assets("noop", 1, INFRA_TEST_DEVICE, "eager", top_k=1)
+
+    simulator = Simulator()
+    streams = RandomStreams(seed)
+    if server_kind == "torchserve":
+        server = TorchServeServer(
+            simulator=simulator,
+            device=INFRA_TEST_DEVICE,
+            service_profile=assets.profile,
+            rng=streams.stream("torchserve"),
+            vcpus=2.0,
+        )
+    else:
+        server = EtudeInferenceServer(
+            simulator=simulator,
+            device=INFRA_TEST_DEVICE,
+            service_profile=assets.profile,
+            rng=streams.stream("actix"),
+            batching=BatchingConfig(max_batch_size=1, max_delay_s=0.0),
+        )
+
+    workload = SyntheticWorkloadGenerator(
+        WorkloadStatistics(catalog_size=10_000, alpha_length=1.85, alpha_clicks=1.35),
+        seed=seed,
+    )
+    collector = MetricsCollector()
+    generator = LoadGenerator(
+        simulator=simulator,
+        submit=server.submit,
+        session_source=workload.iter_sessions(),
+        target_rps=target_rps,
+        duration_s=duration_s,
+        collector=collector,
+    )
+    generator.start()
+    simulator.run()
+
+    return InfraTestResult(
+        server=server_kind,
+        target_rps=target_rps,
+        duration_s=duration_s,
+        total=collector.total,
+        ok=collector.ok,
+        errors=collector.errors,
+        p50_ms=collector.percentile_ms(50) if collector.ok else None,
+        p90_ms=collector.percentile_ms(90) if collector.ok else None,
+        p99_ms=collector.percentile_ms(99) if collector.ok else None,
+        series=LatencySeries.from_collector(collector),
+    )

@@ -1,0 +1,164 @@
+"""Building and caching serving assets: model -> trace -> service profile.
+
+The expensive part of configuring a run is constructing the model,
+(optionally) JIT-optimizing it, tracing one forward pass, and folding the
+trace into per-device service-time profiles. All of it is deterministic in
+``(model, catalog_size, device, execution, top_k)``, so the registry caches
+aggressively — the planner probes dozens of configurations per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.hardware.device import DeviceModel
+from repro.hardware.latency_model import LatencyModel, ServiceTimeProfile
+from repro.models import ModelConfig, SessionRecModel, create_model
+from repro.tensor import (
+    JitCompilationError,
+    cost_trace,
+    optimize_for_inference,
+)
+from repro.tensor.ops import CostTrace
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class ServingAssets:
+    """Everything the cluster needs to deploy one model configuration."""
+
+    model_name: str
+    catalog_size: int
+    execution_requested: str
+    execution_effective: str  # "jit" or "eager" (after fallback)
+    model: SessionRecModel
+    trace: CostTrace
+    profile: ServiceTimeProfile
+    resident_bytes: float
+    score_bytes_per_item: float
+    jit_failed: bool = False
+
+    @property
+    def jit_fell_back(self) -> bool:
+        return self.execution_requested in ("jit", "onnx") and self.jit_failed
+
+
+class AssetRegistry:
+    """Memoized construction of models, traces and profiles."""
+
+    def __init__(self):
+        self._models: Dict[Tuple, SessionRecModel] = {}
+        self._runners: Dict[Tuple, Tuple[object, str, bool]] = {}
+        self._traces: Dict[Tuple, CostTrace] = {}
+        self._profiles: Dict[Tuple, ServiceTimeProfile] = {}
+
+    def model(
+        self, name: str, catalog_size: int, top_k: int = 21, seed: int = 42
+    ) -> SessionRecModel:
+        key = (name, catalog_size, top_k, seed)
+        if key not in self._models:
+            config = ModelConfig.for_catalog(
+                catalog_size, top_k=top_k, seed=seed
+            )
+            self._models[key] = create_model(name, config)
+        return self._models[key]
+
+    def _runner(
+        self, name: str, catalog_size: int, execution: str, top_k: int, seed: int
+    ) -> Tuple[object, str, bool]:
+        """(callable(items, length) -> Tensor, effective_mode, jit_failed)."""
+        key = (name, catalog_size, execution, top_k, seed)
+        if key in self._runners:
+            return self._runners[key]
+        model = self.model(name, catalog_size, top_k, seed)
+        if execution in ("jit", "onnx"):
+            try:
+                scripted = optimize_for_inference(model, model.example_inputs())
+                runner = (scripted, execution, False)
+            except JitCompilationError:
+                # The paper's LightSANs case (both the TorchScript tracer
+                # and the ONNX exporter choke on dynamic code paths): fall
+                # back to eager serving.
+                runner = (self._eager_runner(model), "eager", True)
+        else:
+            runner = (self._eager_runner(model), "eager", False)
+        self._runners[key] = runner
+        return runner
+
+    @staticmethod
+    def _eager_runner(model: SessionRecModel):
+        def run(items, length):
+            return model(Tensor(items), Tensor(length))
+
+        return run
+
+    def trace(
+        self, name: str, catalog_size: int, execution: str, top_k: int = 21, seed: int = 42
+    ) -> Tuple[CostTrace, str, bool]:
+        """One representative forward-pass cost trace."""
+        key = (name, catalog_size, execution, top_k, seed)
+        if key not in self._traces:
+            runner, effective, jit_failed = self._runner(
+                name, catalog_size, execution, top_k, seed
+            )
+            model = self.model(name, catalog_size, top_k, seed)
+            items, length = model.example_inputs()
+            with cost_trace() as trace:
+                runner(items, length)
+            if effective == "onnx":
+                from repro.serving.runtimes import onnx_transform
+
+                trace = onnx_transform(trace)
+            self._traces[key] = (trace, effective, jit_failed)
+        return self._traces[key]
+
+    def profile(
+        self,
+        name: str,
+        catalog_size: int,
+        device: DeviceModel,
+        execution: str,
+        top_k: int = 21,
+        seed: int = 42,
+    ) -> ServiceTimeProfile:
+        key = (name, catalog_size, device.name, execution, top_k, seed)
+        if key not in self._profiles:
+            trace, _effective, _failed = self.trace(
+                name, catalog_size, execution, top_k, seed
+            )
+            model = self.model(name, catalog_size, top_k, seed)
+            self._profiles[key] = LatencyModel(device).profile(
+                trace, resident_bytes=model.resident_bytes()
+            )
+        return self._profiles[key]
+
+    def assets(
+        self,
+        name: str,
+        catalog_size: int,
+        device: DeviceModel,
+        execution: str,
+        top_k: int = 21,
+        seed: int = 42,
+    ) -> ServingAssets:
+        trace, effective, jit_failed = self.trace(
+            name, catalog_size, execution, top_k, seed
+        )
+        model = self.model(name, catalog_size, top_k, seed)
+        return ServingAssets(
+            model_name=name,
+            catalog_size=catalog_size,
+            execution_requested=execution,
+            execution_effective=effective,
+            model=model,
+            trace=trace,
+            profile=self.profile(name, catalog_size, device, execution, top_k, seed),
+            resident_bytes=model.resident_bytes(),
+            score_bytes_per_item=model.score_bytes_per_item(),
+            jit_failed=jit_failed,
+        )
+
+
+#: Process-wide registry (profiles are deterministic; sharing is safe).
+GLOBAL_REGISTRY = AssetRegistry()

@@ -1,0 +1,134 @@
+"""Rendering experiment results as the paper's tables and series.
+
+Plain-text renderers used by the benchmark harness: the Table I layout
+(scenario rows x model columns, checkmarks for feasible options, boldface
+via ``*`` for the most cost-efficient one) and per-second latency series as
+aligned columns (the data behind Figures 2 and 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.planner import ScenarioPlan
+from repro.core.spec import Scenario
+from repro.metrics.results import LatencySeries
+
+
+def format_cost(cost: float) -> str:
+    return f"${cost:,.0f}"
+
+
+def render_scenario_table(
+    plans_per_scenario: Dict[str, Dict[str, ScenarioPlan]],
+    models: Sequence[str],
+    instance_names: Sequence[str] = ("CPU", "GPU-T4", "GPU-A100"),
+) -> str:
+    """Render the Table I layout from planner output.
+
+    ``plans_per_scenario`` maps scenario name -> (model -> ScenarioPlan).
+    For each scenario we show one row per instance type that is feasible
+    for at least one model, with the replica count/cost of the *cheapest
+    feasible configuration* on that instance type, a ``*`` marking the
+    scenario's most cost-efficient option, and per-model check marks.
+    """
+    lines: List[str] = []
+    header = (
+        f"{'Use case':<20} {'Instance':<10} {'Amount':>6} {'Cost/month':>11} | "
+        + " ".join(f"{m:>9}" for m in models)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    for scenario_name, plans in plans_per_scenario.items():
+        rows = []
+        for instance_name in instance_names:
+            # Per model: the option on this instance type (or None).
+            per_model = {}
+            for model in models:
+                plan = plans.get(model)
+                option = None
+                if plan is not None:
+                    for candidate in plan.options:
+                        if candidate.instance_type == instance_name:
+                            option = candidate
+                            break
+                per_model[model] = option
+            feasible = {m: o for m, o in per_model.items() if o is not None}
+            if not feasible:
+                continue
+            amount = min(option.replicas for option in feasible.values())
+            cost = min(option.monthly_cost_usd for option in feasible.values())
+            rows.append((instance_name, amount, cost, per_model))
+
+        if not rows:
+            lines.append(f"{scenario_name:<20} (no feasible deployment)")
+            continue
+        cheapest_cost = min(cost for _n, _a, cost, _p in rows)
+        for index, (instance_name, amount, cost, per_model) in enumerate(rows):
+            marker = "*" if cost == cheapest_cost else " "
+            cells = " ".join(
+                f"{'x' + str(per_model[m].replicas) if per_model[m] else '-':>9}"
+                for m in models
+            )
+            label = scenario_name if index == 0 else ""
+            lines.append(
+                f"{label:<20} {marker}{instance_name:<9} {amount:>6} "
+                f"{format_cost(cost):>11} | {cells}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_latency_series(
+    series: LatencySeries, label: str = "", every: int = 10
+) -> str:
+    """Aligned per-second columns (offered load, p90, errors)."""
+    lines = [f"--- {label}" if label else "---"]
+    lines.append(
+        f"{'sec':>6} {'offered':>8} {'ok':>7} {'errors':>7} {'p90_ms':>9} {'batch':>6}"
+    )
+    for index in range(0, len(series.seconds), max(every, 1)):
+        p90 = series.p90_ms[index]
+        batch = series.mean_batch[index]
+        p90_text = f"{p90:>9.2f}" if p90 is not None else f"{'-':>9}"
+        batch_text = f"{batch:>6.1f}" if batch is not None else f"{'-':>6}"
+        lines.append(
+            f"{series.seconds[index]:>6} {series.offered_rps[index]:>8} "
+            f"{series.ok[index]:>7} {series.errors[index]:>7} "
+            f"{p90_text} {batch_text}"
+        )
+    return "\n".join(lines)
+
+
+def render_microbench_table(results, catalog_sizes: Sequence[int]) -> str:
+    """Figure 3 as text: model rows, (instance x mode x C) latency columns."""
+    lines: List[str] = []
+    by_key = {}
+    instances = []
+    modes = []
+    for result in results:
+        by_key[(result.model, result.instance_type, result.execution_requested, result.catalog_size)] = result
+        if result.instance_type not in instances:
+            instances.append(result.instance_type)
+        if result.execution_requested not in modes:
+            modes.append(result.execution_requested)
+    models = sorted({r.model for r in results})
+    for instance in instances:
+        for mode in modes:
+            lines.append(f"--- {instance} / {mode} (p90 prediction latency, ms)")
+            header = f"{'model':<12}" + "".join(f"{f'C={c:,}':>16}" for c in catalog_sizes)
+            lines.append(header)
+            for model in models:
+                row = f"{model:<12}"
+                for catalog_size in catalog_sizes:
+                    result = by_key.get((model, instance, mode, catalog_size))
+                    if result is None:
+                        row += f"{'-':>16}"
+                    else:
+                        suffix = "!" if result.jit_failed and mode == "jit" else ""
+                        row += f"{result.p90_ms:>15.3f}{suffix or ' '}"
+                lines.append(row)
+            lines.append("")
+    lines.append("('!' = model could not be JIT-compiled; eager fallback measured)")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""One-command regeneration of the paper's evaluation.
+
+``python -m repro reproduce`` runs every artifact (Figure 2, Figure 3,
+Figure 4 panels, Table I, the synthetic-workload validation, the
+workload-generator throughput claim, the implementation-bug analysis) at a
+configurable scale and emits a self-contained markdown report — the
+executable counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiment import ExperimentRunner
+from repro.core.infra_test import run_infra_test
+from repro.core.microbench import serial_microbenchmark
+from repro.core.planner import DeploymentPlanner
+from repro.core.report import render_microbench_table, render_scenario_table
+from repro.core.spec import SCENARIOS, ExperimentSpec, HardwareSpec, Scenario
+from repro.hardware import CPU_E2, GPU_T4
+from repro.models import BENCHMARK_MODELS, HEALTHY_MODELS
+
+ALL_ARTIFACTS = ("fig2", "fig3", "fig4", "tab1", "alg1", "bugs")
+
+
+@dataclass
+class ReproduceConfig:
+    """Scale knobs for one reproduction pass."""
+
+    duration_s: float = 90.0
+    micro_requests: int = 120
+    artifacts: Sequence[str] = ALL_ARTIFACTS
+    models: Sequence[str] = HEALTHY_MODELS
+    catalog_sizes: Sequence[int] = (10_000, 100_000, 1_000_000, 10_000_000)
+    max_replicas: int = 8
+
+    def __post_init__(self):
+        unknown = set(self.artifacts) - set(ALL_ARTIFACTS)
+        if unknown:
+            raise ValueError(f"unknown artifacts: {sorted(unknown)}")
+
+
+def _section_fig2(config: ReproduceConfig) -> List[str]:
+    lines = ["## Figure 2 — serving-stack test (no inference, 1,000 req/s)", ""]
+    lines.append("| stack | errors | p90 |")
+    lines.append("|---|---|---|")
+    for server in ("torchserve", "actix"):
+        result = run_infra_test(server, 1000, config.duration_s)
+        lines.append(
+            f"| {server} | {result.errors}/{result.total} "
+            f"({result.error_rate * 100:.1f}%) | {result.p90_ms:.2f} ms |"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_fig3(config: ReproduceConfig) -> List[str]:
+    lines = ["## Figure 3 — serial microbenchmark (p90 ms)", ""]
+    results = []
+    for model in BENCHMARK_MODELS:
+        for instance in (CPU_E2, GPU_T4):
+            for mode in ("eager", "jit"):
+                for catalog_size in config.catalog_sizes:
+                    results.append(
+                        serial_microbenchmark(
+                            model, catalog_size, instance, mode,
+                            num_requests=config.micro_requests,
+                        )
+                    )
+    lines.append("```")
+    lines.append(render_microbench_table(results, config.catalog_sizes))
+    lines.append("```")
+    lines.append("")
+    return lines
+
+
+def _section_fig4(config: ReproduceConfig, runner: ExperimentRunner) -> List[str]:
+    panels = (
+        ("Fashion", 1_000_000, 500, "GPU-T4", 1),
+        ("e-Commerce", 10_000_000, 1_000, "GPU-T4", 5),
+        ("Platform", 20_000_000, 1_000, "GPU-A100", 3),
+    )
+    lines = ["## Figure 4 — end-to-end deployments (p90 at target)", ""]
+    lines.append("| scenario | deployment | model | p90@target | SLO |")
+    lines.append("|---|---|---|---|---|")
+    for name, catalog, rps, instance, replicas in panels:
+        for model in config.models:
+            result = runner.run(
+                ExperimentSpec(
+                    model=model, catalog_size=catalog, target_rps=rps,
+                    hardware=HardwareSpec(instance, replicas),
+                    duration_s=config.duration_s,
+                )
+            )
+            p90 = result.p90_at_target_ms
+            lines.append(
+                f"| {name} | {instance} x{replicas} | {model} | "
+                f"{'n/a' if p90 is None else f'{p90:.1f} ms'} | "
+                f"{'yes' if result.meets_slo(50) else 'no'} |"
+            )
+    lines.append("")
+    return lines
+
+
+def _section_tab1(config: ReproduceConfig, runner: ExperimentRunner) -> List[str]:
+    planner = DeploymentPlanner(
+        runner=runner,
+        duration_s=config.duration_s,
+        max_replicas=config.max_replicas,
+    )
+    plans = {
+        scenario.name: planner.plan(scenario, config.models)
+        for scenario in SCENARIOS
+    }
+    lines = ["## Table I — cost-efficient deployment options", "", "```"]
+    lines.append(render_scenario_table(plans, list(config.models)))
+    lines.append("```")
+    lines.append("")
+    return lines
+
+
+def _section_alg1(config: ReproduceConfig) -> List[str]:
+    from repro.workload import SyntheticWorkloadGenerator, WorkloadStatistics
+
+    generator = SyntheticWorkloadGenerator(WorkloadStatistics.bol_like(10_000_000))
+    clicks = 1_000_000
+    started = time.perf_counter()
+    log = generator.generate_clicks(clicks)
+    elapsed = time.perf_counter() - started
+    rate = len(log) / elapsed
+    lines = ["## Algorithm 1 — workload generation throughput", ""]
+    lines.append(
+        f"Generated {len(log):,} clicks for a 10M-item catalog in "
+        f"{elapsed:.2f}s — **{rate / 1e6:.1f} M clicks/s** "
+        f"(paper claims > 1 M/s). "
+        + ("✓" if rate > 1e6 else "✗")
+    )
+    lines.append("")
+    return lines
+
+
+def _section_bugs(config: ReproduceConfig) -> List[str]:
+    from repro.core.registry import GLOBAL_REGISTRY
+    from repro.hardware import LatencyModel
+
+    lines = ["## RecBole implementation bottlenecks", ""]
+    lines.append("| model | host ops | PCIe MB/req | T4 per-item |")
+    lines.append("|---|---|---|---|")
+    for model in ("gru4rec", "repeatnet", "srgnn", "gcsan"):
+        trace, _mode, _failed = GLOBAL_REGISTRY.trace(model, 1_000_000, "jit")
+        profile = LatencyModel(GPU_T4.device).profile(trace)
+        lines.append(
+            f"| {model} | {trace.host_op_count} | "
+            f"{trace.total_transfer_bytes / 1e6:.3f} | "
+            f"{profile.per_item_s * 1e3:.2f} ms |"
+        )
+    lines.append("")
+    return lines
+
+
+def reproduce(config: Optional[ReproduceConfig] = None) -> str:
+    """Run the selected artifacts; returns the markdown report."""
+    config = config or ReproduceConfig()
+    runner = ExperimentRunner()
+    sections: List[str] = [
+        "# ETUDE reproduction report",
+        "",
+        f"Scale: {config.duration_s:.0f}s ramps, "
+        f"{config.micro_requests} serial requests per microbenchmark point, "
+        f"models: {', '.join(config.models)}.",
+        "",
+    ]
+    builders = {
+        "fig2": lambda: _section_fig2(config),
+        "fig3": lambda: _section_fig3(config),
+        "fig4": lambda: _section_fig4(config, runner),
+        "tab1": lambda: _section_tab1(config, runner),
+        "alg1": lambda: _section_alg1(config),
+        "bugs": lambda: _section_bugs(config),
+    }
+    for artifact in config.artifacts:
+        sections.extend(builders[artifact]())
+    return "\n".join(sections)

@@ -1,0 +1,95 @@
+"""Declarative experiment specifications — the ETUDE user interface.
+
+A data scientist describes *what* to evaluate (model, catalog statistics,
+hardware, constraints); ETUDE takes care of deployment, load generation and
+measurement. These dataclasses are that declarative surface, including the
+five end-to-end use-case scenarios of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.workload.statistics import WorkloadStatistics
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Latency/throughput constraints (paper: p90 <= 50 ms)."""
+
+    p90_latency_ms: float = 50.0
+    max_error_rate: float = 0.01
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Where to deploy: instance type (catalog name) and replica count."""
+
+    instance_type: str = "CPU"
+    replicas: int = 1
+
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One deployed benchmark run."""
+
+    model: str
+    catalog_size: int
+    target_rps: int
+    hardware: HardwareSpec = HardwareSpec()
+    duration_s: float = 600.0
+    #: "jit" / "onnx" fall back to eager when the model cannot be traced.
+    execution: str = "jit"
+    top_k: int = 21
+    workload: Optional[WorkloadStatistics] = None
+    seed: int = 1234
+    collect_series: bool = True
+
+    def __post_init__(self):
+        if self.execution not in ("jit", "eager", "onnx"):
+            raise ValueError("execution must be 'jit', 'eager' or 'onnx'")
+        if self.catalog_size < 1 or self.target_rps < 1:
+            raise ValueError("catalog_size and target_rps must be positive")
+
+    def workload_statistics(self) -> WorkloadStatistics:
+        """The provided statistics, or the bol.com-like defaults."""
+        if self.workload is not None:
+            return self.workload
+        return WorkloadStatistics.bol_like(self.catalog_size)
+
+    def with_hardware(self, instance_type: str, replicas: int) -> "ExperimentSpec":
+        return replace(
+            self, hardware=HardwareSpec(instance_type=instance_type, replicas=replicas)
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A Table I use case: catalog size + target throughput."""
+
+    name: str
+    catalog_size: int
+    target_rps: int
+
+
+#: The five scenarios of Table I.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("Groceries (small)", 10_000, 100),
+    Scenario("Groceries (large)", 100_000, 250),
+    Scenario("Fashion", 1_000_000, 500),
+    Scenario("e-Commerce", 10_000_000, 1_000),
+    Scenario("Platform", 20_000_000, 1_000),
+)
+
+
+def scenario_by_name(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name.lower() == name.lower():
+            return scenario
+    known = ", ".join(s.name for s in SCENARIOS)
+    raise KeyError(f"unknown scenario {name!r}; known: {known}")

@@ -1,0 +1,119 @@
+"""Higher-level study helpers on top of the experiment runner.
+
+The paper's evaluation is built from three recurring study shapes:
+
+- *compare models* on one deployment (the per-panel content of Figure 4),
+- *sweep target throughput* to find where a deployment saturates,
+- *latency/throughput curve* extracted from a single ramp run (the actual
+  Figure 4 axes: offered load vs p90 at that load).
+
+These helpers wrap :class:`~repro.core.experiment.ExperimentRunner` so
+examples, benchmarks and the CLI share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.kubernetes import DeploymentError
+from repro.core.experiment import ExperimentRunner
+from repro.core.spec import ExperimentSpec, HardwareSpec
+from repro.metrics.results import RunResult
+
+
+@dataclass
+class CurvePoint:
+    """One (offered load, latency) sample from a ramp run."""
+
+    offered_rps: int
+    p90_ms: Optional[float]
+    errors: int
+
+
+def compare_models(
+    runner: ExperimentRunner,
+    models: Sequence[str],
+    catalog_size: int,
+    target_rps: int,
+    hardware: HardwareSpec,
+    duration_s: float = 90.0,
+    p90_limit_ms: float = 50.0,
+) -> Dict[str, Optional[RunResult]]:
+    """Run every model on the same deployment; None = cannot even deploy."""
+    outcomes: Dict[str, Optional[RunResult]] = {}
+    for model in models:
+        spec = ExperimentSpec(
+            model=model,
+            catalog_size=catalog_size,
+            target_rps=target_rps,
+            hardware=hardware,
+            duration_s=duration_s,
+        )
+        try:
+            outcomes[model] = runner.run(spec)
+        except DeploymentError:
+            outcomes[model] = None
+    return outcomes
+
+
+def throughput_sweep(
+    runner: ExperimentRunner,
+    model: str,
+    catalog_size: int,
+    hardware: HardwareSpec,
+    rps_points: Sequence[int],
+    duration_s: float = 90.0,
+    p90_limit_ms: float = 50.0,
+) -> List[Tuple[int, RunResult]]:
+    """Measure the same deployment at increasing target throughputs."""
+    results = []
+    for target in rps_points:
+        spec = ExperimentSpec(
+            model=model,
+            catalog_size=catalog_size,
+            target_rps=int(target),
+            hardware=hardware,
+            duration_s=duration_s,
+        )
+        results.append((int(target), runner.run(spec)))
+    return results
+
+
+def saturation_point(
+    sweep: Sequence[Tuple[int, RunResult]], p90_limit_ms: float = 50.0
+) -> Optional[int]:
+    """Highest swept throughput still meeting the SLO (None if none do)."""
+    feasible = [
+        target
+        for target, result in sweep
+        if result.meets_slo(p90_limit_ms)
+    ]
+    return max(feasible) if feasible else None
+
+
+def latency_throughput_curve(
+    result: RunResult, buckets: int = 10
+) -> List[CurvePoint]:
+    """Down-sample a ramp run's per-second series into curve points.
+
+    This is the Figure 4 extraction: during a TIMEPROP ramp every second
+    offers a different load, so one run yields the whole latency-vs-
+    throughput curve.
+    """
+    if result.series is None:
+        raise ValueError("run was executed with collect_series=False")
+    series = result.series
+    if not series.seconds:
+        return []
+    step = max(len(series.seconds) // max(buckets, 1), 1)
+    points = []
+    for index in range(0, len(series.seconds), step):
+        points.append(
+            CurvePoint(
+                offered_rps=series.offered_rps[index],
+                p90_ms=series.p90_ms[index],
+                errors=series.errors[index],
+            )
+        )
+    return points

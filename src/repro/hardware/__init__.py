@@ -1,0 +1,41 @@
+"""Hardware substrate: device models, instance catalog, latency model.
+
+This package replaces the paper's physical testbed (GCP e2 CPU instances,
+NVidia T4 and A100 accelerators) with calibrated roofline models. A
+:class:`~repro.hardware.device.DeviceModel` describes a device's peak
+arithmetic rate, streaming bandwidths and per-kernel overheads; the
+:class:`~repro.hardware.latency_model.LatencyModel` folds a cost trace from
+:mod:`repro.tensor` into a batch-size-dependent service time
+
+``t(B) = fixed + B * per_item``
+
+where ``fixed`` covers kernel launches and (batch-amortized) parameter
+streaming and ``per_item`` covers per-request flops, activation traffic and
+host-op round trips. Calibration constants live in
+:mod:`repro.hardware.instances` and are documented there; they target the
+*shape* of the paper's results (orderings, crossovers, replica counts), not
+the authors' absolute milliseconds.
+"""
+
+from repro.hardware.device import DeviceModel
+from repro.hardware.instances import (
+    CPU_E2,
+    GPU_A100,
+    GPU_T4,
+    INSTANCE_TYPES,
+    InstanceType,
+    instance_by_name,
+)
+from repro.hardware.latency_model import LatencyModel, ServiceTimeProfile
+
+__all__ = [
+    "DeviceModel",
+    "InstanceType",
+    "CPU_E2",
+    "GPU_T4",
+    "GPU_A100",
+    "INSTANCE_TYPES",
+    "instance_by_name",
+    "LatencyModel",
+    "ServiceTimeProfile",
+]

@@ -1,0 +1,99 @@
+"""Multi-cloud instance catalogs — the paper's future-work direction.
+
+"... and to support additional cloud environments such as Microsoft Azure
+or Amazon Web Services" (Section IV). The devices are the same silicon
+(Xeon-class CPUs, T4s, A100s), so the roofline models are shared; what
+changes per cloud is the packaging and the monthly committed price.
+
+Prices are representative one-year-commitment figures in the same ballpark
+as the public price lists at the time of the paper; as with the GCP
+numbers, the planner's *relative* comparisons are the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.hardware.instances import (
+    CPU_E2_DEVICE,
+    GPU_A100_DEVICE,
+    GPU_T4_DEVICE,
+    INSTANCE_TYPES,
+    InstanceType,
+)
+
+#: GCP — the paper's cloud (Section III).
+GCP_INSTANCES: Tuple[InstanceType, ...] = INSTANCE_TYPES
+
+#: AWS equivalents: m6i CPU, g4dn (T4), p4d-slice (A100).
+AWS_INSTANCES: Tuple[InstanceType, ...] = (
+    InstanceType(
+        name="AWS-m6i",
+        device=CPU_E2_DEVICE,
+        vcpus=8.0,
+        ram_bytes=32e9,
+        monthly_cost_usd=148.0,
+    ),
+    InstanceType(
+        name="AWS-g4dn-T4",
+        device=GPU_T4_DEVICE,
+        vcpus=4.0,
+        ram_bytes=16e9,
+        monthly_cost_usd=232.0,
+    ),
+    InstanceType(
+        name="AWS-p4d-A100",
+        device=GPU_A100_DEVICE,
+        vcpus=12.0,
+        ram_bytes=96e9,
+        monthly_cost_usd=2420.0,
+    ),
+)
+
+#: Azure equivalents: D-series CPU, NCasT4_v3 (T4), NC A100 v4.
+AZURE_INSTANCES: Tuple[InstanceType, ...] = (
+    InstanceType(
+        name="Azure-D8s",
+        device=CPU_E2_DEVICE,
+        vcpus=8.0,
+        ram_bytes=32e9,
+        monthly_cost_usd=163.0,
+    ),
+    InstanceType(
+        name="Azure-NCas-T4",
+        device=GPU_T4_DEVICE,
+        vcpus=4.0,
+        ram_bytes=28e9,
+        monthly_cost_usd=310.0,
+    ),
+    InstanceType(
+        name="Azure-NC-A100",
+        device=GPU_A100_DEVICE,
+        vcpus=24.0,
+        ram_bytes=220e9,
+        monthly_cost_usd=2650.0,
+    ),
+)
+
+CLOUD_CATALOGS: Dict[str, Tuple[InstanceType, ...]] = {
+    "gcp": GCP_INSTANCES,
+    "aws": AWS_INSTANCES,
+    "azure": AZURE_INSTANCES,
+}
+
+
+def cloud_catalog(name: str) -> Tuple[InstanceType, ...]:
+    """Instance types of one cloud (``gcp`` / ``aws`` / ``azure``)."""
+    try:
+        return CLOUD_CATALOGS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(CLOUD_CATALOGS))
+        raise KeyError(f"unknown cloud {name!r}; known: {known}") from None
+
+
+def all_clouds() -> Tuple[InstanceType, ...]:
+    """Every instance type across every cloud (for cross-cloud planning)."""
+    result = []
+    for catalog in CLOUD_CATALOGS.values():
+        result.extend(catalog)
+    return tuple(result)

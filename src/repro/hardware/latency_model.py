@@ -1,0 +1,152 @@
+"""Roofline latency model: op traces -> batch-size-dependent service time.
+
+The discrete-event serving simulation needs fast service-time lookups, so a
+:class:`CostTrace` is folded once into a :class:`ServiceTimeProfile` with a
+fixed (per-batch) component and a per-item component:
+
+``t(B) = fixed_s + B * per_item_s``
+
+For GPUs the fixed part contains kernel launches (one launch stream per
+batch, not per request — that is what batching buys) and the batch-amortized
+parameter streaming, i.e. the full-catalog embedding scan. The per-item part
+contains per-request flops, activation traffic (score materialization,
+top-k), host-op PCIe round trips and framework glue.
+
+For CPUs there is no batching; ``t(1)`` is the single-inference latency, and
+the device's ``shared_bandwidth`` limits how many concurrent workers can
+stream the catalog at once (modelled by the serving layer via
+:meth:`ServiceTimeProfile.aggregate_bytes`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import DeviceModel
+from repro.tensor.ops import CostRecord, CostTrace
+
+
+@dataclass(frozen=True)
+class ServiceTimeProfile:
+    """Folded cost of one model forward on one device."""
+
+    device_name: str
+    fixed_s: float
+    per_item_s: float
+    bytes_per_item: float
+    resident_bytes: float
+    host_ops: int
+
+    def latency(self, batch_size: int = 1) -> float:
+        """Service time of one batch of ``batch_size`` requests."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return self.fixed_s + batch_size * self.per_item_s
+
+    def aggregate_bytes(self) -> float:
+        """Memory traffic of one single-request inference (for shared-
+        bandwidth contention among concurrent CPU workers)."""
+        return self.bytes_per_item
+
+    def max_stable_throughput(self, max_batch: int = 1024) -> float:
+        """Upper bound on sustainable requests/second for one replica.
+
+        On a batching device the closed-loop batch grows with load; the
+        asymptotic limit is ``B / t(B)`` as B reaches ``max_batch``.
+        """
+        batch = max(1, max_batch)
+        return batch / self.latency(batch)
+
+
+class LatencyModel:
+    """Folds cost traces into service-time profiles for one device."""
+
+    def __init__(self, device: DeviceModel):
+        self.device = device
+
+    # -- per-record decomposition -------------------------------------------
+
+    def _record_fixed_s(self, record: CostRecord) -> float:
+        """Per-batch cost of a record: launches + parameter streaming."""
+        device = self.device
+        fixed = record.launches * device.launch_overhead_s
+        scale = record.catalog_scale
+        fixed += (record.param_bytes * scale) / device.weight_bandwidth
+        return fixed
+
+    def _record_item_s(self, record: CostRecord) -> float:
+        """Per-request cost of a record: flops vs activation traffic."""
+        device = self.device
+        scale = record.catalog_scale
+        compute_s = (record.flops * scale) / device.flops_per_s
+        activation_bytes = (record.read_bytes + record.write_bytes) * scale
+        memory_s = activation_bytes / device.activation_bandwidth
+        item = max(compute_s, memory_s)
+        if record.host_op and device.is_accelerator:
+            item += device.host_sync_overhead_s
+            item += (record.transfer_bytes * scale) / device.pcie_bandwidth
+        return item
+
+    # -- public API --------------------------------------------------------------
+
+    def profile(self, trace: CostTrace, resident_bytes: float = 0.0) -> ServiceTimeProfile:
+        """Fold a single-request trace into a service-time profile.
+
+        ``resident_bytes`` is the deployed model's parameter footprint, used
+        for device-memory feasibility checks by the cluster layer.
+        """
+        fixed = 0.0
+        per_item = self.device.per_request_overhead_s
+        bytes_per_item = 0.0
+        for record in trace:
+            scale = record.catalog_scale
+            if self.device.is_accelerator:
+                if record.batch_invariant:
+                    # Shared by every request in a batch (e.g. CORE's
+                    # per-predict normalization of the item table): charge
+                    # launches + the full traffic once per batch.
+                    fixed += record.launches * self.device.launch_overhead_s
+                    invariant_bytes = (
+                        record.param_bytes + record.read_bytes + record.write_bytes
+                    ) * scale
+                    fixed += max(
+                        (record.flops * scale) / self.device.flops_per_s,
+                        invariant_bytes / self.device.weight_bandwidth,
+                    )
+                else:
+                    fixed += self._record_fixed_s(record)
+                    per_item += self._record_item_s(record)
+            else:
+                # No batching on CPU: everything is per-request, including
+                # parameter streaming (each inference re-reads the catalog).
+                per_item += record.launches * self.device.launch_overhead_s
+                compute_s = (record.flops * scale) / self.device.flops_per_s
+                all_bytes = (
+                    record.param_bytes + record.read_bytes + record.write_bytes
+                ) * scale
+                memory_s = all_bytes / self.device.weight_bandwidth
+                per_item += max(compute_s, memory_s)
+            bytes_per_item += (
+                record.param_bytes + record.read_bytes + record.write_bytes
+            ) * scale
+        return ServiceTimeProfile(
+            device_name=self.device.name,
+            fixed_s=fixed,
+            per_item_s=per_item,
+            bytes_per_item=bytes_per_item,
+            resident_bytes=resident_bytes,
+            host_ops=sum(1 for r in trace if r.host_op),
+        )
+
+    def trace_latency(self, trace: CostTrace, batch_size: int = 1) -> float:
+        """One-shot latency of a trace at the given batch size (seconds)."""
+        return self.profile(trace).latency(batch_size)
+
+    def fits_in_memory(self, resident_bytes: float, max_batch: int, score_bytes_per_item: float) -> bool:
+        """Device-memory feasibility: parameters + batched score buffers +
+        a fixed runtime reserve must fit in device memory."""
+        reserve = 2e9
+        return (
+            resident_bytes + max_batch * score_bytes_per_item + reserve
+            <= self.device.memory_bytes
+        )

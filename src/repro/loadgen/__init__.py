@@ -1,0 +1,23 @@
+"""Backpressure-aware load generation (Algorithm 2 of the paper)."""
+
+from repro.loadgen.rampup import timeprop_rampup
+from repro.loadgen.session_replay import SessionReplayQueue
+from repro.loadgen.generator import LoadGenerator
+from repro.loadgen.schedules import (
+    ConstantSchedule,
+    DiurnalSchedule,
+    FlashSaleSchedule,
+    RampSchedule,
+    StepSchedule,
+)
+
+__all__ = [
+    "timeprop_rampup",
+    "SessionReplayQueue",
+    "LoadGenerator",
+    "RampSchedule",
+    "ConstantSchedule",
+    "StepSchedule",
+    "DiurnalSchedule",
+    "FlashSaleSchedule",
+]

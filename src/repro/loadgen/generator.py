@@ -1,0 +1,159 @@
+"""Algorithm 2 — the backpressure-aware load generator.
+
+Operates in one-second ticks. Each tick sends ``r_c = TIMEPROP_RAMPUP(...)``
+requests, evenly spread over the tick. A pending-request counter implements
+backpressure: whenever ``pending >= r_c`` the generator pauses in
+one-millisecond steps instead of piling more load onto a struggling server,
+moving on to the next tick when the current one runs out of time. This lets
+experiments terminate gracefully and reveals the throughput threshold where
+a deployment stops keeping up — the paper's design goal for overload
+handling.
+
+Requests replay synthetic sessions in order (next click only after the
+previous response, via :class:`~repro.loadgen.session_replay.SessionReplayQueue`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.loadgen.rampup import timeprop_rampup
+from repro.loadgen.session_replay import SessionReplayQueue
+from repro.metrics.collector import MetricsCollector
+from repro.serving.request import (
+    HTTP_GATEWAY_TIMEOUT,
+    RecommendationRequest,
+    RecommendationResponse,
+)
+from repro.simulation import Simulator
+
+SubmitFn = Callable[[RecommendationRequest, Callable[[RecommendationResponse], None]], None]
+
+
+class LoadGenerator:
+    """Replays sessions against a submit() target inside the simulator."""
+
+    #: Backpressure poll interval (Algorithm 2 line 12: "wait 1 millisecond").
+    BACKPRESSURE_WAIT_S = 0.001
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        submit: SubmitFn,
+        session_source: Iterator[np.ndarray],
+        target_rps: float,
+        duration_s: float,
+        collector: Optional[MetricsCollector] = None,
+        schedule=None,
+        request_timeout_s: Optional[float] = None,
+    ):
+        self.simulator = simulator
+        self.submit = submit
+        self.sessions = SessionReplayQueue(session_source)
+        self.target_rps = float(target_rps)
+        self.duration_s = float(duration_s)
+        self.collector = collector or MetricsCollector()
+        if schedule is None:
+            from repro.loadgen.schedules import RampSchedule
+
+            schedule = RampSchedule(self.target_rps)
+        self.schedule = schedule
+
+        #: Optional client-side timeout: give up waiting after this long
+        #: (late responses are dropped, like a closed HTTP connection).
+        self.request_timeout_s = request_timeout_s
+        self.pending = 0
+        self.sent = 0
+        self.backpressure_stalls = 0
+        self.timeouts = 0
+        self._next_request_id = 0
+        self.finished = False
+
+    def start(self) -> None:
+        self.simulator.spawn(self._run())
+
+    # -- request plumbing ---------------------------------------------------
+
+    def _send_one(self) -> None:
+        session_id, prefix = self.sessions.next_click()
+        request = RecommendationRequest(
+            request_id=self._next_request_id,
+            session_id=session_id,
+            session_items=prefix,
+            sent_at=self.simulator.now,
+        )
+        self._next_request_id += 1
+        self.pending += 1
+        self.sent += 1
+        self.collector.note_sent(request.sent_at)
+        sent_at = request.sent_at
+        settled = {"done": False}
+
+        def on_response(response: RecommendationResponse) -> None:
+            if settled["done"]:
+                return  # the client already timed out; connection is gone
+            settled["done"] = True
+            self.pending -= 1
+            self.collector.record(sent_at, response)
+            self.sessions.complete(session_id)
+
+        if self.request_timeout_s is not None:
+
+            def on_timeout() -> None:
+                if settled["done"]:
+                    return
+                settled["done"] = True
+                self.pending -= 1
+                self.timeouts += 1
+                now = self.simulator.now
+                self.collector.record(
+                    sent_at,
+                    RecommendationResponse(
+                        request_id=request.request_id,
+                        status=HTTP_GATEWAY_TIMEOUT,
+                        completed_at=now,
+                        latency_s=now - sent_at,
+                    ),
+                )
+                # The visitor moved on; the session continues regardless.
+                self.sessions.complete(session_id)
+
+            self.simulator.call_in(self.request_timeout_s, on_timeout)
+
+        self.submit(request, on_response)
+
+    # -- Algorithm 2 main loop -----------------------------------------------
+
+    def _run(self):
+        started_at = self.simulator.now
+        deadline = started_at + self.duration_s
+        while self.simulator.now < deadline:
+            tick_start = self.simulator.now
+            tick_end = tick_start + 1.0
+            r_c = self.schedule.rate_at(tick_start - started_at, self.duration_s)
+
+            sent_this_tick = 0
+            while sent_this_tick < r_c and self.simulator.now < tick_end:
+                # Backpressure: don't exceed r_c requests in flight.
+                stalled = False
+                while self.pending >= r_c:
+                    if self.simulator.now >= tick_end or self.simulator.now >= deadline:
+                        stalled = True
+                        break
+                    self.backpressure_stalls += 1
+                    yield self.BACKPRESSURE_WAIT_S
+                if stalled or self.simulator.now >= deadline:
+                    break
+                self._send_one()
+                sent_this_tick += 1
+                # Evenly spread the remaining sends over the rest of the tick.
+                remaining_sends = r_c - sent_this_tick
+                if remaining_sends > 0:
+                    time_left = tick_end - self.simulator.now
+                    if time_left > 0:
+                        yield time_left / (remaining_sends + 1)
+            if self.simulator.now < tick_end:
+                yield tick_end - self.simulator.now
+        self.finished = True

@@ -1,0 +1,20 @@
+"""The TIMEPROP_RAMPUP schedule from Algorithm 2.
+
+The per-tick request rate grows proportionally to the time spent relative
+to the benchmark duration, reaching the target throughput exactly at the
+deadline: ``r_c(t) = ceil(r * t / d)`` (at least 1 once the run started).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def timeprop_rampup(target_rps: float, elapsed_s: float, duration_s: float) -> int:
+    """Requests to send in the current one-second tick."""
+    if target_rps < 0:
+        raise ValueError("target_rps must be non-negative")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    fraction = min(max(elapsed_s, 0.0) / duration_s, 1.0)
+    return max(1, int(math.ceil(target_rps * fraction)))

@@ -1,0 +1,73 @@
+"""Ordered session replay.
+
+The paper's load generator "respects the order of the sessions, e.g., it
+will only send the next interaction for a session if a response for the
+previous interaction was received". This queue manages that bookkeeping:
+
+- sessions come from an (endless) source iterator;
+- ``next_click()`` hands out the next click of some session that is not
+  awaiting a response, opening a fresh session when none is ready;
+- ``complete(session_id)`` re-queues a session after its response arrived
+  (or retires it when exhausted).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class SessionReplayQueue:
+    """Round-robin scheduler over in-flight synthetic sessions."""
+
+    def __init__(self, session_source: Iterator[np.ndarray]):
+        self._source = session_source
+        self._items: Dict[int, np.ndarray] = {}
+        self._position: Dict[int, int] = {}
+        self._ready: Deque[int] = deque()
+        self._next_session_id = 0
+        self.opened_sessions = 0
+        self.finished_sessions = 0
+
+    def _open_session(self) -> int:
+        items = np.asarray(next(self._source), dtype=np.int64)
+        while items.size == 0:
+            items = np.asarray(next(self._source), dtype=np.int64)
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        self._items[session_id] = items
+        self._position[session_id] = 0
+        self.opened_sessions += 1
+        return session_id
+
+    def next_click(self) -> Tuple[int, np.ndarray]:
+        """``(session_id, session_prefix)`` for the next request.
+
+        The prefix includes all clicks of the session up to and including
+        the new one — the model input for the recommendation.
+        """
+        if self._ready:
+            session_id = self._ready.popleft()
+        else:
+            session_id = self._open_session()
+        position = self._position[session_id]
+        prefix = self._items[session_id][: position + 1]
+        return session_id, prefix
+
+    def complete(self, session_id: int) -> None:
+        """A response for the session's in-flight click arrived."""
+        if session_id not in self._items:
+            raise KeyError(f"unknown or finished session {session_id}")
+        self._position[session_id] += 1
+        if self._position[session_id] >= self._items[session_id].shape[0]:
+            del self._items[session_id]
+            del self._position[session_id]
+            self.finished_sessions += 1
+        else:
+            self._ready.append(session_id)
+
+    @property
+    def in_flight_sessions(self) -> int:
+        return len(self._items) - len(self._ready)

@@ -1,0 +1,16 @@
+"""Measurement plumbing: percentile estimation, collection, result types."""
+
+from repro.metrics.percentile import LatencyDigest, exact_percentile
+from repro.metrics.collector import MetricsCollector, SecondBucket
+from repro.metrics.results import LatencySeries, RunResult
+from repro.metrics.store import ResultStore
+
+__all__ = [
+    "LatencyDigest",
+    "exact_percentile",
+    "MetricsCollector",
+    "SecondBucket",
+    "LatencySeries",
+    "RunResult",
+    "ResultStore",
+]

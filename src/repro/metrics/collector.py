@@ -1,0 +1,94 @@
+"""Collecting per-response measurements during a load test.
+
+The collector buckets responses by the (virtual) second in which their
+request was *sent*, which is what the paper's ramp-up plots need: the x-axis
+of Figure 2 / Figure 4 is the offered load at send time, the y-axis the
+latency distribution of requests sent in that window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.percentile import LatencyDigest
+from repro.serving.request import RecommendationResponse
+
+
+@dataclass
+class SecondBucket:
+    """Aggregates for requests sent within one one-second tick."""
+
+    second: int
+    sent: int = 0
+    ok: int = 0
+    errors: int = 0
+    digest: LatencyDigest = field(default_factory=LatencyDigest)
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        total = self.ok + self.errors
+        return self.errors / total if total else 0.0
+
+    def p90_ms(self) -> Optional[float]:
+        if len(self.digest) == 0:
+            return None
+        return self.digest.percentile(90) * 1000.0
+
+
+class MetricsCollector:
+    """Accumulates responses during one benchmark run."""
+
+    def __init__(self):
+        self._buckets: Dict[int, SecondBucket] = {}
+        self.overall = LatencyDigest()
+        self.inference = LatencyDigest()
+        self.ok = 0
+        self.errors = 0
+        self.first_sent_at: Optional[float] = None
+        self.last_completed_at: float = 0.0
+
+    def _bucket(self, second: int) -> SecondBucket:
+        if second not in self._buckets:
+            self._buckets[second] = SecondBucket(second=second)
+        return self._buckets[second]
+
+    def note_sent(self, sent_at: float) -> None:
+        if self.first_sent_at is None:
+            self.first_sent_at = sent_at
+        self._bucket(int(sent_at)).sent += 1
+
+    def record(self, sent_at: float, response: RecommendationResponse) -> None:
+        bucket = self._bucket(int(sent_at))
+        self.last_completed_at = max(self.last_completed_at, response.completed_at)
+        if response.ok:
+            bucket.ok += 1
+            bucket.digest.record(response.latency_s)
+            bucket.batch_sizes.append(response.batch_size)
+            self.ok += 1
+            self.overall.record(response.latency_s)
+            if response.inference_s > 0:
+                self.inference.record(response.inference_s)
+        else:
+            bucket.errors += 1
+            self.errors += 1
+
+    # -- summaries -----------------------------------------------------------
+
+    def buckets(self) -> List[SecondBucket]:
+        return [self._buckets[key] for key in sorted(self._buckets)]
+
+    @property
+    def total(self) -> int:
+        return self.ok + self.errors
+
+    def percentile_ms(self, q: float) -> float:
+        return self.overall.percentile(q) * 1000.0
+
+    def achieved_throughput(self) -> float:
+        """Successful responses per second over the active window."""
+        if self.first_sent_at is None or self.ok == 0:
+            return 0.0
+        window = max(self.last_completed_at - self.first_sent_at, 1e-9)
+        return self.ok / window

@@ -1,0 +1,97 @@
+"""Percentile estimation: exact (small runs) and log-histogram digest.
+
+Long load tests record hundreds of thousands of latencies; keeping them all
+is fine for one run but wasteful across a four-hundred-run study. The
+:class:`LatencyDigest` buckets observations into log-spaced bins covering
+10 microseconds to 1000 seconds at ~2% relative resolution, supporting
+constant-memory percentile queries and merging across runs/replicas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def exact_percentile(latencies: Sequence[float], q: float) -> float:
+    """Exact percentile (q in [0, 100]) of a latency list."""
+    if len(latencies) == 0:
+        raise ValueError("no latencies recorded")
+    return float(np.percentile(np.asarray(latencies, dtype=np.float64), q))
+
+
+class LatencyDigest:
+    """Log-spaced latency histogram with percentile queries and merging."""
+
+    MIN_LATENCY = 1e-5
+    MAX_LATENCY = 1e3
+
+    def __init__(self, bins_per_decade: int = 50):
+        self.bins_per_decade = bins_per_decade
+        decades = math.log10(self.MAX_LATENCY / self.MIN_LATENCY)
+        self._num_bins = int(decades * bins_per_decade) + 2
+        self._counts = np.zeros(self._num_bins, dtype=np.int64)
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    # -- recording ------------------------------------------------------------
+
+    def _bin_index(self, latency: float) -> int:
+        clamped = min(max(latency, self.MIN_LATENCY), self.MAX_LATENCY)
+        position = math.log10(clamped / self.MIN_LATENCY) * self.bins_per_decade
+        return min(int(position) + 1, self._num_bins - 1)
+
+    def record(self, latency_s: float) -> None:
+        self._counts[self._bin_index(latency_s)] += 1
+        self._total += 1
+        self._sum += latency_s
+        self._max = max(self._max, latency_s)
+
+    def record_many(self, latencies: Iterable[float]) -> None:
+        for latency in latencies:
+            self.record(latency)
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    def mean(self) -> float:
+        if self._total == 0:
+            raise ValueError("empty digest")
+        return self._sum / self._total
+
+    def max(self) -> float:
+        return self._max
+
+    def percentile(self, q: float) -> float:
+        """Latency at percentile ``q`` (upper edge of the matched bin)."""
+        if self._total == 0:
+            raise ValueError("empty digest")
+        if not 0 <= q <= 100:
+            raise ValueError("q must be within [0, 100]")
+        target = q / 100.0 * self._total
+        cumulative = np.cumsum(self._counts)
+        index = int(np.searchsorted(cumulative, max(target, 1), side="left"))
+        # Upper bin edge back in seconds.
+        if index == 0:
+            return self.MIN_LATENCY
+        exponent = index / self.bins_per_decade
+        return min(self.MIN_LATENCY * 10**exponent, self._max or self.MAX_LATENCY)
+
+    def merge(self, other: "LatencyDigest") -> "LatencyDigest":
+        if other.bins_per_decade != self.bins_per_decade:
+            raise ValueError("cannot merge digests with different resolutions")
+        merged = LatencyDigest(self.bins_per_decade)
+        merged._counts = self._counts + other._counts
+        merged._total = self._total + other._total
+        merged._sum = self._sum + other._sum
+        merged._max = max(self._max, other._max)
+        return merged

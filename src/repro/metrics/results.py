@@ -1,0 +1,116 @@
+"""Result containers: what an ETUDE run reports back to the data scientist.
+
+Mirrors the paper's pipeline: the load generator measures end-to-end
+latencies, the inference server contributes inference durations via
+response headers, and "the observed measurements are written to a Google
+storage bucket upon termination" — here, serializable dataclasses the
+experiment driver persists to the in-memory bucket (and the benchmark
+harness prints).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.collector import MetricsCollector
+
+
+@dataclass
+class LatencySeries:
+    """Per-second series over a ramp-up run (Figure 2 / Figure 4 data)."""
+
+    seconds: List[int] = field(default_factory=list)
+    offered_rps: List[int] = field(default_factory=list)
+    ok: List[int] = field(default_factory=list)
+    errors: List[int] = field(default_factory=list)
+    p90_ms: List[Optional[float]] = field(default_factory=list)
+    mean_batch: List[Optional[float]] = field(default_factory=list)
+
+    @classmethod
+    def from_collector(cls, collector: MetricsCollector) -> "LatencySeries":
+        series = cls()
+        for bucket in collector.buckets():
+            series.seconds.append(bucket.second)
+            series.offered_rps.append(bucket.sent)
+            series.ok.append(bucket.ok)
+            series.errors.append(bucket.errors)
+            series.p90_ms.append(bucket.p90_ms())
+            if bucket.batch_sizes:
+                series.mean_batch.append(
+                    sum(bucket.batch_sizes) / len(bucket.batch_sizes)
+                )
+            else:
+                series.mean_batch.append(None)
+        return series
+
+    def p90_at_load(self, target_rps: int, tolerance: float = 0.1) -> Optional[float]:
+        """p90 (ms) over the seconds whose offered load was ~``target_rps``."""
+        matched = [
+            p90
+            for offered, p90 in zip(self.offered_rps, self.p90_ms)
+            if p90 is not None
+            and abs(offered - target_rps) <= tolerance * max(target_rps, 1)
+        ]
+        if not matched:
+            return None
+        matched.sort()
+        return matched[len(matched) // 2]
+
+
+@dataclass
+class RunResult:
+    """Complete outcome of one deployed benchmark run."""
+
+    model: str
+    instance_type: str
+    replicas: int
+    catalog_size: int
+    target_rps: int
+    duration_s: float
+    execution_mode: str  # "eager" or "jit" (or "jit-fallback-eager")
+    total_requests: int
+    ok_requests: int
+    error_requests: int
+    achieved_rps: float
+    p50_ms: Optional[float]
+    p90_ms: Optional[float]
+    p99_ms: Optional[float]
+    p90_at_target_ms: Optional[float] = None
+    mean_inference_ms: Optional[float] = None
+    series: Optional[LatencySeries] = None
+    backpressure_stalls: int = 0
+    notes: str = ""
+
+    @property
+    def error_rate(self) -> float:
+        total = self.total_requests
+        return self.error_requests / total if total else 0.0
+
+    def meets_slo(self, p90_limit_ms: float, max_error_rate: float = 0.01) -> bool:
+        """The paper's feasibility criterion: p90 under the latency budget
+        *at the target load*, without an error avalanche.
+
+        ``p90_at_target_ms`` is None when the deployment never reached the
+        target throughput (backpressure kept the load generator from
+        offering it) — that also counts as infeasible.
+        """
+        p90 = self.p90_at_target_ms
+        if p90 is None:
+            return False
+        return p90 <= p90_limit_ms and self.error_rate <= max_error_rate
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunResult":
+        raw = json.loads(payload)
+        series = raw.pop("series", None)
+        result = cls(**{**raw, "series": None})
+        if series is not None:
+            result.series = LatencySeries(**series)
+        return result

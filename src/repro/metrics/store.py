@@ -1,0 +1,91 @@
+"""Result archive over the storage bucket.
+
+"The observed measurements are written to a Google storage bucket upon
+termination of the experiment" — the experiment runner does that; this
+store is the read side: list, filter, load and export the accumulated
+:class:`~repro.metrics.results.RunResult` records of a measurement campaign
+(the paper's study spans ~400 runs).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Iterator, List, Optional
+
+from repro.cluster.storage import StorageBucket
+from repro.metrics.results import RunResult
+
+_PREFIX = "results/"
+
+_CSV_FIELDS = (
+    "model",
+    "instance_type",
+    "replicas",
+    "catalog_size",
+    "target_rps",
+    "execution_mode",
+    "total_requests",
+    "ok_requests",
+    "error_requests",
+    "achieved_rps",
+    "p50_ms",
+    "p90_ms",
+    "p99_ms",
+    "p90_at_target_ms",
+)
+
+
+class ResultStore:
+    """Query interface over the results a bucket has accumulated."""
+
+    def __init__(self, bucket: StorageBucket):
+        self.bucket = bucket
+
+    def __len__(self) -> int:
+        return len(self.bucket.list_blobs(_PREFIX))
+
+    def iter_results(self) -> Iterator[RunResult]:
+        for path in self.bucket.list_blobs(_PREFIX):
+            payload, _transfer = self.bucket.download(path)
+            yield RunResult.from_json(payload.decode("utf-8"))
+
+    def query(
+        self,
+        model: Optional[str] = None,
+        instance_type: Optional[str] = None,
+        catalog_size: Optional[int] = None,
+        min_target_rps: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Filtered results, insertion-ordered by blob path."""
+        matched = []
+        for result in self.iter_results():
+            if model is not None and result.model != model:
+                continue
+            if instance_type is not None and result.instance_type != instance_type:
+                continue
+            if catalog_size is not None and result.catalog_size != catalog_size:
+                continue
+            if min_target_rps is not None and result.target_rps < min_target_rps:
+                continue
+            matched.append(result)
+        return matched
+
+    def feasible(self, p90_limit_ms: float = 50.0) -> List[RunResult]:
+        return [
+            result
+            for result in self.iter_results()
+            if result.meets_slo(p90_limit_ms)
+        ]
+
+    def to_csv(self) -> str:
+        """The campaign as CSV (the artifact the paper publishes)."""
+        buffer = io.StringIO()
+        buffer.write(",".join(_CSV_FIELDS) + "\n")
+        for result in self.iter_results():
+            row = []
+            for field in _CSV_FIELDS:
+                value = getattr(result, field)
+                row.append("" if value is None else str(value))
+            buffer.write(",".join(row) + "\n")
+        return buffer.getvalue()

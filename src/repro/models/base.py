@@ -1,0 +1,143 @@
+"""Base class for session-based recommendation models.
+
+Every model follows the same inference contract the paper analyzes
+(Section II, "Time complexities for inference"):
+
+1. encode the ongoing session into a d-dimensional representation,
+2. run a maximum inner product search against the learned vector
+   representations of all C catalog items,
+3. return the top-k item ids.
+
+The public entry points:
+
+- :meth:`SessionRecModel.forward` — traced path. Takes a padded int64 item
+  tensor of shape ``(max_session_length,)`` and a length tensor of shape
+  ``(1,)``; returns the top-k indices tensor. All value-dependent work flows
+  through tensor ops so jit capture replays correctly on new sessions.
+- :meth:`SessionRecModel.recommend` — eager convenience API over raw Python
+  session lists (used by examples and tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.hyperparams import ModelConfig, embedding_dim_for_catalog
+from repro.tensor import functional as F
+from repro.tensor.layers import CatalogEmbedding
+from repro.tensor.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class SessionRecModel(Module):
+    """Common scaffolding for the ten SBR models."""
+
+    #: Registry name, set by subclasses ("gru4rec", "sasrec", ...).
+    name: str = "base"
+    #: Whether the catalog-scoring head can be swapped (e.g. for the int8 or
+    #: ANN heads). Models that fuse scoring into ``forward`` opt out.
+    supports_quantized_head: bool = True
+
+    def __init__(self, config: ModelConfig):
+        super().__init__()
+        self.config = config
+        self.num_items = config.num_items
+        self.embedding_dim = config.embedding_dim
+        self.max_session_length = config.max_session_length
+        self.top_k = config.top_k
+        self.item_embedding = CatalogEmbedding(
+            config.num_items, config.embedding_dim, seed=config.seed
+        )
+
+    # -- pieces shared by subclasses ----------------------------------------
+
+    def embed_session(self, items: Tensor) -> Tensor:
+        """(max_len,) item ids -> (max_len, d) embeddings."""
+        return self.item_embedding(items)
+
+    def validity_mask(self, length: Tensor) -> Tensor:
+        """(max_len,) bool — True at real positions, False at padding."""
+        return F.sequence_mask(length, self.max_session_length)
+
+    def invalid_mask_column(self, length: Tensor) -> Tensor:
+        """(max_len, 1) bool — True at padding (for masked_fill)."""
+        invalid = F.logical_not(self.validity_mask(length))
+        return invalid.reshape(self.max_session_length, 1)
+
+    def last_position(self, sequence: Tensor, length: Tensor) -> Tensor:
+        """Row of ``sequence`` at index ``length - 1``."""
+        return F.gather_row(sequence, length, offset=-1)
+
+    def masked_mean(self, sequence: Tensor, length: Tensor) -> Tensor:
+        """Mean over valid positions of a (max_len, d) sequence."""
+        masked = F.masked_fill(sequence, self.invalid_mask_column(length), 0.0)
+        total = masked.sum(axis=0)
+        count = length.reshape(1)  # (1,) int64 broadcasts over (d,)
+        return total / count
+
+    def score_catalog(self, session_repr: Tensor) -> Tensor:
+        """Inner-product scores of a (d,) representation against all items."""
+        return F.linear(session_repr, self.item_embedding.scoring_weight())
+
+    def select_top_k(self, scores: Tensor) -> Tensor:
+        return F.topk(scores, self.top_k)
+
+    # -- inference API -----------------------------------------------------------
+
+    def forward(self, items: Tensor, length: Tensor) -> Tensor:
+        session_repr = self.encode_session(items, length)
+        scores = self.score_catalog(session_repr)
+        return self.select_top_k(scores)
+
+    def encode_session(self, items: Tensor, length: Tensor) -> Tensor:
+        """Model-specific session encoder -> (d,) representation."""
+        raise NotImplementedError
+
+    def prepare_inputs(
+        self, session_items: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pad/truncate a raw session to the fixed traced input shapes."""
+        if len(session_items) == 0:
+            raise ValueError("session must contain at least one interaction")
+        items = list(session_items)[-self.max_session_length :]
+        length = len(items)
+        padded = np.zeros(self.max_session_length, dtype=np.int64)
+        padded[:length] = np.asarray(items, dtype=np.int64)
+        if np.any(padded < 0) or np.any(padded >= self.num_items):
+            raise ValueError("session contains item ids outside the catalog")
+        return padded, np.asarray([length], dtype=np.int64)
+
+    def recommend(self, session_items: Sequence[int]) -> np.ndarray:
+        """Top-k next-item recommendations for a raw session (eager)."""
+        padded, length = self.prepare_inputs(session_items)
+        result = self.forward(Tensor(padded), Tensor(length))
+        return result.numpy()
+
+    def example_inputs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Representative inputs for jit tracing."""
+        example = [i % self.num_items for i in range(1, 6)]
+        return self.prepare_inputs(example)
+
+    # -- deployment metadata -----------------------------------------------------
+
+    def artifact_metadata(self) -> dict:
+        return {
+            "model": self.name,
+            "num_items": self.num_items,
+            "embedding_dim": self.embedding_dim,
+            "max_session_length": self.max_session_length,
+            "top_k": self.top_k,
+        }
+
+    def resident_bytes(self) -> float:
+        """Deployed memory footprint: the *logical* full-catalog table plus
+        the remaining parameters (used for device-memory feasibility)."""
+        table_virtual = self.num_items * self.embedding_dim * 4.0
+        other = self.parameter_bytes() - self.item_embedding.weight.nbytes
+        return table_virtual + max(other, 0.0)
+
+    def score_bytes_per_item(self) -> float:
+        """Bytes of the per-request score vector (C fp32 scores)."""
+        return self.num_items * 4.0

@@ -1,0 +1,58 @@
+"""Shared hyperparameter heuristics for the SBR models.
+
+The paper chooses the embedding dimension with "the common heuristic of
+rounding up the fourth root of the catalog size C" (Section III), giving
+d = 10 / 18 / 32 / 57 / 67 for the catalog sizes it benchmarks. All other
+hyperparameters follow the RecBole defaults of the respective models, scaled
+to that embedding dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def embedding_dim_for_catalog(num_items: int) -> int:
+    """``ceil(C ** 0.25)`` — the paper's embedding-size heuristic."""
+    if num_items < 1:
+        raise ValueError("catalog must contain at least one item")
+    return int(math.ceil(num_items**0.25))
+
+
+def attention_heads_for(dim: int) -> int:
+    """Largest head count (<= 4) that divides the embedding dimension."""
+    for heads in (4, 2, 1):
+        if dim % heads == 0:
+            return heads
+    return 1
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Configuration shared by every SBR model in the zoo."""
+
+    num_items: int
+    embedding_dim: int
+    max_session_length: int = 50
+    top_k: int = 21
+    num_layers: int = 2
+    dropout: float = 0.1
+    seed: int = 42
+
+    @classmethod
+    def for_catalog(
+        cls,
+        num_items: int,
+        max_session_length: int = 50,
+        top_k: int = 21,
+        seed: int = 42,
+    ) -> "ModelConfig":
+        """Build a config using the paper's embedding-dimension heuristic."""
+        return cls(
+            num_items=num_items,
+            embedding_dim=embedding_dim_for_catalog(num_items),
+            max_session_length=max_session_length,
+            top_k=top_k,
+            seed=seed,
+        )

@@ -1,0 +1,85 @@
+"""LightSANs — low-rank decomposed self-attention (Fan et al., SIGIR 2021).
+
+LightSANs replaces full L x L self-attention with attention against
+``k_interests`` low-rank latent interests: items attend to a small set of
+learned interest slots (O(L * k) instead of O(L^2)).
+
+**Faithful JIT failure.** The paper reports that "the LightSANs model
+implementation ... cannot be JIT-optimised by PyTorch due to dynamic code
+paths" (Section III-B). The RecBole implementation branches in Python on
+tensor *values* during the decoupled position encoding. We reproduce the
+same pattern: :meth:`LightSANs.encode_session` reads a tensor value with
+``item()`` to pick a numerical-stability rescaling path. Eager execution is
+unaffected; jit tracing raises
+:class:`~repro.tensor.jit.JitCompilationError`, so the benchmark harness
+falls back to the eager variant for this model exactly as ETUDE does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SessionRecModel
+from repro.models.hyperparams import ModelConfig, attention_heads_for
+from repro.tensor import functional as F
+from repro.tensor.attention import TransformerFeedForward
+from repro.tensor.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.tensor.module import Parameter
+from repro.tensor.tensor import Tensor
+
+
+class LightSANs(SessionRecModel):
+    name = "lightsans"
+
+    #: Number of latent interest slots (RecBole default: 5).
+    K_INTERESTS = 5
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        d = config.embedding_dim
+        self.k_interests = self.K_INTERESTS
+        self.position_embedding = Embedding(config.max_session_length, d, rng=rng)
+        self.emb_dropout = Dropout(config.dropout)
+        # Low-rank projection of the sequence onto interest slots.
+        self.interest_proj = Linear(d, self.k_interests, bias=False, rng=rng)
+        self.q_proj = Linear(d, d, rng=rng)
+        self.k_proj = Linear(d, d, rng=rng)
+        self.v_proj = Linear(d, d, rng=rng)
+        self.out_proj = Linear(d, d, rng=rng)
+        self.norm1 = LayerNorm(d)
+        self.norm2 = LayerNorm(d)
+        self.feed_forward = TransformerFeedForward(d, 4 * d, rng=rng)
+
+    def encode_session(self, items: Tensor, length: Tensor) -> Tensor:
+        embeddings = self.embed_session(items)
+        positions = np.arange(self.max_session_length, dtype=np.int64)
+        hidden = self.emb_dropout(embeddings + self.position_embedding(positions))
+
+        # --- The dynamic code path that defeats JIT tracing. ----------------
+        # A data-dependent Python branch (numerical-stability rescaling):
+        # reading the tensor value during tracing raises JitCompilationError,
+        # mirroring the RecBole implementation the paper could not compile.
+        peak = float(hidden.max().item())
+        if peak > 10.0:
+            hidden = F.scale(hidden, 10.0 / peak)
+        # ---------------------------------------------------------------------
+
+        # Low-rank decomposed attention: (L, d) -> interest space -> back.
+        interest_logits = self.interest_proj(self.norm1(hidden))  # (L, k)
+        masked = F.masked_fill(
+            interest_logits, self.invalid_mask_column(length), -1e9
+        )
+        assignment = F.softmax(masked, axis=0)  # column-stochastic over L
+        interests = F.matmul(assignment.transpose(), self.v_proj(hidden))  # (k, d)
+
+        queries = self.q_proj(hidden)  # (L, d)
+        keys = self.k_proj(interests)  # (k, d)
+        attention = F.softmax(
+            F.scale(F.matmul(queries, keys.transpose()), 1.0 / np.sqrt(self.embedding_dim)),
+            axis=-1,
+        )  # (L, k)
+        attended = self.out_proj(F.matmul(attention, interests))  # (L, d)
+        hidden = hidden + attended
+        hidden = hidden + self.feed_forward(self.norm2(hidden))
+        return self.last_position(hidden, length)

@@ -1,0 +1,51 @@
+"""NARM — neural attentive session-based recommendation (Li et al., CIKM 2017).
+
+A hybrid encoder: a GRU provides (i) a *global* representation (final hidden
+state) and (ii) a *local* representation (additive attention over all hidden
+states, queried by the final state). Both are concatenated and projected by
+a bilinear decoder into the embedding space for catalog scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SessionRecModel
+from repro.models.hyperparams import ModelConfig
+from repro.tensor import functional as F
+from repro.tensor.layers import Dropout, Linear
+from repro.tensor.rnn import GRU
+from repro.tensor.tensor import Tensor
+
+
+class NARM(SessionRecModel):
+    name = "narm"
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        d = config.embedding_dim
+        self.hidden_size = 2 * d
+        self.emb_dropout = Dropout(config.dropout)
+        self.gru = GRU(d, self.hidden_size, rng=rng)
+        self.attn_query = Linear(self.hidden_size, self.hidden_size, bias=False, rng=rng)
+        self.attn_key = Linear(self.hidden_size, self.hidden_size, bias=False, rng=rng)
+        self.attn_energy = Linear(self.hidden_size, 1, bias=False, rng=rng)
+        self.ct_dropout = Dropout(config.dropout)
+        # Bilinear decoder B: (global ++ local) -> embedding space.
+        self.decoder = Linear(2 * self.hidden_size, d, bias=False, rng=rng)
+
+    def encode_session(self, items: Tensor, length: Tensor) -> Tensor:
+        embeddings = self.emb_dropout(self.embed_session(items))
+        hidden, _final = self.gru(embeddings)
+        c_global = self.last_position(hidden, length)
+
+        energies = self.attn_energy(
+            F.sigmoid(self.attn_query(c_global) + self.attn_key(hidden))
+        )  # (L, 1)
+        masked = F.masked_fill(energies, self.invalid_mask_column(length), -1e9)
+        weights = F.softmax(masked, axis=0)
+        c_local = (weights * hidden).sum(axis=0)
+
+        session = self.ct_dropout(F.concat((c_global, c_local), axis=-1))
+        return self.decoder(session)

@@ -1,0 +1,38 @@
+"""The no-inference model used by the paper's infrastructure test (Fig. 2).
+
+To measure serving-stack overhead independent of model cost, the paper
+deploys "a Python model that returns an empty response and does not conduct
+any computation" on TorchServe, and makes the Actix server "return a static
+answer". :class:`NoopModel` is that model: its forward performs no kernel
+work, so any latency measured around it is pure serving overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SessionRecModel
+from repro.models.hyperparams import ModelConfig
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class NoopModel(SessionRecModel):
+    name = "noop"
+    supports_quantized_head = False  # there is nothing to score
+
+    def __init__(self, config: ModelConfig = None):
+        if config is None:
+            config = ModelConfig(num_items=1, embedding_dim=1, top_k=1)
+        super().__init__(config)
+        self._static_answer = np.zeros(config.top_k, dtype=np.int64)
+
+    def encode_session(self, items: Tensor, length: Tensor) -> Tensor:
+        raise NotImplementedError("NoopModel overrides forward")
+
+    def forward(self, items: Tensor, length: Tensor) -> Tensor:
+        # A single zero-cost kernel so the traced graph is non-empty.
+        return F.fill_constant((self.top_k,), 0.0)
+
+    def recommend(self, session_items) -> np.ndarray:
+        return self._static_answer

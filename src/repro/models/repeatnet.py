@@ -1,0 +1,115 @@
+"""RepeatNet — repeat-aware encoder-decoder (Ren et al., AAAI 2019).
+
+RepeatNet splits next-item prediction into a *repeat* decoder (re-recommend
+an item already in the session) and an *explore* decoder (recommend a new
+item), gated by a repeat/explore classifier.
+
+**Faithful performance bug.** The paper reports (Section III-C) that the
+RecBole implementation "contains expensive tensor multiplications of very
+sparse matrices which are implemented with dense operations and
+representations". The sparse matrix in question maps per-position repeat
+probabilities (a length-L vector) into catalog space (a C vector): a one-hot
+(L x C) scatter matrix which RecBole materializes *densely* and multiplies
+with a dense matmul. We reproduce exactly that: ``_dense_onehot_scatter``
+builds the (L, C) dense one-hot matrix per request and the repeat scores
+come from a dense vector-matrix product — O(L*C) extra memory traffic per
+request, which is what makes RepeatNet unable to handle most of the paper's
+use cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SessionRecModel
+from repro.models.hyperparams import ModelConfig
+from repro.tensor import functional as F
+from repro.tensor import ops
+from repro.tensor.layers import Dropout, Linear
+from repro.tensor.rnn import GRU
+from repro.tensor.tensor import Tensor
+
+
+def _onehot_rows(items: np.ndarray, num_rows: int) -> np.ndarray:
+    """Dense (L, rows) one-hot map of session items — the RecBole bug."""
+    length = items.shape[0]
+    dense = np.zeros((length, num_rows), dtype=np.float32)
+    dense[np.arange(length), items % num_rows] = 1.0
+    return dense
+
+
+class RepeatNet(SessionRecModel):
+    name = "repeatnet"
+    supports_quantized_head = False  # scoring is fused into forward()
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        d = config.embedding_dim
+        self.emb_dropout = Dropout(config.dropout)
+        self.gru = GRU(d, d, rng=rng)
+        # Repeat/explore gate.
+        self.gate = Linear(d, 2, rng=rng)
+        # Repeat decoder attention.
+        self.repeat_query = Linear(d, d, rng=rng)
+        self.repeat_key = Linear(d, d, rng=rng)
+        self.repeat_energy = Linear(d, 1, bias=False, rng=rng)
+        # Explore decoder attention + projection.
+        self.explore_query = Linear(d, d, rng=rng)
+        self.explore_key = Linear(d, d, rng=rng)
+        self.explore_energy = Linear(d, 1, bias=False, rng=rng)
+        self.explore_proj = Linear(2 * d, d, rng=rng)
+
+    def _attention_pool(self, query_layer, key_layer, energy_layer, hidden, last, length):
+        """Additive attention pooled over valid positions."""
+        energies = energy_layer(
+            F.tanh(query_layer(last) + key_layer(hidden))
+        )  # (L, 1)
+        masked = F.masked_fill(energies, self.invalid_mask_column(length), -1e9)
+        weights = F.softmax(masked, axis=0)
+        return (weights * hidden).sum(axis=0), weights
+
+    def encode_session(self, items: Tensor, length: Tensor) -> Tensor:
+        raise NotImplementedError("RepeatNet overrides forward directly")
+
+    def forward(self, items: Tensor, length: Tensor) -> Tensor:
+        embeddings = self.emb_dropout(self.embed_session(items))
+        hidden, _final = self.gru(embeddings)
+        last = self.last_position(hidden, length)
+
+        # Repeat/explore mode probabilities.
+        mode = F.softmax(self.gate(last), axis=-1)  # (2,)
+        p_repeat = mode[0:1]
+        p_explore = mode[1:2]
+
+        # Repeat decoder: attention weights over session positions are the
+        # per-position repeat probabilities...
+        _pooled, repeat_weights = self._attention_pool(
+            self.repeat_query, self.repeat_key, self.repeat_energy,
+            hidden, last, length,
+        )
+        # ...scattered into catalog space through a DENSE (L, C) one-hot
+        # matrix multiply — the implementation bug the paper reports.
+        onehot = ops.host_numpy(
+            "repeatnet_dense_onehot",
+            lambda it: _onehot_rows(
+                np.asarray(it, np.int64), self.item_embedding.materialized
+            ),
+            items,
+            catalog_scale=self.item_embedding.catalog_scale,
+        )
+        repeat_scores = F.matmul(
+            repeat_weights.reshape(1, self.max_session_length), onehot
+        ).reshape(self.item_embedding.materialized)
+
+        # Explore decoder: attention-pooled context + last hidden, projected
+        # into embedding space, scored over the catalog.
+        pooled, _weights = self._attention_pool(
+            self.explore_query, self.explore_key, self.explore_energy,
+            hidden, last, length,
+        )
+        explore_repr = self.explore_proj(F.concat((pooled, last), axis=-1))
+        explore_scores = F.softmax(self.score_catalog(explore_repr), axis=-1)
+
+        scores = p_repeat * repeat_scores + p_explore * explore_scores
+        return self.select_top_k(scores)

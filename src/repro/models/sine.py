@@ -1,0 +1,87 @@
+"""SINE — sparse-interest network (Tan et al., WSDM 2021).
+
+SINE maintains a large pool of latent *concept* prototypes, activates the
+top ``K`` concepts for the ongoing session, and aggregates one interest
+vector per active concept. At inference every active interest scores the
+full catalog — ``K`` maximum-inner-product passes instead of one — and the
+per-interest scores are combined by an intention-weighted aggregation. The
+multi-pass scoring head makes SINE markedly more expensive per request than
+single-representation models at large catalog sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SessionRecModel
+from repro.models.hyperparams import ModelConfig
+from repro.tensor import functional as F
+from repro.tensor.layers import LayerNorm, Linear
+from repro.tensor.module import Parameter
+from repro.tensor.tensor import Tensor
+
+
+class SINE(SessionRecModel):
+    name = "sine"
+
+    #: Latent concept pool size (RecBole default: 500 prototypes).
+    PROTOTYPE_POOL = 500
+    #: Active interests per session (RecBole default K).
+    NUM_INTERESTS = 4
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        d = config.embedding_dim
+        self.num_interests = self.NUM_INTERESTS
+        self.prototypes = Parameter(
+            rng.normal(0.0, 0.1, size=(self.PROTOTYPE_POOL, d)).astype(np.float32)
+        )
+        self.w1 = Linear(d, d, bias=False, rng=rng)
+        self.w2 = Linear(d, 1, bias=False, rng=rng)
+        self.w3 = Linear(d, d, bias=False, rng=rng)
+        self.interest_norm = LayerNorm(d)
+        self.intent_proj = Linear(d, self.num_interests, bias=False, rng=rng)
+
+    def _session_summary(self, embeddings: Tensor, length: Tensor) -> Tensor:
+        """Self-attentive pooling of the session into one vector."""
+        energies = self.w2(F.tanh(self.w1(embeddings)))  # (L, 1)
+        masked = F.masked_fill(energies, self.invalid_mask_column(length), -1e9)
+        weights = F.softmax(masked, axis=0)
+        return (weights * embeddings).sum(axis=0)
+
+    def encode_session(self, items: Tensor, length: Tensor) -> Tensor:
+        embeddings = self.embed_session(items)
+        summary = self._session_summary(embeddings, length)  # (d,)
+
+        # Concept activation: similarity of the session to every prototype;
+        # soft attention over the pool stands in for RecBole's sparse top-K
+        # gather (the K interest vectors below are the sparse outcome).
+        concept_logits = F.linear(summary, self.prototypes)  # (pool,)
+        concept_weights = F.softmax(concept_logits, axis=-1)
+        attended_prototype = F.matmul(
+            concept_weights.reshape(1, self.PROTOTYPE_POOL), self.prototypes
+        ).reshape(self.embedding_dim)
+
+        # One interest vector per active concept: prototype-conditioned
+        # re-weighting of the session items.
+        interests = []
+        conditioned = self.w3(embeddings)  # (L, d)
+        for _interest in range(self.num_interests):
+            energies = F.matmul(
+                conditioned, attended_prototype.reshape(self.embedding_dim, 1)
+            )  # (L, 1)
+            masked = F.masked_fill(energies, self.invalid_mask_column(length), -1e9)
+            weights = F.softmax(masked, axis=0)
+            interest = self.interest_norm((weights * embeddings).sum(axis=0))
+            interests.append(interest)
+            attended_prototype = attended_prototype + interest  # drift per head
+
+        # Intention weights over the K interests; RecBole's full-sort path
+        # aggregates the interests in embedding space *before* scoring, so
+        # the catalog is scanned once.
+        intent = F.softmax(self.intent_proj(summary), axis=-1)  # (K,)
+        stacked = F.stack(interests, axis=0)  # (K, d)
+        return F.matmul(
+            intent.reshape(1, self.num_interests), stacked
+        ).reshape(self.embedding_dim)

@@ -1,0 +1,136 @@
+"""SR-GNN — session-based recommendation with graph neural networks
+(Wu et al., AAAI 2019).
+
+The session is converted into a directed item-transition graph; a gated
+graph neural network propagates over its normalized in/out adjacency, and an
+attention readout combines long-term preference with the current interest.
+
+**Faithful performance bug.** The paper reports (Section III-C) that the
+RecBole SR-GNN and GC-SAN implementations "contain NumPy operations in their
+inference functions which require repeated data transfers between CPU and
+GPU at inference time". The session-graph construction below (``np.unique``
+deduplication, alias lookup, adjacency normalization) runs as *host ops* via
+:func:`repro.tensor.ops.host_numpy` — on accelerators each of them forces a
+device→host→device round trip and a pipeline stall, which is exactly the
+bottleneck the paper filed RecBole bug reports about.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.models.base import SessionRecModel
+from repro.models.hyperparams import ModelConfig
+from repro.tensor import functional as F
+from repro.tensor import ops
+from repro.tensor.layers import Linear
+from repro.tensor.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def _session_nodes(items: np.ndarray, length: np.ndarray) -> np.ndarray:
+    """Unique items of the (unpadded) session, padded to max_len rows."""
+    n = int(np.asarray(length).reshape(-1)[0])
+    real = np.asarray(items, np.int64)[:n]
+    unique = np.unique(real)
+    out = np.zeros(items.shape[0], dtype=np.int64)
+    out[: unique.shape[0]] = unique
+    return out
+
+
+def _session_alias(items: np.ndarray, length: np.ndarray) -> np.ndarray:
+    """Position -> node-row index for every session position."""
+    n = int(np.asarray(length).reshape(-1)[0])
+    real = np.asarray(items, np.int64)[:n]
+    unique = np.unique(real)
+    alias = np.zeros(items.shape[0], dtype=np.int64)
+    alias[:n] = np.searchsorted(unique, real)
+    return alias
+
+
+def _session_adjacency(items: np.ndarray, length: np.ndarray) -> np.ndarray:
+    """Stacked [A_in; A_out] normalized adjacency, (2 * max_len, max_len)."""
+    max_len = items.shape[0]
+    n = int(np.asarray(length).reshape(-1)[0])
+    real = np.asarray(items, np.int64)[:n]
+    unique = np.unique(real)
+    index = np.searchsorted(unique, real)
+    a = np.zeros((max_len, max_len), dtype=np.float32)
+    for src, dst in zip(index[:-1], index[1:]):
+        a[src, dst] += 1.0
+    out_degree = a.sum(axis=1, keepdims=True)
+    a_out = np.divide(a, out_degree, out=np.zeros_like(a), where=out_degree > 0)
+    in_degree = a.sum(axis=0, keepdims=True)
+    a_in = np.divide(a, in_degree, out=np.zeros_like(a), where=in_degree > 0).T
+    return np.concatenate([a_in, a_out], axis=0)
+
+
+class GatedGraphLayer(Module):
+    """One gated GNN propagation step over the session graph."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        self.w_in = Linear(dim, dim, rng=rng)
+        self.w_out = Linear(dim, dim, rng=rng)
+        self.gate_input = Linear(2 * dim, 3 * dim, bias=True, rng=rng)
+        self.gate_hidden = Linear(dim, 3 * dim, bias=True, rng=rng)
+
+    def forward(self, hidden: Tensor, adjacency: Tensor) -> Tensor:
+        max_len = hidden.shape[0]
+        a_in = adjacency[0:max_len]
+        a_out = adjacency[max_len : 2 * max_len]
+        incoming = F.matmul(a_in, self.w_in(hidden))
+        outgoing = F.matmul(a_out, self.w_out(hidden))
+        joint = F.concat((incoming, outgoing), axis=-1)  # (L, 2d)
+
+        gi = self.gate_input(joint)
+        gh = self.gate_hidden(hidden)
+        d = self.dim
+        reset = (gi[:, 0:d] + gh[:, 0:d]).sigmoid()
+        update = (gi[:, d : 2 * d] + gh[:, d : 2 * d]).sigmoid()
+        candidate = (gi[:, 2 * d : 3 * d] + reset * gh[:, 2 * d : 3 * d]).tanh()
+        return (1.0 - update) * hidden + update * candidate
+
+
+class SRGNN(SessionRecModel):
+    name = "srgnn"
+
+    #: GNN propagation steps (RecBole default).
+    GNN_STEPS = 1
+
+    def __init__(self, config: ModelConfig):
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        d = config.embedding_dim
+        self.gnn = GatedGraphLayer(d, rng)
+        self.attn_query = Linear(d, d, bias=False, rng=rng)
+        self.attn_key = Linear(d, d, bias=False, rng=rng)
+        self.attn_energy = Linear(d, 1, bias=False, rng=rng)
+        self.combine = Linear(2 * d, d, bias=False, rng=rng)
+
+    def _graph_features(self, items: Tensor, length: Tensor) -> Tuple[Tensor, Tensor]:
+        """Session-graph construction (host ops) + GNN propagation."""
+        nodes = ops.host_numpy("srgnn_unique_nodes", _session_nodes, items, length)
+        alias = ops.host_numpy("srgnn_alias", _session_alias, items, length)
+        adjacency = ops.host_numpy(
+            "srgnn_adjacency", _session_adjacency, items, length
+        )
+        hidden = self.item_embedding(nodes)  # (L, d) node features
+        for _step in range(self.GNN_STEPS):
+            hidden = self.gnn(hidden, adjacency)
+        # Back to sequence order: seq[i] = nodes[alias[i]].
+        sequence = F.index_select(hidden, alias, axis=0)
+        return sequence, alias
+
+    def encode_session(self, items: Tensor, length: Tensor) -> Tensor:
+        sequence, _alias = self._graph_features(items, length)
+        last = self.last_position(sequence, length)
+        energies = self.attn_energy(
+            F.sigmoid(self.attn_query(last) + self.attn_key(sequence))
+        )
+        masked = F.masked_fill(energies, self.invalid_mask_column(length), 0.0)
+        global_pref = (masked * sequence).sum(axis=0)
+        return self.combine(F.concat((global_pref, last), axis=-1))

@@ -1,0 +1,43 @@
+"""Inference-server simulations.
+
+Two serving stacks, mirroring Section II of the paper:
+
+- :class:`~repro.serving.actix.EtudeInferenceServer` — the paper's
+  Actix/Rust server: non-blocking request intake, worker threads for CPU
+  inference, and a batched GPU execution path (buffer of up to 1,024
+  requests, flushed every 2 ms).
+- :class:`~repro.serving.torchserve.TorchServeServer` — the TorchServe
+  queueing model: a Java frontend dispatching to a small pool of
+  single-threaded Python workers over IPC, with the internal 100 ms queue
+  timeout that produces the HTTP-error avalanche of Figure 2.
+
+Model execution time comes from a
+:class:`~repro.hardware.latency_model.ServiceTimeProfile`; the servers
+simulate queueing, batching, contention and overheads around it.
+"""
+
+from repro.serving.request import (
+    HTTP_OK,
+    HTTP_SERVICE_UNAVAILABLE,
+    RecommendationRequest,
+    RecommendationResponse,
+)
+from repro.serving.profiles import ActixProfile, TorchServeProfile
+from repro.serving.batching import BatchingConfig
+from repro.serving.access_log import AccessLog, AccessRecord
+from repro.serving.actix import EtudeInferenceServer
+from repro.serving.torchserve import TorchServeServer
+
+__all__ = [
+    "AccessLog",
+    "AccessRecord",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "HTTP_OK",
+    "HTTP_SERVICE_UNAVAILABLE",
+    "ActixProfile",
+    "TorchServeProfile",
+    "BatchingConfig",
+    "EtudeInferenceServer",
+    "TorchServeServer",
+]

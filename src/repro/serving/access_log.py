@@ -1,0 +1,66 @@
+"""Per-request access logs for the inference server.
+
+Production servers emit access logs; here they double as the ground truth
+for validating queueing behaviour (FIFO order, batch co-membership, wait
+decomposition) in tests and deep-dive analyses. Disabled by default — a
+ten-minute ramp produces hundreds of thousands of records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One served request, as the server saw it."""
+
+    request_id: int
+    arrived_at: float
+    started_at: float
+    completed_at: float
+    batch_id: int
+    batch_size: int
+    status: int
+
+    @property
+    def wait_s(self) -> float:
+        return self.started_at - self.arrived_at
+
+    @property
+    def service_s(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class AccessLog:
+    """An append-only record collection with query helpers."""
+
+    records: List[AccessRecord] = field(default_factory=list)
+
+    def append(self, record: AccessRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def by_batch(self) -> dict:
+        groups: dict = {}
+        for record in self.records:
+            groups.setdefault(record.batch_id, []).append(record)
+        return groups
+
+    def started_in_arrival_order(self) -> bool:
+        """FIFO check: service start order respects arrival order."""
+        by_start = sorted(self.records, key=lambda r: (r.started_at, r.arrived_at))
+        arrivals = [record.arrived_at for record in by_start]
+        return all(a <= b + 1e-12 for a, b in zip(arrivals, arrivals[1:]))
+
+    def mean_wait_s(self) -> float:
+        if not self.records:
+            raise ValueError("empty access log")
+        return sum(record.wait_s for record in self.records) / len(self.records)

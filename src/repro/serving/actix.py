@@ -1,0 +1,269 @@
+"""The ETUDE inference server (Actix/Rust equivalent).
+
+Serving semantics reproduced from the paper's implementation:
+
+- non-blocking request intake: accepting a request costs (almost) nothing;
+  pending work parks in a queue bounded only by a large backlog cap;
+- CPU deployments run ``device.concurrent_workers`` inference threads that
+  contend for the machine's shared memory bandwidth;
+- GPU deployments funnel requests through the batching buffer (up to 1,024
+  requests / 2 ms linger) into a single device executor;
+- the pure inference duration is reported back on each response (the
+  HTTP-header metric of the paper);
+- no internal timeout: under overload, latency grows and the *load
+  generator's* backpressure logic reacts — which is exactly the behaviour
+  ETUDE was designed to observe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.device import DeviceModel
+from repro.hardware.latency_model import ServiceTimeProfile
+from repro.serving.access_log import AccessLog, AccessRecord
+from repro.serving.batching import BatchingConfig
+from repro.serving.profiles import ActixProfile
+from repro.serving.request import (
+    HTTP_OK,
+    HTTP_SERVICE_UNAVAILABLE,
+    RecommendationRequest,
+    RecommendationResponse,
+    ResponseCallback,
+)
+from repro.simulation import Signal, Simulator
+
+
+class EtudeInferenceServer:
+    """One deployed model replica served by the Actix-style runtime."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        device: DeviceModel,
+        service_profile: ServiceTimeProfile,
+        rng: np.random.Generator,
+        profile: Optional[ActixProfile] = None,
+        batching: Optional[BatchingConfig] = None,
+        model=None,
+        name: str = "etude-server",
+        worker_threads: Optional[int] = None,
+        access_log: Optional[AccessLog] = None,
+    ):
+        self.simulator = simulator
+        self.device = device
+        self.service_profile = service_profile
+        self.profile = profile or ActixProfile()
+        self.batching = batching or BatchingConfig()
+        self.rng = rng
+        self.model = model
+        self.name = name
+        # The paper: the server "allows users to configure the number of
+        # worker threads"; default = one per device execution slot.
+        if worker_threads is not None and worker_threads < 1:
+            raise ValueError("worker_threads must be >= 1")
+        self.worker_threads = worker_threads or device.concurrent_workers
+        #: Optional per-request access log (testing / deep dives).
+        self.access_log = access_log
+        self._batch_counter = 0
+
+        # Queue entries: (request, respond, arrival_time).
+        self._queue: Deque[Tuple[RecommendationRequest, ResponseCallback, float]] = (
+            deque()
+        )
+        self._work_signal = Signal(f"{name}-work")
+        self._active_workers = 0
+        self.completed = 0
+        self.rejected = 0
+        self.healthy = True
+
+        if device.supports_batching():
+            simulator.spawn(self._gpu_executor())
+        else:
+            for index in range(self.worker_threads):
+                simulator.spawn(self._cpu_worker(index))
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(
+        self, request: RecommendationRequest, respond: ResponseCallback
+    ) -> None:
+        """Accept a request (called at its arrival time)."""
+        if not self.healthy or len(self._queue) >= self.profile.max_queue_depth:
+            self.rejected += 1
+            self._fail(request, respond)
+            return
+        self._queue.append((request, respond, self.simulator.now))
+        self._work_signal.fire()
+
+    def _fail(
+        self, request: RecommendationRequest, respond: ResponseCallback
+    ) -> None:
+        now = self.simulator.now
+        respond(
+            RecommendationResponse(
+                request_id=request.request_id,
+                status=HTTP_SERVICE_UNAVAILABLE,
+                completed_at=now,
+                latency_s=now - request.sent_at,
+            )
+        )
+
+    def crash(self) -> None:
+        """Simulated pod crash: stop accepting, fail everything queued.
+
+        Requests already executing fail at completion time (the client's
+        connection is gone). Used by the cluster's failure injection.
+        """
+        self.healthy = False
+        while self._queue:
+            request, respond, _arrival = self._queue.popleft()
+            self._fail(request, respond)
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _wait_for_work(self) -> Signal:
+        if self._work_signal.fired:
+            self._work_signal = Signal(f"{self.name}-work")
+        return self._work_signal
+
+    def _http_overhead(self) -> float:
+        jitter = float(
+            self.rng.lognormal(mean=0.0, sigma=self.profile.jitter_sigma)
+        )
+        return self.profile.request_overhead_s * jitter
+
+    def _respond_ok(
+        self,
+        request: RecommendationRequest,
+        respond: ResponseCallback,
+        inference_s: float,
+        batch_size: int,
+        queue_s: float = 0.0,
+    ) -> None:
+        if not self.healthy:
+            self._fail(request, respond)
+            return
+        items = None
+        if self.model is not None:
+            items = self.model.recommend(request.session_items)
+        now = self.simulator.now
+        respond(
+            RecommendationResponse(
+                request_id=request.request_id,
+                status=HTTP_OK,
+                completed_at=now,
+                latency_s=now - request.sent_at,
+                inference_s=inference_s,
+                queue_s=queue_s,
+                batch_size=batch_size,
+                items=items,
+            )
+        )
+        self.completed += 1
+
+    # -- CPU path -------------------------------------------------------------------
+
+    def _cpu_service_time(self) -> float:
+        """Single-inference time under current worker contention."""
+        base = self.service_profile.latency(1)
+        memory_s = (
+            self.service_profile.bytes_per_item / self.device.weight_bandwidth
+        )
+        other_s = max(base - memory_s, 0.0)
+        contention = 1.0
+        if self.device.shared_bandwidth:
+            demanded = self._active_workers * self.device.weight_bandwidth
+            contention = max(1.0, demanded / self.device.shared_bandwidth)
+        noise = float(self.rng.lognormal(mean=0.0, sigma=0.08))
+        return (other_s + memory_s * contention) * noise
+
+    def _cpu_worker(self, index: int):
+        while True:
+            if not self._queue:
+                yield self._wait_for_work()
+                continue
+            request, respond, arrival = self._queue.popleft()
+            started = self.simulator.now
+            queue_s = started - arrival
+            self._active_workers += 1
+            inference_s = self._cpu_service_time()
+            yield self._http_overhead() + inference_s
+            self._active_workers -= 1
+            if self.access_log is not None:
+                self._batch_counter += 1
+                self.access_log.append(
+                    AccessRecord(
+                        request_id=request.request_id,
+                        arrived_at=arrival,
+                        started_at=started,
+                        completed_at=self.simulator.now,
+                        batch_id=self._batch_counter,
+                        batch_size=1,
+                        status=HTTP_OK if self.healthy else HTTP_SERVICE_UNAVAILABLE,
+                    )
+                )
+            self._respond_ok(
+                request, respond, inference_s, batch_size=1, queue_s=queue_s
+            )
+
+    # -- GPU path ---------------------------------------------------------------------
+
+    def _gpu_batch_time(self, batch_size: int) -> float:
+        noise = float(self.rng.lognormal(mean=0.0, sigma=0.08))
+        return self.service_profile.latency(batch_size) * noise
+
+    def _gpu_executor(self):
+        max_batch = self.batching.max_batch_size
+        linger = self.batching.max_delay_s
+        while True:
+            if not self._queue:
+                yield self._wait_for_work()
+                continue
+            # Honour the linger window: flush when the oldest buffered
+            # request is max_delay old or the buffer is full.
+            oldest = self._queue[0][2]
+            deadline = oldest + linger
+            if self.simulator.now < deadline and len(self._queue) < max_batch:
+                yield deadline - self.simulator.now
+            take = min(len(self._queue), max_batch)
+            if take == 0:
+                continue
+            batch = [self._queue.popleft() for _ in range(take)]
+            started = self.simulator.now
+            batch_time = self._gpu_batch_time(take)
+            yield batch_time
+            self._batch_counter += 1
+            if self.access_log is not None:
+                for request, _respond, arrival in batch:
+                    self.access_log.append(
+                        AccessRecord(
+                            request_id=request.request_id,
+                            arrived_at=arrival,
+                            started_at=started,
+                            completed_at=self.simulator.now,
+                            batch_id=self._batch_counter,
+                            batch_size=take,
+                            status=HTTP_OK if self.healthy else HTTP_SERVICE_UNAVAILABLE,
+                        )
+                    )
+            for request, respond, arrival in batch:
+                # HTTP handling happens concurrently on the event loop; it
+                # adds latency but does not occupy the device.
+                self.simulator.call_in(
+                    self._http_overhead(),
+                    self._make_responder(
+                        request, respond, batch_time, take, started - arrival
+                    ),
+                )
+
+    def _make_responder(self, request, respond, batch_time, take, queue_s):
+        return lambda: self._respond_ok(
+            request, respond, batch_time, take, queue_s=queue_s
+        )

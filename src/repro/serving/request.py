@@ -1,0 +1,59 @@
+"""Recommendation request/response types flowing through the simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+HTTP_OK = 200
+HTTP_SERVICE_UNAVAILABLE = 503
+#: Client-side timeout (the load generator gave up waiting).
+HTTP_GATEWAY_TIMEOUT = 504
+
+
+@dataclass
+class RecommendationRequest:
+    """One next-item recommendation request for an ongoing session.
+
+    ``session_items`` is the session prefix up to (and including) the
+    current click — what the deployed model would receive as input.
+    """
+
+    request_id: int
+    session_id: int
+    session_items: np.ndarray
+    sent_at: float
+
+    @property
+    def session_length(self) -> int:
+        return int(self.session_items.shape[0])
+
+
+@dataclass
+class RecommendationResponse:
+    """The server's answer, with the metrics ETUDE extracts.
+
+    The paper's inference server reports the pure inference duration via an
+    HTTP response header in addition to the end-to-end latency the load
+    generator measures; ``inference_s`` is that header.
+    """
+
+    request_id: int
+    status: int
+    completed_at: float
+    latency_s: float
+    inference_s: float = 0.0
+    #: Time spent waiting in the server's queue / batching buffer before
+    #: execution started (the latency-decomposition header).
+    queue_s: float = 0.0
+    batch_size: int = 1
+    items: Optional[np.ndarray] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == HTTP_OK
+
+
+ResponseCallback = Callable[[RecommendationResponse], None]

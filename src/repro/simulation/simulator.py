@@ -1,0 +1,86 @@
+"""The discrete-event simulator core.
+
+A tiny, fast simpy-like engine: a heap of timestamped callbacks plus
+generator-based processes. Determinism: ties on the heap break by insertion
+sequence number, and all randomness used by simulation actors flows through
+:class:`~repro.simulation.random_streams.RandomStreams`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.simulation.events import Signal
+
+Process = Generator[Any, Any, None]
+
+
+class Simulator:
+    """Virtual clock + event heap + process scheduler."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._live_processes = 0
+
+    # -- low-level scheduling ---------------------------------------------------
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, (time, self._sequence, fn))
+        self._sequence += 1
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + max(delay, 0.0), fn)
+
+    # -- processes ----------------------------------------------------------------
+
+    def spawn(self, process: Process) -> None:
+        """Start a generator-based process immediately."""
+        self._live_processes += 1
+        self.call_in(0.0, lambda: self._step(process))
+
+    def _step(self, process: Process, send_value: Any = None) -> None:
+        try:
+            yielded = process.send(send_value)
+        except StopIteration:
+            self._live_processes -= 1
+            return
+        if isinstance(yielded, Signal):
+            signal = yielded
+            signal.add_waiter(
+                lambda: self.call_in(0.0, lambda: self._step(process, signal.payload))
+            )
+        elif isinstance(yielded, (int, float)):
+            self.call_in(float(yielded), lambda: self._step(process))
+        else:
+            raise TypeError(
+                f"process yielded {type(yielded).__name__}; "
+                "expected a delay (seconds) or a Signal"
+            )
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains or ``until`` is reached.
+
+        Returns the simulation time at which execution stopped.
+        """
+        while self._heap:
+            time, _seq, fn = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time
+            fn()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

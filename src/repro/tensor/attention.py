@@ -1,0 +1,151 @@
+"""Attention primitives: scaled dot-product and multi-head attention.
+
+Used by NARM (hybrid attention encoder), STAMP (gated self-attention), the
+transformer models (SASRec, CORE, LightSANs) and GC-SAN's self-attention
+block. Sessions are short (the paper's workloads have power-law lengths with
+a small mean), so the quadratic-in-length terms are cheap; the kernel-launch
+count is what matters for small catalogs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.layers import Dropout, LayerNorm, Linear
+from repro.tensor.module import Module
+from repro.tensor.tensor import Tensor
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Attention over ``(len_q, d) x (len_k, d) x (len_k, d_v)`` inputs."""
+    d = query.shape[-1]
+    scores = F.scale(query @ key.T, 1.0 / math.sqrt(d))
+    if mask is not None:
+        scores = F.masked_fill(scores, mask, -1e9)
+    weights = F.softmax(scores, axis=-1)
+    return weights @ value
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self/cross attention with output projection."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout)
+
+    def _split_heads(self, x: Tensor, length: int) -> Tensor:
+        # (L, dim) -> (heads, L, head_dim)
+        return x.reshape(length, self.num_heads, self.head_dim).transpose(1, 0, 2)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Optional[Tensor] = None,
+        value: Optional[Tensor] = None,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        key = query if key is None else key
+        value = key if value is None else value
+        len_q, len_k = query.shape[0], key.shape[0]
+
+        q = self._split_heads(self.q_proj(query), len_q)
+        k = self._split_heads(self.k_proj(key), len_k)
+        v = self._split_heads(self.v_proj(value), len_k)
+
+        scores = F.scale(q @ k.transpose(0, 2, 1), 1.0 / math.sqrt(self.head_dim))
+        if mask is not None:
+            # masked_fill broadcasts (len_q, len_k) masks over the head axis;
+            # Tensor masks stay in the traced dataflow, ndarrays get baked.
+            scores = F.masked_fill(scores, mask, -1e9)
+        weights = F.softmax(scores, axis=-1)
+        weights = self.dropout(weights)
+        context = weights @ v  # (heads, L, head_dim)
+        merged = context.transpose(1, 0, 2).reshape(len_q, self.dim)
+        return self.out_proj(merged)
+
+
+class TransformerFeedForward(Module):
+    """Position-wise feed-forward block (linear -> activation -> linear)."""
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        activation: str = "gelu",
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+        self.activation = activation
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.fc1(x)
+        if self.activation == "gelu":
+            hidden = F.gelu(hidden)
+        elif self.activation == "relu":
+            hidden = F.relu(hidden)
+        else:
+            hidden = F.tanh(hidden)
+        return self.fc2(self.dropout(hidden))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block used by the transformer models."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        ff_multiplier: int = 4,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.attention = MultiHeadAttention(dim, num_heads, dropout, rng=rng)
+        self.feed_forward = TransformerFeedForward(
+            dim, dim * ff_multiplier, dropout=dropout, rng=rng
+        )
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(self.norm1(x), mask=mask)
+        x = x + self.dropout(attended)
+        transformed = self.feed_forward(self.norm2(x))
+        return x + self.dropout(transformed)
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean mask hiding future positions (True = masked)."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)

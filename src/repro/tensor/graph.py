@@ -1,0 +1,172 @@
+"""Dataflow graph IR for jit trace capture.
+
+:class:`GraphBuilder` is installed by :func:`repro.tensor.jit.trace` via
+:func:`repro.tensor.ops.set_graph_builder`. Every op executed while it is
+active adds a :class:`Node`; tensors are tracked by identity so the builder
+reconstructs the exact dataflow of one forward pass.
+
+Leaf kinds:
+
+- ``input`` — the traced call's arguments (session item ids and length);
+- ``param`` — module parameters (shared storage with the live module);
+- ``const`` — values baked in at trace time (position ids, scalars, ...).
+
+Interior kinds:
+
+- ``op``    — a registered kernel invocation;
+- ``host``  — a host-side numpy escape hatch (SR-GNN / GC-SAN pattern);
+- ``fused`` — produced by the optimizer: a chain of elementwise kernels
+  executed as one launch with intermediates kept in registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class Node:
+    id: int
+    kind: str
+    op: str = ""
+    inputs: Tuple[int, ...] = ()
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    array: Optional[np.ndarray] = None
+    is_param: bool = False
+    batch_invariant: bool = False
+    catalog_scale: float = 1.0
+    host_fn: Optional[Callable] = None
+    # For fused nodes: the sub-nodes executed inside the single launch, in
+    # order. Each sub-node reads from the environment or earlier sub-outputs.
+    fused: List["Node"] = field(default_factory=list)
+
+    def is_leaf(self) -> bool:
+        return self.kind in ("input", "param", "const")
+
+
+class Graph:
+    """An ordered list of nodes; execution order is node order."""
+
+    def __init__(self):
+        self.nodes: List[Node] = []
+        self.input_ids: List[int] = []
+        self.output_id: Optional[int] = None
+        self._next_id = 0
+
+    def new_node(self, **kwargs) -> Node:
+        node = Node(id=self._next_id, **kwargs)
+        self._next_id += 1
+        self.nodes.append(node)
+        return node
+
+    def node_by_id(self, node_id: int) -> Node:
+        for node in self.nodes:
+            if node.id == node_id:
+                return node
+        raise KeyError(node_id)
+
+    def consumers(self) -> Dict[int, List[Node]]:
+        """Map node id -> nodes that read it."""
+        result: Dict[int, List[Node]] = {node.id: [] for node in self.nodes}
+        for node in self.nodes:
+            for input_id in node.inputs:
+                result[input_id].append(node)
+        return result
+
+    def op_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            if node.kind in ("op", "host", "fused"):
+                label = node.op or node.kind
+                counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def launch_count(self) -> int:
+        """Kernel launches the graph performs (views are free)."""
+        free = {"reshape", "transpose"}
+        count = 0
+        for node in self.nodes:
+            if node.kind in ("op", "host", "fused") and node.op not in free:
+                count += 1
+        return count
+
+
+class GraphBuilder:
+    """Records ops into a :class:`Graph` during one traced forward pass."""
+
+    def __init__(self):
+        self.graph = Graph()
+        self._tensor_nodes: Dict[int, int] = {}
+        # Keep every tensor we have assigned a node alive for the duration of
+        # the capture so CPython cannot recycle its id().
+        self._keepalive: List[Tensor] = []
+
+    # -- registration -----------------------------------------------------
+
+    def register_input(self, tensor: Tensor, name: str) -> None:
+        node = self.graph.new_node(kind="input", op=name)
+        self.graph.input_ids.append(node.id)
+        self._bind(tensor, node)
+
+    def _bind(self, tensor: Tensor, node: Node) -> None:
+        self._tensor_nodes[id(tensor)] = node.id
+        self._keepalive.append(tensor)
+
+    def _node_for_value(self, value) -> int:
+        """Node id for an op input, creating leaves as needed."""
+        if isinstance(value, Tensor):
+            known = self._tensor_nodes.get(id(value))
+            if known is not None:
+                return known
+            kind = "param" if value.is_param else "const"
+            node = self.graph.new_node(
+                kind=kind,
+                array=value.data,
+                is_param=value.is_param,
+                batch_invariant=True,
+                catalog_scale=value.catalog_scale,
+                op=value.name or "",
+            )
+            self._bind(value, node)
+            return node.id
+        array = np.asarray(value, dtype=np.float32)
+        node = self.graph.new_node(kind="const", array=array, batch_invariant=True)
+        return node.id
+
+    # -- hooks called from ops.run_op / ops.host_numpy ------------------------
+
+    def add_op(self, name, inputs, attrs, out: Tensor, record) -> None:
+        input_ids = tuple(self._node_for_value(v) for v in inputs)
+        node = self.graph.new_node(
+            kind="op",
+            op=name,
+            inputs=input_ids,
+            attrs=dict(attrs),
+            catalog_scale=record.catalog_scale,
+            batch_invariant=record.batch_invariant,
+        )
+        self._bind(out, node)
+        self.graph.output_id = node.id
+
+    def add_host_op(self, name, fn, inputs, out: Tensor, record) -> None:
+        input_ids = tuple(self._node_for_value(v) for v in inputs)
+        node = self.graph.new_node(
+            kind="host",
+            op=f"host[{name}]",
+            inputs=input_ids,
+            host_fn=fn,
+            catalog_scale=record.catalog_scale,
+        )
+        self._bind(out, node)
+        self.graph.output_id = node.id
+
+    def set_output(self, tensor: Tensor) -> None:
+        node_id = self._tensor_nodes.get(id(tensor))
+        if node_id is None:
+            raise ValueError("traced output was not produced by a recorded op")
+        self.graph.output_id = node_id

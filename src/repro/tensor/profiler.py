@@ -1,0 +1,145 @@
+"""Per-op inference profiling — the "why is my model slow?" tool.
+
+The paper found RecBole's bottlenecks by inspecting implementations by
+hand; this profiler automates the workflow ETUDE enables: run one forward
+pass, fold every op's cost through a device model, and show where the time
+goes. The RepeatNet/SR-GNN findings of Section III-C fall straight out of
+the table (a dense one-hot matmul / host-transfer rows at the top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.device import DeviceModel
+from repro.hardware.latency_model import LatencyModel
+from repro.tensor import cost_trace
+from repro.tensor.ops import CostRecord, CostTrace
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class OpProfile:
+    """Aggregated cost of one op kind within a forward pass."""
+
+    op: str
+    calls: int
+    flops: float
+    param_bytes: float
+    activation_bytes: float
+    transfer_bytes: float
+    time_s: float
+    share: float
+    host_op: bool
+
+
+@dataclass
+class ProfileReport:
+    """A full per-op breakdown for one (model, device) pair."""
+
+    device_name: str
+    total_time_s: float
+    rows: List[OpProfile]
+
+    def top(self, n: int = 5) -> List[OpProfile]:
+        return self.rows[:n]
+
+    def row_for(self, op: str) -> Optional[OpProfile]:
+        for row in self.rows:
+            if row.op == op:
+                return row
+        return None
+
+    def render(self, max_rows: int = 15) -> str:
+        lines = [
+            f"profile on {self.device_name}: "
+            f"{self.total_time_s * 1e3:.3f} ms per inference",
+            f"{'op':<32} {'calls':>6} {'time ms':>9} {'share':>7} "
+            f"{'GFLOP':>7} {'param MB':>9} {'act MB':>8}",
+        ]
+        for row in self.rows[:max_rows]:
+            host = " [host]" if row.host_op else ""
+            lines.append(
+                f"{(row.op + host):<32} {row.calls:>6} "
+                f"{row.time_s * 1e3:>9.3f} {row.share * 100:>6.1f}% "
+                f"{row.flops / 1e9:>7.3f} {row.param_bytes / 1e6:>9.2f} "
+                f"{row.activation_bytes / 1e6:>8.2f}"
+            )
+        if len(self.rows) > max_rows:
+            lines.append(f"... {len(self.rows) - max_rows} more op kinds")
+        return "\n".join(lines)
+
+
+def _record_time(model: LatencyModel, record: CostRecord) -> float:
+    """Single-request latency contribution of one record."""
+    single = CostTrace()
+    single.append(record)
+    profile = model.profile(single)
+    # Per-request view: fixed + one item, minus the per-request constant
+    # that profile() adds so it is not double-counted across records.
+    return (
+        profile.fixed_s
+        + profile.per_item_s
+        - model.device.per_request_overhead_s
+    )
+
+
+def profile_trace(trace: CostTrace, device: DeviceModel) -> ProfileReport:
+    """Fold a captured trace into a per-op-kind report."""
+    model = LatencyModel(device)
+    groups: Dict[str, Dict] = {}
+    for record in trace:
+        scale = record.catalog_scale
+        entry = groups.setdefault(
+            record.op,
+            {
+                "calls": 0,
+                "flops": 0.0,
+                "param": 0.0,
+                "act": 0.0,
+                "transfer": 0.0,
+                "time": 0.0,
+                "host": record.host_op,
+            },
+        )
+        entry["calls"] += 1
+        entry["flops"] += record.flops * scale
+        entry["param"] += record.param_bytes * scale
+        entry["act"] += (record.read_bytes + record.write_bytes) * scale
+        entry["transfer"] += record.transfer_bytes * scale
+        entry["time"] += _record_time(model, record)
+
+    total = sum(entry["time"] for entry in groups.values())
+    total += device.per_request_overhead_s
+    rows = [
+        OpProfile(
+            op=op,
+            calls=entry["calls"],
+            flops=entry["flops"],
+            param_bytes=entry["param"],
+            activation_bytes=entry["act"],
+            transfer_bytes=entry["transfer"],
+            time_s=entry["time"],
+            share=entry["time"] / total if total > 0 else 0.0,
+            host_op=entry["host"],
+        )
+        for op, entry in groups.items()
+    ]
+    rows.sort(key=lambda row: row.time_s, reverse=True)
+    return ProfileReport(device_name=device.name, total_time_s=total, rows=rows)
+
+
+def profile_model(
+    model,
+    device: DeviceModel,
+    session: Optional[Sequence[int]] = None,
+) -> ProfileReport:
+    """Profile one forward pass of a SessionRecModel-style model."""
+    if session is None:
+        items, length = model.example_inputs()
+    else:
+        items, length = model.prepare_inputs(list(session))
+    with cost_trace() as trace:
+        model.forward(Tensor(items), Tensor(length))
+    return profile_trace(trace, device)

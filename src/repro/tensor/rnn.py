@@ -1,0 +1,139 @@
+"""Recurrent building blocks: GRU cell and (multi-layer) GRU stack.
+
+GRU4Rec, NARM, and RepeatNet's encoder/decoders all run on these. The cell
+is expressed with the same six-matmul decomposition eager PyTorch uses
+(two fused input/hidden projections of 3x hidden size), so the kernel-launch
+profile — the quantity that dominates small-catalog latency in the paper's
+microbenchmark — is faithful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor import ops
+from repro.tensor.module import Module, Parameter, _xavier
+from repro.tensor.tensor import Tensor
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit step."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            _xavier(rng, input_size, hidden_size, (3 * hidden_size, input_size))
+        )
+        self.weight_hh = Parameter(
+            _xavier(rng, hidden_size, hidden_size, (3 * hidden_size, hidden_size))
+        )
+        self.bias_ih = Parameter(np.zeros(3 * hidden_size, dtype=np.float32))
+        self.bias_hh = Parameter(np.zeros(3 * hidden_size, dtype=np.float32))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        d = self.hidden_size
+        gi = F.linear(x, self.weight_ih, self.bias_ih)
+        gh = F.linear(h, self.weight_hh, self.bias_hh)
+        i_r, i_z, i_n = gi[..., 0:d], gi[..., d : 2 * d], gi[..., 2 * d : 3 * d]
+        h_r, h_z, h_n = gh[..., 0:d], gh[..., d : 2 * d], gh[..., 2 * d : 3 * d]
+        reset = (i_r + h_r).sigmoid()
+        update = (i_z + h_z).sigmoid()
+        candidate = (i_n + reset * h_n).tanh()
+        return (1.0 - update) * h + update * candidate
+
+    def initial_state(self) -> Tensor:
+        return Tensor(np.zeros(self.hidden_size, dtype=np.float32))
+
+
+class GRU(Module):
+    """A (possibly multi-layer) GRU over a session sequence.
+
+    By default each layer executes as one fused ``gru_sequence`` kernel —
+    the cuDNN-style path ``torch.nn.GRU`` takes, one launch per layer. Pass
+    ``fused=False`` to unroll through :class:`GRUCell` (the expensive
+    eager-cell pattern; useful for tests and ablations).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        fused: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.fused = fused
+        self._layer_names: List[str] = []
+        for layer in range(num_layers):
+            cell = GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            name = f"cell{layer}"
+            setattr(self, name, cell)
+            self._layer_names.append(name)
+
+    def forward(
+        self, inputs: Tensor, initial_state: Optional[Tensor] = None
+    ) -> Tuple[Tensor, Tensor]:
+        """Run over a ``(seq_len, input_size)`` sequence.
+
+        Returns ``(outputs, final_hidden)`` where ``outputs`` is
+        ``(seq_len, hidden_size)`` from the top layer and ``final_hidden``
+        the hidden state after the last step of the top layer.
+        """
+        if self.fused:
+            return self._forward_fused(inputs, initial_state)
+        return self._forward_unrolled(inputs, initial_state)
+
+    def _forward_fused(
+        self, inputs: Tensor, initial_state: Optional[Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        value = inputs
+        for index, name in enumerate(self._layer_names):
+            cell: GRUCell = self._modules[name]
+            if initial_state is not None and index == 0:
+                h0 = initial_state
+            else:
+                h0 = cell.initial_state()
+            value = ops.run_op(
+                "gru_sequence",
+                (value, cell.weight_ih, cell.weight_hh, cell.bias_ih, cell.bias_hh, h0),
+            )
+        final = value[-1]
+        return value, final
+
+    def _forward_unrolled(
+        self, inputs: Tensor, initial_state: Optional[Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        seq_len = inputs.shape[0]
+        states = []
+        for index, name in enumerate(self._layer_names):
+            cell: GRUCell = self._modules[name]
+            if initial_state is not None and index == 0:
+                states.append(initial_state)
+            else:
+                states.append(cell.initial_state())
+        outputs = []
+        for t in range(seq_len):
+            value = inputs[t]
+            for index, name in enumerate(self._layer_names):
+                cell = self._modules[name]
+                states[index] = cell(value, states[index])
+                value = states[index]
+            outputs.append(value)
+        stacked = F.stack(outputs, axis=0)
+        return stacked, states[-1]

@@ -1,0 +1,63 @@
+"""Model artifact (de)serialization.
+
+In the paper, trained models are serialized (TorchScript) into a Google
+storage bucket, from which the inference server deploys them. Here the
+artifact format is an ``.npz`` of the state dict plus a small metadata
+header; :mod:`repro.cluster.storage` stores these bytes in its in-memory
+bucket and the serving layer loads them on pod startup.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.tensor.module import Module
+
+_FORMAT_VERSION = 1
+
+
+def save_module_state(module: Module, metadata: Dict[str, Any] = None) -> bytes:
+    """Serialize a module's parameters (and metadata) to bytes."""
+    state = module.state_dict()
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "metadata": metadata or {},
+        "parameters": sorted(state),
+    }
+    buffer = io.BytesIO()
+    np.savez(buffer, __header__=np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    ), **state)
+    return buffer.getvalue()
+
+
+def load_module_state(blob: bytes) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Deserialize artifact bytes into ``(state_dict, metadata)``."""
+    buffer = io.BytesIO(blob)
+    with np.load(buffer) as archive:
+        raw_header = archive["__header__"].tobytes().decode("utf-8")
+        header = json.loads(raw_header)
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported artifact format: {header.get('format_version')}"
+            )
+        state = {
+            name: archive[name]
+            for name in archive.files
+            if name != "__header__"
+        }
+    expected = set(header.get("parameters", []))
+    if expected and expected != set(state):
+        raise ValueError("artifact parameter list does not match payload")
+    return state, header.get("metadata", {})
+
+
+def load_into_module(module: Module, blob: bytes) -> Dict[str, Any]:
+    """Load artifact bytes into an already-constructed module."""
+    state, metadata = load_module_state(blob)
+    module.load_state_dict(state)
+    return metadata

@@ -1,0 +1,130 @@
+"""Comparing cost traces across execution modes.
+
+Answers "what exactly did the optimizer buy?" with numbers: launches,
+FLOPs, parameter/activation traffic and modeled device latency, side by
+side for two traces of the same model (eager vs JIT, JIT vs ONNX, fp32 vs
+int8). Used by the ablation benchmarks and handy interactively::
+
+    from repro.core.registry import GLOBAL_REGISTRY
+    from repro.tensor.trace_diff import diff_traces
+    eager, _, _ = GLOBAL_REGISTRY.trace("sasrec", 100_000, "eager")
+    jit, _, _ = GLOBAL_REGISTRY.trace("sasrec", 100_000, "jit")
+    print(diff_traces(eager, jit, labels=("eager", "jit")).render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hardware.device import DeviceModel
+from repro.hardware.latency_model import LatencyModel
+from repro.tensor.ops import CostTrace
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """The aggregate quantities one trace contributes."""
+
+    label: str
+    ops: int
+    launches: float
+    flops: float
+    param_bytes: float
+    activation_bytes: float
+    transfer_bytes: float
+    host_ops: int
+
+    @classmethod
+    def of(cls, trace: CostTrace, label: str) -> "TraceSummary":
+        return cls(
+            label=label,
+            ops=len(trace),
+            launches=float(trace.total_launches),
+            flops=trace.total_flops,
+            param_bytes=trace.total_param_bytes,
+            activation_bytes=trace.total_activation_bytes,
+            transfer_bytes=trace.total_transfer_bytes,
+            host_ops=trace.host_op_count,
+        )
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Two summaries plus optional modeled latencies."""
+
+    before: TraceSummary
+    after: TraceSummary
+    latency_before_s: Optional[float] = None
+    latency_after_s: Optional[float] = None
+
+    def ratio(self, field: str) -> float:
+        """after / before for one quantity (1.0 = unchanged)."""
+        numerator = getattr(self.after, field)
+        denominator = getattr(self.before, field)
+        if denominator == 0:
+            return 1.0 if numerator == 0 else float("inf")
+        return numerator / denominator
+
+    @property
+    def latency_speedup(self) -> Optional[float]:
+        if self.latency_before_s is None or self.latency_after_s is None:
+            return None
+        if self.latency_after_s == 0:
+            return float("inf")
+        return self.latency_before_s / self.latency_after_s
+
+    def render(self) -> str:
+        rows = [
+            ("ops", "ops", "d"),
+            ("launches", "launches", ".1f"),
+            ("flops", "GFLOP", "e"),
+            ("param_bytes", "param MB", "e"),
+            ("activation_bytes", "act MB", "e"),
+            ("transfer_bytes", "PCIe MB", "e"),
+            ("host_ops", "host ops", "d"),
+        ]
+        scale = {
+            "flops": 1e9,
+            "param_bytes": 1e6,
+            "activation_bytes": 1e6,
+            "transfer_bytes": 1e6,
+        }
+        lines = [
+            f"{'quantity':<12} {self.before.label:>12} {self.after.label:>12} "
+            f"{'ratio':>8}"
+        ]
+        for field, label, _fmt in rows:
+            before_value = getattr(self.before, field) / scale.get(field, 1)
+            after_value = getattr(self.after, field) / scale.get(field, 1)
+            lines.append(
+                f"{label:<12} {before_value:>12.3f} {after_value:>12.3f} "
+                f"{self.ratio(field):>7.2f}x"
+            )
+        if self.latency_speedup is not None:
+            lines.append(
+                f"{'latency ms':<12} {self.latency_before_s * 1e3:>12.3f} "
+                f"{self.latency_after_s * 1e3:>12.3f} "
+                f"{1.0 / self.latency_speedup:>7.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def diff_traces(
+    before: CostTrace,
+    after: CostTrace,
+    labels: Tuple[str, str] = ("before", "after"),
+    device: Optional[DeviceModel] = None,
+) -> TraceDiff:
+    """Summarize and compare two traces (optionally with device latency)."""
+    latency_before = latency_after = None
+    if device is not None:
+        model = LatencyModel(device)
+        latency_before = model.profile(before).latency(1)
+        latency_after = model.profile(after).latency(1)
+    return TraceDiff(
+        before=TraceSummary.of(before, labels[0]),
+        after=TraceSummary.of(after, labels[1]),
+        latency_before_s=latency_before,
+        latency_after_s=latency_after,
+    )

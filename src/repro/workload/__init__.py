@@ -1,0 +1,39 @@
+"""Synthetic workload generation (Algorithm 1) and click-log statistics.
+
+The paper's design goal: load-test without replaying sensitive real click
+data. Users supply two marginal statistics of their production click log —
+the power-law exponent ``alpha_l`` of the session-length distribution and
+the exponent ``alpha_c`` of the item click-count distribution — and ETUDE
+generates statistically faithful synthetic sessions at >1M clicks/second.
+
+Modules:
+
+- :mod:`~repro.workload.powerlaw` — bounded discrete power-law sampling via
+  inverse transform over an explicit CDF.
+- :mod:`~repro.workload.synthetic` — Algorithm 1 (vectorized).
+- :mod:`~repro.workload.statistics` — exponent fitting from an empirical log.
+- :mod:`~repro.workload.clicklog` — the ClickLog container and a richer
+  generative "real-world" log standing in for the proprietary bol.com data.
+"""
+
+from repro.workload.clicklog import ClickLog, synthesize_real_clicklog
+from repro.workload.powerlaw import BoundedPowerLaw
+from repro.workload.statistics import WorkloadStatistics, fit_power_law_exponent
+from repro.workload.synthetic import SyntheticWorkloadGenerator, generate_synthetic_sessions
+from repro.workload.validation import ValidationReport, validate_synthetic
+from repro.workload.sessionize import RawEvents, sessionize, synthesize_raw_events
+
+__all__ = [
+    "RawEvents",
+    "sessionize",
+    "synthesize_raw_events",
+    "BoundedPowerLaw",
+    "ClickLog",
+    "synthesize_real_clicklog",
+    "WorkloadStatistics",
+    "fit_power_law_exponent",
+    "SyntheticWorkloadGenerator",
+    "generate_synthetic_sessions",
+    "ValidationReport",
+    "validate_synthetic",
+]

@@ -1,0 +1,237 @@
+"""Kubernetes-like cluster: storage, deployments, readiness, service."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterIPService,
+    DeploymentError,
+    StorageBucket,
+    make_infra,
+)
+from repro.hardware import CPU_E2, GPU_T4, GPU_A100, LatencyModel
+from repro.serving.batching import BatchingConfig
+from repro.serving.request import RecommendationRequest
+from repro.simulation import Simulator
+from repro.tensor.ops import CostRecord, CostTrace
+
+
+def small_profile(device):
+    trace = CostTrace()
+    trace.append(CostRecord(op="linear", param_bytes=1e6, write_bytes=1e4))
+    return LatencyModel(device).profile(trace)
+
+
+class TestStorageBucket:
+    def test_upload_download_roundtrip(self):
+        bucket = StorageBucket()
+        bucket.upload("models/a.pt", b"payload")
+        payload, transfer_s = bucket.download("models/a.pt")
+        assert payload == b"payload"
+        assert transfer_s == pytest.approx(7 / StorageBucket.DOWNLOAD_BANDWIDTH)
+
+    def test_missing_blob_raises(self):
+        with pytest.raises(KeyError):
+            StorageBucket().download("nope")
+
+    def test_list_with_prefix(self):
+        bucket = StorageBucket()
+        bucket.upload("models/a", b"1")
+        bucket.upload("models/b", b"2")
+        bucket.upload("results/r", b"3")
+        assert bucket.list_blobs("models/") == ["models/a", "models/b"]
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            StorageBucket().upload("", b"x")
+
+    def test_delete_is_idempotent(self):
+        bucket = StorageBucket()
+        bucket.upload("x", b"1")
+        bucket.delete("x")
+        bucket.delete("x")
+        assert not bucket.exists("x")
+
+
+class TestDeploymentLifecycle:
+    def _deploy(self, replicas=2):
+        infra = make_infra(seed=5)
+        infra.bucket.upload("models/test.pt", b"x" * 1000)
+        deployment = infra.cluster.deploy_model(
+            name="test",
+            instance_type=CPU_E2,
+            replicas=replicas,
+            artifact_path="models/test.pt",
+            service_profile=small_profile(CPU_E2.device),
+            resident_bytes=1e6,
+            score_bytes_per_item=4e3,
+        )
+        return infra, deployment
+
+    def test_pods_become_ready_after_provisioning(self):
+        infra, deployment = self._deploy()
+        assert not deployment.all_ready
+        infra.simulator.run()
+        assert deployment.all_ready
+        assert deployment.ready_signal.fired
+        for pod in deployment.pods:
+            assert pod.server is not None
+            # provision (>=25s) + boot (8s) at minimum
+            assert pod.ready_at > 30.0
+
+    def test_ready_signal_fires_once_all_pods_up(self):
+        infra, deployment = self._deploy(replicas=3)
+        ready_times = []
+        def watcher():
+            yield deployment.ready_signal
+            ready_times.append(infra.simulator.now)
+        infra.simulator.spawn(watcher())
+        infra.simulator.run()
+        assert ready_times[0] == pytest.approx(
+            max(p.ready_at for p in deployment.pods)
+        )
+
+    def test_missing_artifact_rejected(self):
+        infra = make_infra(seed=5)
+        with pytest.raises(DeploymentError):
+            infra.cluster.deploy_model(
+                name="test",
+                instance_type=CPU_E2,
+                replicas=1,
+                artifact_path="models/absent.pt",
+                service_profile=small_profile(CPU_E2.device),
+                resident_bytes=1e6,
+                score_bytes_per_item=4e3,
+            )
+
+    def test_invalid_replicas(self):
+        infra = make_infra(seed=5)
+        infra.bucket.upload("m", b"x")
+        with pytest.raises(ValueError):
+            infra.cluster.deploy_model(
+                name="t", instance_type=CPU_E2, replicas=0, artifact_path="m",
+                service_profile=small_profile(CPU_E2.device),
+                resident_bytes=1.0, score_bytes_per_item=1.0,
+            )
+
+
+class TestMemoryFeasibility:
+    def test_oversized_model_rejected_on_gpu(self):
+        """A 20M-item catalog table cannot even load on a T4 next to its
+        score buffers... unless batch is capped, which fit_batching does —
+        here we force an impossible residency."""
+        with pytest.raises(DeploymentError):
+            Cluster.fit_batching(GPU_T4, resident_bytes=15e9, score_bytes_per_item=8e7)
+
+    def test_batch_capped_to_memory(self):
+        config = Cluster.fit_batching(
+            GPU_T4, resident_bytes=2.3e9, score_bytes_per_item=4e7
+        )
+        expected = int((16e9 - 2.3e9 - 2e9) // 4e7)
+        assert config.max_batch_size == expected
+        assert config.max_batch_size < 1024
+
+    def test_small_model_keeps_requested_batch(self):
+        config = Cluster.fit_batching(
+            GPU_A100, resident_bytes=1e8, score_bytes_per_item=4e4,
+            requested=BatchingConfig(max_batch_size=512),
+        )
+        assert config.max_batch_size == 512
+
+    def test_cpu_not_capped(self):
+        config = Cluster.fit_batching(
+            CPU_E2, resident_bytes=1e9, score_bytes_per_item=1e9
+        )
+        assert config.max_batch_size == BatchingConfig().max_batch_size
+
+
+class TestClusterIPService:
+    def test_round_robin_over_ready_pods(self):
+        infra = make_infra(seed=6)
+        infra.bucket.upload("m", b"x" * 100)
+        deployment = infra.cluster.deploy_model(
+            name="rr", instance_type=CPU_E2, replicas=3, artifact_path="m",
+            service_profile=small_profile(CPU_E2.device),
+            resident_bytes=1e6, score_bytes_per_item=4e3,
+        )
+        sim = infra.simulator
+        responses = []
+
+        def run_traffic():
+            yield deployment.ready_signal
+            service = ClusterIPService(sim, deployment, np.random.default_rng(0))
+            for index in range(9):
+                request = RecommendationRequest(
+                    request_id=index, session_id=index,
+                    session_items=np.array([1], dtype=np.int64), sent_at=sim.now,
+                )
+                service.submit(request, responses.append)
+                yield 0.01
+
+        sim.spawn(run_traffic())
+        sim.run()
+        assert len(responses) == 9
+        # Round robin: each pod served 3 requests.
+        counts = [pod.server.completed for pod in deployment.pods]
+        assert counts == [3, 3, 3]
+
+    def test_network_latency_added(self):
+        infra = make_infra(seed=7)
+        infra.bucket.upload("m", b"x")
+        deployment = infra.cluster.deploy_model(
+            name="net", instance_type=CPU_E2, replicas=1, artifact_path="m",
+            service_profile=small_profile(CPU_E2.device),
+            resident_bytes=1e6, score_bytes_per_item=4e3,
+        )
+        sim = infra.simulator
+        holder = {}
+
+        def run_one():
+            yield deployment.ready_signal
+            service = ClusterIPService(sim, deployment, np.random.default_rng(0))
+            request = RecommendationRequest(
+                request_id=0, session_id=0,
+                session_items=np.array([1], dtype=np.int64), sent_at=sim.now,
+            )
+            service.submit(request, lambda r: holder.update(response=r))
+
+        sim.spawn(run_one())
+        sim.run()
+        response = holder["response"]
+        # e2e latency > pure inference (network both ways + overheads).
+        assert response.latency_s > response.inference_s
+
+    def test_submit_before_ready_raises(self):
+        infra = make_infra(seed=8)
+        infra.bucket.upload("m", b"x")
+        deployment = infra.cluster.deploy_model(
+            name="early", instance_type=CPU_E2, replicas=1, artifact_path="m",
+            service_profile=small_profile(CPU_E2.device),
+            resident_bytes=1e6, score_bytes_per_item=4e3,
+        )
+        service = ClusterIPService(
+            infra.simulator, deployment, np.random.default_rng(0)
+        )
+        request = RecommendationRequest(
+            request_id=0, session_id=0,
+            session_items=np.array([1], dtype=np.int64), sent_at=0.0,
+        )
+        with pytest.raises(RuntimeError):
+            service.submit(request, lambda r: None)
+
+
+class TestInfrastructure:
+    def test_make_infra_provisions_components(self):
+        infra = make_infra(seed=1)
+        assert infra.bucket is not None
+        assert infra.cluster is not None
+        assert infra.service_accounts
+
+    def test_reset_simulator_keeps_bucket(self):
+        infra = make_infra(seed=1)
+        infra.bucket.upload("keep", b"me")
+        old_sim = infra.simulator
+        infra.reset_simulator()
+        assert infra.simulator is not old_sim
+        assert infra.bucket.exists("keep")

@@ -1,0 +1,188 @@
+"""Failure injection and horizontal pod autoscaling."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterIPService,
+    HorizontalPodAutoscaler,
+    make_infra,
+)
+from repro.hardware import CPU_E2, LatencyModel
+from repro.loadgen.generator import LoadGenerator
+from repro.metrics.collector import MetricsCollector
+from repro.tensor.ops import CostRecord, CostTrace
+
+
+def profile_with_latency(seconds):
+    """A CPU profile whose single-request latency is ~`seconds`."""
+    trace = CostTrace()
+    trace.append(
+        CostRecord(op="linear", param_bytes=seconds * CPU_E2.device.weight_bandwidth)
+    )
+    return LatencyModel(CPU_E2.device).profile(trace)
+
+
+def deploy(infra, replicas, service_seconds=0.004, name="t"):
+    infra.bucket.upload("m", b"x" * 64)
+    return infra.cluster.deploy_model(
+        name=name,
+        instance_type=CPU_E2,
+        replicas=replicas,
+        artifact_path="m",
+        service_profile=profile_with_latency(service_seconds),
+        resident_bytes=1e6,
+        score_bytes_per_item=4e3,
+    )
+
+
+def drive(infra, deployment, target_rps, duration_s, collector=None):
+    """Standard loadgen against the deployment; returns the collector."""
+    collector = collector or MetricsCollector()
+    sim = infra.simulator
+
+    def sessions():
+        while True:
+            yield np.array([1, 2, 3], dtype=np.int64)
+
+    def coordinator():
+        yield deployment.ready_signal
+        service = ClusterIPService(sim, deployment, np.random.default_rng(0))
+        LoadGenerator(
+            sim, service.submit, sessions(),
+            target_rps=target_rps, duration_s=duration_s, collector=collector,
+        ).start()
+
+    sim.spawn(coordinator())
+    return collector
+
+
+class TestPodFailure:
+    def test_crash_fails_queued_requests(self):
+        infra = make_infra(seed=1)
+        deployment = deploy(infra, replicas=2)
+        collector = drive(infra, deployment, target_rps=100, duration_s=120)
+        # Crash pod 0 mid-run, never restart it.
+        infra.cluster.inject_pod_failure(
+            deployment, 0, at_time=150.0, restart_after=None
+        )
+        infra.simulator.run()
+        assert collector.errors > 0  # the crash dropped in-flight requests
+        # Survivor kept serving: large majority of traffic succeeded.
+        assert collector.ok > collector.errors * 5
+        assert len(deployment.ready_pods) == 1
+
+    def test_restart_restores_capacity(self):
+        infra = make_infra(seed=2)
+        deployment = deploy(infra, replicas=2)
+        collector = drive(infra, deployment, target_rps=80, duration_s=200)
+        infra.cluster.inject_pod_failure(
+            deployment, 0, at_time=150.0, restart_after=15.0
+        )
+        infra.simulator.run()
+        assert len(deployment.ready_pods) == 2
+        restarted = deployment.pods[0]
+        assert restarted.server.name.endswith("restarted")
+        assert restarted.ready_at > 150.0
+
+    def test_total_outage_yields_503s_not_crashes(self):
+        infra = make_infra(seed=3)
+        deployment = deploy(infra, replicas=1)
+        collector = drive(infra, deployment, target_rps=50, duration_s=200)
+        infra.cluster.inject_pod_failure(
+            deployment, 0, at_time=150.0, restart_after=None
+        )
+        infra.simulator.run()
+        assert collector.errors > 0
+        # The run completed without exceptions and every request got an
+        # answer (conservation despite the outage).
+        assert collector.total == collector.ok + collector.errors
+
+    def test_requests_conserved_through_failures(self):
+        """Every request sent receives exactly one response."""
+        infra = make_infra(seed=4)
+        deployment = deploy(infra, replicas=3)
+        collector = drive(infra, deployment, target_rps=120, duration_s=180)
+        infra.cluster.inject_pod_failure(deployment, 1, 130.0, restart_after=10.0)
+        infra.cluster.inject_pod_failure(deployment, 2, 160.0, restart_after=None)
+        infra.simulator.run()
+        sent = sum(bucket.sent for bucket in collector.buckets())
+        assert sent == collector.ok + collector.errors
+
+
+class TestAutoscaler:
+    def test_scales_up_under_pressure(self):
+        infra = make_infra(seed=5)
+        # One slow pod (~25 ms/request, 5 workers -> ~200 rps capacity)
+        # facing a 400 rps ramp: queue pressure must trigger scale-up.
+        deployment = deploy(infra, replicas=1, service_seconds=0.025)
+        autoscaler = HorizontalPodAutoscaler(
+            infra.cluster, deployment,
+            AutoscalerConfig(min_replicas=1, max_replicas=4,
+                             target_queue_per_pod=3.0, interval_s=10.0),
+        )
+        collector = drive(infra, deployment, target_rps=400, duration_s=300)
+
+        def start_hpa():
+            yield deployment.ready_signal
+            autoscaler.start()
+
+        infra.simulator.spawn(start_hpa())
+        infra.simulator.run(until=500.0)
+        up_events = [e for e in autoscaler.events if e.direction == "up"]
+        assert up_events, "expected at least one scale-up"
+        assert max(e.to_replicas for e in up_events) >= 2
+        # New pods actually came up at some point during the run.
+        assert sum(1 for p in deployment.pods if p.ready_at < 500.0) >= 2
+        # After the ramp ended the controller scaled back down.
+        down_events = [e for e in autoscaler.events if e.direction == "down"]
+        assert down_events and down_events[-1].time > up_events[-1].time
+
+    def test_respects_max_replicas(self):
+        infra = make_infra(seed=6)
+        deployment = deploy(infra, replicas=1, service_seconds=0.05)
+        autoscaler = HorizontalPodAutoscaler(
+            infra.cluster, deployment,
+            AutoscalerConfig(min_replicas=1, max_replicas=2,
+                             target_queue_per_pod=1.0, interval_s=10.0),
+        )
+        drive(infra, deployment, target_rps=600, duration_s=240)
+
+        def start_hpa():
+            yield deployment.ready_signal
+            autoscaler.start()
+
+        infra.simulator.spawn(start_hpa())
+        infra.simulator.run(until=500.0)
+        assert len(deployment.pods) <= 2
+
+    def test_scales_down_after_stabilization(self):
+        infra = make_infra(seed=7)
+        deployment = deploy(infra, replicas=3, service_seconds=0.002)
+        autoscaler = HorizontalPodAutoscaler(
+            infra.cluster, deployment,
+            AutoscalerConfig(min_replicas=1, max_replicas=4,
+                             target_queue_per_pod=2.0, interval_s=10.0,
+                             scale_down_intervals=2),
+        )
+        # Nearly idle traffic.
+        drive(infra, deployment, target_rps=5, duration_s=200)
+
+        def start_hpa():
+            yield deployment.ready_signal
+            autoscaler.start()
+
+        infra.simulator.spawn(start_hpa())
+        infra.simulator.run(until=400.0)
+        down_events = [e for e in autoscaler.events if e.direction == "down"]
+        assert down_events
+        assert len(deployment.ready_pods) < 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=3, max_replicas=1)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(target_queue_per_pod=0)

@@ -1,0 +1,52 @@
+"""CLI: compare / reproduce / profile commands."""
+
+import io
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCompareCommand:
+    def test_table_with_slo_column(self):
+        code, output = run_cli(
+            "compare", "--models", "stamp,gru4rec", "--catalog", "10000",
+            "--rps", "50", "--duration", "20",
+        )
+        assert code == 0
+        assert "stamp" in output and "gru4rec" in output
+        assert "yes" in output
+
+
+class TestProfileCommand:
+    def test_breakdown_rows(self):
+        code, output = run_cli(
+            "profile", "--model", "srgnn", "--catalog", "100000",
+            "--instance", "GPU-T4", "--rows", "6",
+        )
+        assert code == 0
+        assert "[host]" in output
+        assert "share" in output
+
+
+class TestReproduceCommand:
+    def test_subset_to_stdout(self):
+        code, output = run_cli(
+            "reproduce", "--artifacts", "alg1,bugs", "--duration", "20",
+        )
+        assert code == 0
+        assert "# ETUDE reproduction report" in output
+        assert "Algorithm 1" in output
+
+    def test_write_to_file(self, tmp_path):
+        target = tmp_path / "report.md"
+        code, output = run_cli(
+            "reproduce", "--artifacts", "bugs", "--out", str(target),
+        )
+        assert code == 0
+        assert "wrote report" in output
+        assert "RecBole" in target.read_text()

@@ -1,0 +1,98 @@
+"""Experiment-runner details: repetition protocol, execution modes,
+artifact naming."""
+
+import pytest
+
+from repro.core import ExperimentRunner, ExperimentSpec, HardwareSpec
+from repro.core.experiment import asdict_shallow
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=404)
+
+
+class TestRepetitionProtocol:
+    def test_three_runs_return_median_by_p90(self, runner):
+        """'We execute each configuration three times and ignore the runs
+        with the lowest and highest latencies.'"""
+        spec = ExperimentSpec(
+            model="stamp", catalog_size=10_000, target_rps=60,
+            hardware=HardwareSpec("CPU", 1), duration_s=20.0,
+        )
+        singles = [
+            runner.run(
+                ExperimentSpec(**{**asdict_shallow(spec), "seed": spec.seed + i})
+            )
+            for i in range(3)
+        ]
+        median = runner.run_repeated(spec, repetitions=3)
+        expected = sorted(singles, key=lambda r: r.p90_ms)[1]
+        assert median.p90_ms == pytest.approx(expected.p90_ms)
+
+    def test_single_repetition_shortcut(self, runner):
+        spec = ExperimentSpec(
+            model="stamp", catalog_size=10_000, target_rps=30,
+            hardware=HardwareSpec("CPU", 1), duration_s=10.0,
+        )
+        assert runner.run_repeated(spec, repetitions=1).ok_requests > 0
+
+    def test_invalid_repetitions(self, runner):
+        spec = ExperimentSpec(
+            model="stamp", catalog_size=10_000, target_rps=30,
+        )
+        with pytest.raises(ValueError):
+            runner.run_repeated(spec, repetitions=0)
+
+
+class TestExecutionModes:
+    def test_onnx_mode_end_to_end(self, runner):
+        result = runner.run(
+            ExperimentSpec(
+                model="sasrec", catalog_size=10_000, target_rps=50,
+                hardware=HardwareSpec("CPU", 1), duration_s=15.0,
+                execution="onnx",
+            )
+        )
+        assert result.execution_mode == "onnx"
+        assert result.meets_slo(50.0)
+
+    def test_lightsans_reports_fallback_mode(self, runner):
+        result = runner.run(
+            ExperimentSpec(
+                model="lightsans", catalog_size=10_000, target_rps=50,
+                hardware=HardwareSpec("CPU", 1), duration_s=15.0,
+                execution="jit",
+            )
+        )
+        assert result.execution_mode == "jit-fallback-eager"
+
+
+class TestArtifacts:
+    def test_artifact_names_encode_configuration(self, runner):
+        runner.run(
+            ExperimentSpec(
+                model="narm", catalog_size=10_000, target_rps=30,
+                hardware=HardwareSpec("CPU", 1), duration_s=10.0,
+            )
+        )
+        blobs = runner.infra.bucket.list_blobs("models/")
+        assert any("narm-c10000-jit" in blob for blob in blobs)
+
+    def test_artifact_loadable(self, runner):
+        from repro.tensor.serialization import load_module_state
+
+        runner.run(
+            ExperimentSpec(
+                model="stamp", catalog_size=10_000, target_rps=30,
+                hardware=HardwareSpec("CPU", 1), duration_s=10.0,
+            )
+        )
+        path = next(
+            blob for blob in runner.infra.bucket.list_blobs("models/")
+            if "stamp" in blob
+        )
+        payload, _transfer = runner.infra.bucket.download(path)
+        state, metadata = load_module_state(payload)
+        assert metadata["model"] == "stamp"
+        assert "item_embedding.weight" in state

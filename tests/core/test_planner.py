@@ -1,0 +1,62 @@
+"""Deployment planner: Table I logic on a reduced scenario set."""
+
+import pytest
+
+from repro.core import DeploymentPlanner, ExperimentRunner, SLO
+from repro.core.spec import Scenario
+from repro.hardware import CPU_E2, GPU_A100, GPU_T4
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return DeploymentPlanner(
+        runner=ExperimentRunner(seed=11), duration_s=60.0, max_replicas=6
+    )
+
+
+class TestCapacityEstimates:
+    def test_cpu_estimate_small_catalog(self, planner):
+        scenario = Scenario("g", 10_000, 100)
+        assert planner.estimate_replicas("stamp", scenario, CPU_E2) == 1
+
+    def test_cpu_infeasible_at_ten_million(self, planner):
+        scenario = Scenario("e", 10_000_000, 1000)
+        estimate = planner.estimate_replicas("stamp", scenario, CPU_E2)
+        assert estimate > planner.max_replicas
+
+    def test_gpu_estimate_reasonable(self, planner):
+        scenario = Scenario("e", 10_000_000, 1000)
+        estimate = planner.estimate_replicas("gru4rec", scenario, GPU_T4)
+        assert 2 <= estimate <= 8
+
+
+class TestFeasibilitySearch:
+    def test_groceries_small_needs_one_cpu(self, planner):
+        scenario = Scenario("Groceries (small)", 10_000, 100)
+        option = planner.min_feasible_replicas("stamp", scenario, CPU_E2)
+        assert option is not None
+        assert option.replicas == 1
+        assert option.monthly_cost_usd == pytest.approx(108.09)
+
+    def test_platform_infeasible_on_t4(self, planner):
+        scenario = Scenario("Platform", 20_000_000, 1000)
+        option = planner.min_feasible_replicas("gru4rec", scenario, GPU_T4)
+        assert option is None
+
+    def test_platform_feasible_on_a100(self, planner):
+        scenario = Scenario("Platform", 20_000_000, 1000)
+        option = planner.min_feasible_replicas("gru4rec", scenario, GPU_A100)
+        assert option is not None
+        assert option.replicas == 3  # the paper's Table I cell
+
+    def test_plan_collects_options_and_infeasibles(self, planner):
+        scenario = Scenario("Fashion", 1_000_000, 500)
+        plans = planner.plan(scenario, ["stamp"], instances=[CPU_E2, GPU_T4])
+        plan = plans["stamp"]
+        names = {option.instance_type for option in plan.options}
+        assert "GPU-T4" in names
+        cheapest = plan.cheapest()
+        assert cheapest is not None
+        assert cheapest.monthly_cost_usd == min(
+            option.monthly_cost_usd for option in plan.options
+        )

@@ -1,0 +1,105 @@
+"""Report rendering."""
+
+import pytest
+
+from repro.core.planner import DeploymentOption, ScenarioPlan
+from repro.core.report import (
+    format_cost,
+    render_latency_series,
+    render_microbench_table,
+    render_scenario_table,
+)
+from repro.core.spec import Scenario
+from repro.core.microbench import MicrobenchResult
+from repro.metrics.results import LatencySeries, RunResult
+
+
+def make_result(**overrides):
+    base = dict(
+        model="stamp", instance_type="CPU", replicas=1, catalog_size=1000,
+        target_rps=100, duration_s=60.0, execution_mode="jit",
+        total_requests=100, ok_requests=100, error_requests=0,
+        achieved_rps=95.0, p50_ms=1.0, p90_ms=2.0, p99_ms=3.0,
+        p90_at_target_ms=2.0,
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+def make_plan(scenario, model, options):
+    plan = ScenarioPlan(scenario=scenario, model=model)
+    for instance, replicas, cost in options:
+        plan.options.append(
+            DeploymentOption(
+                instance_type=instance,
+                replicas=replicas,
+                monthly_cost_usd=cost,
+                result=make_result(instance_type=instance, replicas=replicas),
+            )
+        )
+    return plan
+
+
+class TestScenarioTable:
+    def test_marks_cheapest_and_shows_replicas(self):
+        scenario = Scenario("Demo", 1000, 100)
+        plans = {
+            "stamp": make_plan(scenario, "stamp",
+                               [("CPU", 1, 108.0), ("GPU-T4", 1, 268.0)]),
+            "core": make_plan(scenario, "core", [("GPU-T4", 2, 536.0)]),
+        }
+        table = render_scenario_table({"Demo": plans}, ["stamp", "core"])
+        assert "*CPU" in table
+        assert "x1" in table and "x2" in table
+        assert "$108" in table
+
+    def test_infeasible_cells_dashed(self):
+        scenario = Scenario("Demo", 1000, 100)
+        plans = {"stamp": make_plan(scenario, "stamp", [("CPU", 1, 108.0)])}
+        table = render_scenario_table({"Demo": plans}, ["stamp", "core"])
+        assert "-" in table
+
+    def test_empty_scenario_reported(self):
+        scenario = Scenario("Demo", 1000, 100)
+        plans = {"stamp": make_plan(scenario, "stamp", [])}
+        table = render_scenario_table({"Demo": plans}, ["stamp"])
+        assert "no feasible deployment" in table
+
+
+class TestLatencySeries:
+    def test_render_aligned_columns(self):
+        series = LatencySeries(
+            seconds=[0, 1, 2],
+            offered_rps=[1, 2, 3],
+            ok=[1, 2, 3],
+            errors=[0, 0, 1],
+            p90_ms=[1.0, None, 3.0],
+            mean_batch=[1.0, None, 2.0],
+        )
+        text = render_latency_series(series, "demo", every=1)
+        lines = text.splitlines()
+        assert lines[0] == "--- demo"
+        assert "offered" in lines[1]
+        assert len(lines) == 5
+        assert "-" in lines[3]  # the None p90 row
+
+
+class TestMicrobenchTable:
+    def test_jit_failure_flagged(self):
+        results = [
+            MicrobenchResult(
+                model="lightsans", catalog_size=10_000, instance_type="CPU",
+                execution_requested="jit", execution_effective="eager",
+                jit_failed=True, num_requests=10,
+                mean_ms=1.0, p50_ms=1.0, p90_ms=1.2, p99_ms=1.4,
+            )
+        ]
+        table = render_microbench_table(results, [10_000])
+        assert "!" in table
+        assert "could not be JIT-compiled" in table
+
+
+class TestFormatCost:
+    def test_thousands_separator(self):
+        assert format_cost(6026.4) == "$6,026"
+        assert format_cost(108.09) == "$108"

@@ -1,0 +1,46 @@
+"""The one-command reproduction report."""
+
+import pytest
+
+from repro.core.reproduce import ALL_ARTIFACTS, ReproduceConfig, reproduce
+
+
+class TestConfig:
+    def test_rejects_unknown_artifacts(self):
+        with pytest.raises(ValueError):
+            ReproduceConfig(artifacts=("fig2", "fig9"))
+
+    def test_default_covers_everything(self):
+        assert set(ReproduceConfig().artifacts) == set(ALL_ARTIFACTS)
+
+
+class TestReport:
+    def test_subset_report_structure(self):
+        report = reproduce(
+            ReproduceConfig(artifacts=("fig2", "alg1", "bugs"), duration_s=30.0)
+        )
+        assert report.startswith("# ETUDE reproduction report")
+        assert "## Figure 2" in report
+        assert "torchserve" in report and "actix" in report
+        assert "M clicks/s" in report and "✓" in report
+        assert "repeatnet" in report
+
+    def test_fig3_section_renders_table(self):
+        report = reproduce(
+            ReproduceConfig(
+                artifacts=("fig3",),
+                micro_requests=20,
+                catalog_sizes=(10_000,),
+            )
+        )
+        assert "## Figure 3" in report
+        assert "could not be JIT-compiled" in report
+
+    def test_fig4_section_single_model(self):
+        report = reproduce(
+            ReproduceConfig(
+                artifacts=("fig4",), duration_s=30.0, models=("stamp",)
+            )
+        )
+        assert "## Figure 4" in report
+        assert "| Fashion | GPU-T4 x1 | stamp |" in report

@@ -1,0 +1,128 @@
+"""Declarative spec files and ASCII plotting."""
+
+import json
+
+import pytest
+
+from repro.core.ascii_plot import plot_latency_curve, plot_series, sparkline
+from repro.core.spec import ExperimentSpec, HardwareSpec, SLO
+from repro.core.specfile import load_spec_file, spec_from_dict, spec_to_dict
+from repro.metrics.results import LatencySeries
+
+
+class TestSpecFromDict:
+    def test_minimal_document(self):
+        spec, slo = spec_from_dict(
+            {"model": "stamp", "catalog_size": 1000, "target_rps": 50}
+        )
+        assert spec.model == "stamp"
+        assert spec.hardware.instance_type == "CPU"
+        assert slo.p90_latency_ms == 50.0
+
+    def test_full_document(self):
+        spec, slo = spec_from_dict(
+            {
+                "model": "gru4rec",
+                "catalog_size": 1_000_000,
+                "target_rps": 500,
+                "hardware": {"instance_type": "GPU-T4", "replicas": 2},
+                "duration_s": 300,
+                "execution": "onnx",
+                "top_k": 10,
+                "seed": 7,
+                "workload": {"alpha_length": 2.0, "alpha_clicks": 1.4},
+                "slo": {"p90_latency_ms": 30, "max_error_rate": 0.0},
+            }
+        )
+        assert spec.hardware.replicas == 2
+        assert spec.execution == "onnx"
+        assert spec.workload.alpha_length == 2.0
+        assert spec.workload.catalog_size == 1_000_000  # inherited
+        assert slo.p90_latency_ms == 30.0
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            spec_from_dict(
+                {"model": "stamp", "catalog_size": 10, "target_rps": 1, "gpu": True}
+            )
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ValueError):
+            spec_from_dict({"model": "stamp", "catalog_size": 10})
+
+    def test_roundtrip(self):
+        original = ExperimentSpec(
+            model="narm", catalog_size=500, target_rps=20,
+            hardware=HardwareSpec("GPU-A100", 3), duration_s=42.0,
+        )
+        document = spec_to_dict(original, SLO(p90_latency_ms=25))
+        restored, slo = spec_from_dict(document)
+        assert restored.model == original.model
+        assert restored.hardware == original.hardware
+        assert restored.duration_s == original.duration_s
+        assert slo.p90_latency_ms == 25.0
+
+
+class TestSpecFile:
+    def test_single_and_list(self, tmp_path):
+        single = tmp_path / "one.json"
+        single.write_text(
+            json.dumps({"model": "stamp", "catalog_size": 10, "target_rps": 1})
+        )
+        assert len(load_spec_file(str(single))) == 1
+
+        many = tmp_path / "many.json"
+        many.write_text(
+            json.dumps(
+                [
+                    {"model": "stamp", "catalog_size": 10, "target_rps": 1},
+                    {"model": "narm", "catalog_size": 10, "target_rps": 1},
+                ]
+            )
+        )
+        specs = load_spec_file(str(many))
+        assert [s.model for s, _slo in specs] == ["stamp", "narm"]
+
+    def test_empty_rejected(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        with pytest.raises(ValueError):
+            load_spec_file(str(empty))
+
+
+class TestAsciiPlot:
+    def test_sparkline_shape(self):
+        line = sparkline([1.0, 2.0, 3.0, None, 1.0])
+        assert len(line) == 5
+        assert line[3] == " "
+        assert line[2] == "█"
+
+    def test_sparkline_empty(self):
+        assert sparkline([None, None]) == ""
+
+    def test_plot_series_contains_markers(self):
+        text = plot_series([0, 1, 2, 3], [1.0, 2.0, 4.0, 8.0], width=20, height=6)
+        assert "*" in text
+        assert "+" in text  # the x axis
+
+    def test_log_scale_ticks(self):
+        text = plot_series(
+            [0, 1, 2], [1.0, 100.0, 10000.0], width=20, height=8, log_y=True
+        )
+        assert "10000" in text
+
+    def test_parallel_input_validation(self):
+        with pytest.raises(ValueError):
+            plot_series([1, 2], [1.0])
+
+    def test_all_none_handled(self):
+        assert plot_series([1, 2], [None, None]) == "(no data)"
+
+    def test_latency_curve_wrapper(self):
+        series = LatencySeries(
+            seconds=[0, 1, 2], offered_rps=[10, 20, 30], ok=[10, 20, 30],
+            errors=[0, 0, 0], p90_ms=[1.0, 2.0, 3.0], mean_batch=[1, 1, 1],
+        )
+        text = plot_latency_curve(series, title="demo")
+        assert "--- demo" in text
+        assert "offered load" in text

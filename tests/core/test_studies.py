@@ -1,0 +1,103 @@
+"""Study helpers: model comparison, throughput sweeps, curves."""
+
+import pytest
+
+from repro.core import (
+    ExperimentRunner,
+    HardwareSpec,
+    compare_models,
+    latency_throughput_curve,
+    saturation_point,
+    throughput_sweep,
+)
+from repro.core.spec import ExperimentSpec
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=314)
+
+
+class TestCompareModels:
+    def test_same_deployment_all_models(self, runner):
+        outcomes = compare_models(
+            runner,
+            ["stamp", "gru4rec"],
+            catalog_size=10_000,
+            target_rps=80,
+            hardware=HardwareSpec("CPU", 1),
+            duration_s=30.0,
+        )
+        assert set(outcomes) == {"stamp", "gru4rec"}
+        for model, result in outcomes.items():
+            assert result is not None and result.meets_slo(50.0), model
+
+    def test_undeployable_model_is_none(self, runner):
+        """A 20M-item model cannot be resident on a T4 at any batch size
+        once its table exceeds device memory."""
+        outcomes = compare_models(
+            runner,
+            ["gru4rec"],
+            catalog_size=50_000_000,
+            target_rps=10,
+            hardware=HardwareSpec("GPU-T4", 1),
+            duration_s=10.0,
+        )
+        assert outcomes["gru4rec"] is None
+
+
+class TestThroughputSweep:
+    def test_sweep_and_saturation(self, runner):
+        sweep = throughput_sweep(
+            runner,
+            "core",
+            catalog_size=1_000_000,
+            hardware=HardwareSpec("CPU", 1),
+            rps_points=(20, 60, 300),
+            duration_s=40.0,
+        )
+        assert [target for target, _r in sweep] == [20, 60, 300]
+        point = saturation_point(sweep, p90_limit_ms=50.0)
+        # One CPU serves ~36ms CORE requests with 5 workers: 20 rps is
+        # fine, 300 rps is far past saturation.
+        assert point in (20, 60)
+        assert not sweep[-1][1].meets_slo(50.0)
+
+    def test_saturation_none_when_nothing_feasible(self, runner):
+        sweep = throughput_sweep(
+            runner,
+            "repeatnet",
+            catalog_size=1_000_000,
+            hardware=HardwareSpec("CPU", 1),
+            rps_points=(100,),
+            duration_s=30.0,
+        )
+        assert saturation_point(sweep) is None
+
+
+class TestCurveExtraction:
+    def test_curve_from_ramp(self, runner):
+        result = runner.run(
+            ExperimentSpec(
+                model="stamp", catalog_size=10_000, target_rps=100,
+                hardware=HardwareSpec("CPU", 1), duration_s=40.0,
+            )
+        )
+        curve = latency_throughput_curve(result, buckets=8)
+        assert len(curve) >= 8
+        # The ramp grows monotonically except for the partial boundary
+        # seconds at the start and end of the run.
+        offered = [point.offered_rps for point in curve[1:-1]]
+        assert offered == sorted(offered)
+        assert any(point.p90_ms is not None for point in curve)
+
+    def test_requires_series(self, runner):
+        result = runner.run(
+            ExperimentSpec(
+                model="stamp", catalog_size=10_000, target_rps=50,
+                hardware=HardwareSpec("CPU", 1), duration_s=20.0,
+                collect_series=False,
+            )
+        )
+        with pytest.raises(ValueError):
+            latency_throughput_curve(result)

@@ -1,0 +1,66 @@
+"""Multi-cloud instance catalogs."""
+
+import pytest
+
+from repro.hardware.clouds import (
+    AWS_INSTANCES,
+    AZURE_INSTANCES,
+    GCP_INSTANCES,
+    all_clouds,
+    cloud_catalog,
+)
+from repro.hardware.instances import instance_by_name
+
+
+class TestCatalogs:
+    def test_gcp_is_the_paper_catalog(self):
+        assert [i.name for i in GCP_INSTANCES] == ["CPU", "GPU-T4", "GPU-A100"]
+
+    def test_every_cloud_has_three_tiers(self):
+        for catalog in (GCP_INSTANCES, AWS_INSTANCES, AZURE_INSTANCES):
+            kinds = [i.device.kind for i in catalog]
+            assert kinds.count("cpu") == 1
+            assert kinds.count("gpu") == 2
+
+    def test_shared_silicon_shared_devices(self):
+        """Same accelerator across clouds = the same roofline model."""
+        gcp_t4 = next(i for i in GCP_INSTANCES if "T4" in i.name)
+        aws_t4 = next(i for i in AWS_INSTANCES if "T4" in i.name)
+        assert gcp_t4.device is aws_t4.device
+
+    def test_lookup_by_cloud(self):
+        assert cloud_catalog("aws") is AWS_INSTANCES
+        assert cloud_catalog("AZURE") is AZURE_INSTANCES
+        with pytest.raises(KeyError):
+            cloud_catalog("oraclecloud")
+
+    def test_all_clouds_flat(self):
+        assert len(all_clouds()) == 9
+
+    def test_cross_cloud_lookup_by_name(self):
+        assert instance_by_name("AWS-g4dn-T4").monthly_cost_usd == 232.0
+        assert instance_by_name("azure-nc-a100").device.name == "gpu-a100"
+        with pytest.raises(KeyError):
+            instance_by_name("AWS-nonexistent")
+
+    def test_prices_positive_and_ordered(self):
+        for catalog in (AWS_INSTANCES, AZURE_INSTANCES):
+            cpu, t4, a100 = catalog
+            assert 0 < cpu.monthly_cost_usd < t4.monthly_cost_usd < a100.monthly_cost_usd
+
+
+class TestCrossCloudPlanning:
+    def test_planner_accepts_aws_instances(self):
+        from repro.core import DeploymentPlanner, ExperimentRunner
+        from repro.core.spec import Scenario
+
+        planner = DeploymentPlanner(
+            runner=ExperimentRunner(seed=77), duration_s=45.0, max_replicas=2
+        )
+        scenario = Scenario("cross-cloud", 10_000, 100)
+        plans = planner.plan(
+            scenario, ["stamp"], instances=cloud_catalog("aws")
+        )
+        cheapest = plans["stamp"].cheapest()
+        assert cheapest is not None
+        assert cheapest.instance_type == "AWS-m6i"

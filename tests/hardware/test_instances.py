@@ -1,0 +1,55 @@
+"""The GCP instance catalog and the paper's prices."""
+
+import pytest
+
+from repro.hardware import (
+    CPU_E2,
+    GPU_A100,
+    GPU_T4,
+    INSTANCE_TYPES,
+    instance_by_name,
+)
+
+
+class TestCatalog:
+    def test_paper_monthly_prices(self):
+        """Section III-C: $108.09 / $268.09 / $2,008.80 per month."""
+        assert CPU_E2.monthly_cost_usd == pytest.approx(108.09)
+        assert GPU_T4.monthly_cost_usd == pytest.approx(268.09)
+        assert GPU_A100.monthly_cost_usd == pytest.approx(2008.80)
+
+    def test_paper_table1_costs_scale_linearly(self):
+        """Derived Table I cells: 3x CPU = $324, 5x T4 = $1,343 (rounded),
+        2x A100 = $4,017, 3x A100 = $6,026."""
+        assert round(CPU_E2.cost_for(3)) == 324
+        assert round(GPU_T4.cost_for(5)) == 1340  # paper rounds to $1,343
+        assert round(GPU_A100.cost_for(2)) == 4018
+        assert round(GPU_A100.cost_for(3)) == 6026
+
+    def test_gpu_memory_sizes(self):
+        assert GPU_T4.device.memory_bytes == pytest.approx(16e9)
+        assert GPU_A100.device.memory_bytes == pytest.approx(40e9)
+
+    def test_lookup_by_name(self):
+        assert instance_by_name("GPU-T4") is GPU_T4
+        assert instance_by_name("CPU") is CPU_E2
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            instance_by_name("TPU-v5")
+
+    def test_three_instance_types(self):
+        assert len(INSTANCE_TYPES) == 3
+
+    def test_device_speed_ordering(self):
+        """A100 > T4 > CPU on every streaming axis."""
+        assert (
+            GPU_A100.device.weight_bandwidth
+            > GPU_T4.device.weight_bandwidth
+            > CPU_E2.device.weight_bandwidth
+        )
+        assert (
+            GPU_A100.device.flops_per_s
+            > GPU_T4.device.flops_per_s
+            > CPU_E2.device.flops_per_s
+        )

@@ -1,0 +1,151 @@
+"""Roofline latency model semantics."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import CPU_E2, GPU_A100, GPU_T4, LatencyModel
+from repro.hardware.device import DeviceModel
+from repro.tensor.ops import CostRecord, CostTrace
+
+
+def trace_of(*records):
+    trace = CostTrace()
+    for record in records:
+        trace.append(record)
+    return trace
+
+
+class TestProfileDecomposition:
+    def test_gpu_weight_bytes_go_to_fixed(self):
+        record = CostRecord(op="linear", launches=1, param_bytes=1e9)
+        profile = LatencyModel(GPU_T4.device).profile(trace_of(record))
+        expected = 1e9 / GPU_T4.device.weight_bandwidth
+        assert profile.fixed_s == pytest.approx(
+            expected + GPU_T4.device.launch_overhead_s
+        )
+
+    def test_gpu_activation_bytes_go_to_per_item(self):
+        record = CostRecord(op="topk", read_bytes=6e8, write_bytes=0.0)
+        profile = LatencyModel(GPU_T4.device).profile(trace_of(record))
+        expected = 6e8 / GPU_T4.device.activation_bandwidth
+        assert profile.per_item_s == pytest.approx(
+            expected + GPU_T4.device.per_request_overhead_s
+        )
+
+    def test_cpu_everything_is_per_item(self):
+        record = CostRecord(op="linear", launches=1, param_bytes=1e8)
+        profile = LatencyModel(CPU_E2.device).profile(trace_of(record))
+        assert profile.fixed_s == 0.0
+        assert profile.per_item_s > 1e8 / CPU_E2.device.weight_bandwidth
+
+    def test_catalog_scale_multiplies_costs(self):
+        unscaled = CostRecord(op="linear", param_bytes=1e6)
+        scaled = CostRecord(op="linear", param_bytes=1e6, catalog_scale=100.0)
+        model = LatencyModel(GPU_T4.device)
+        small = model.profile(trace_of(unscaled))
+        large = model.profile(trace_of(scaled))
+        ratio = (large.fixed_s - GPU_T4.device.launch_overhead_s) / (
+            small.fixed_s - GPU_T4.device.launch_overhead_s
+        )
+        assert ratio == pytest.approx(100.0)
+
+    def test_batch_invariant_record_amortizes_on_gpu(self):
+        """CORE-style table normalization: charged once per batch."""
+        invariant = CostRecord(
+            op="normalize", read_bytes=1e9, write_bytes=1e9, batch_invariant=True
+        )
+        profile = LatencyModel(GPU_A100.device).profile(trace_of(invariant))
+        assert profile.fixed_s > 0
+        assert profile.per_item_s == pytest.approx(
+            GPU_A100.device.per_request_overhead_s
+        )
+
+    def test_host_op_charges_pcie_and_sync_on_gpu(self):
+        host = CostRecord(op="host[x]", host_op=True, transfer_bytes=1.2e7)
+        gpu_profile = LatencyModel(GPU_T4.device).profile(trace_of(host))
+        base = GPU_T4.device.per_request_overhead_s
+        expected = (
+            GPU_T4.device.host_sync_overhead_s
+            + 1.2e7 / GPU_T4.device.pcie_bandwidth
+        )
+        assert gpu_profile.per_item_s == pytest.approx(base + expected)
+
+    def test_host_op_cheap_on_cpu(self):
+        host = CostRecord(op="host[x]", host_op=True, transfer_bytes=1.2e7)
+        cpu_profile = LatencyModel(CPU_E2.device).profile(trace_of(host))
+        gpu_profile = LatencyModel(GPU_T4.device).profile(trace_of(host))
+        assert cpu_profile.per_item_s < gpu_profile.per_item_s
+
+    def test_compute_vs_memory_roofline(self):
+        """Whichever side of the roofline is higher dominates."""
+        compute_heavy = CostRecord(op="matmul", flops=1e12)
+        memory_heavy = CostRecord(op="scan", read_bytes=1e10)
+        model = LatencyModel(GPU_T4.device)
+        c = model.profile(trace_of(compute_heavy))
+        m = model.profile(trace_of(memory_heavy))
+        assert c.per_item_s == pytest.approx(
+            1e12 / GPU_T4.device.flops_per_s + GPU_T4.device.per_request_overhead_s
+        )
+        assert m.per_item_s == pytest.approx(
+            1e10 / GPU_T4.device.activation_bandwidth
+            + GPU_T4.device.per_request_overhead_s
+        )
+
+
+class TestServiceTimeProfile:
+    def test_latency_is_affine_in_batch(self):
+        record = CostRecord(op="linear", param_bytes=1e8, write_bytes=1e6)
+        profile = LatencyModel(GPU_T4.device).profile(trace_of(record))
+        t1, t2, t11 = profile.latency(1), profile.latency(2), profile.latency(11)
+        assert t2 - t1 == pytest.approx(profile.per_item_s)
+        assert t11 == pytest.approx(profile.fixed_s + 11 * profile.per_item_s)
+
+    def test_rejects_bad_batch(self):
+        profile = LatencyModel(GPU_T4.device).profile(trace_of())
+        with pytest.raises(ValueError):
+            profile.latency(0)
+
+    def test_max_stable_throughput_monotonic_in_batch(self):
+        record = CostRecord(op="linear", param_bytes=1e8, write_bytes=1e6)
+        profile = LatencyModel(GPU_T4.device).profile(trace_of(record))
+        assert profile.max_stable_throughput(256) > profile.max_stable_throughput(4)
+
+
+class TestMemoryFit:
+    def test_fits_small_model(self):
+        model = LatencyModel(GPU_T4.device)
+        assert model.fits_in_memory(1e9, 128, 4e6)
+
+    def test_rejects_oversized_batch_buffers(self):
+        model = LatencyModel(GPU_T4.device)
+        assert not model.fits_in_memory(5e9, 1024, 8e7)
+
+
+class TestDeviceValidation:
+    def test_gpu_requires_pcie(self):
+        with pytest.raises(ValueError):
+            DeviceModel(
+                name="bad",
+                kind="gpu",
+                flops_per_s=1.0,
+                weight_bandwidth=1.0,
+                activation_bandwidth=1.0,
+                launch_overhead_s=0.0,
+                per_request_overhead_s=0.0,
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceModel(
+                name="bad",
+                kind="tpu",
+                flops_per_s=1.0,
+                weight_bandwidth=1.0,
+                activation_bandwidth=1.0,
+                launch_overhead_s=0.0,
+                per_request_overhead_s=0.0,
+            )
+
+    def test_batching_only_on_accelerators(self):
+        assert GPU_T4.device.supports_batching()
+        assert not CPU_E2.device.supports_batching()

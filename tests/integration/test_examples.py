@@ -1,0 +1,38 @@
+"""The example scripts must stay runnable (they are documentation)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "workload_fitting.py",
+    "torchserve_vs_etude.py",
+    "resilient_serving.py",
+    "latency_quality_tradeoffs.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_all_examples_are_covered_or_slow():
+    """Every example is either smoke-tested here or known-slow."""
+    known_slow = {"capacity_planning.py"}
+    present = {
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    }
+    assert present == set(FAST_EXAMPLES) | known_slow

@@ -1,0 +1,272 @@
+"""Integration tests pinning the paper's headline findings.
+
+Each test corresponds to a claim in Section III; EXPERIMENTS.md records the
+full quantitative comparison. These run on shortened durations (the shape
+assertions hold at 60-120 simulated seconds just as at the paper's ten
+minutes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExperimentRunner,
+    ExperimentSpec,
+    HardwareSpec,
+    run_infra_test,
+    serial_microbenchmark,
+)
+from repro.hardware import CPU_E2, GPU_A100, GPU_T4
+from repro.models import HEALTHY_MODELS
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=2024)
+
+
+class TestFigure2InfraTest:
+    """TorchServe fails 'empty' requests at 1,000 req/s; Actix does not."""
+
+    def test_torchserve_error_avalanche(self):
+        result = run_infra_test("torchserve", target_rps=1000, duration_s=120)
+        assert result.error_rate > 0.15
+
+    def test_torchserve_p90_between_50_and_300ms(self):
+        result = run_infra_test("torchserve", target_rps=1000, duration_s=120)
+        assert 50.0 < result.p90_ms < 300.0
+
+    def test_actix_p90_around_one_millisecond(self):
+        result = run_infra_test("actix", target_rps=1000, duration_s=120)
+        assert result.errors == 0
+        assert result.p90_ms < 3.0
+
+
+class TestFigure3Microbenchmark:
+    """Linear scaling in C; GPU >10x at 1M; CPU parity at 10k; JIT helps."""
+
+    def test_linear_scaling_with_catalog_size(self):
+        latencies = [
+            serial_microbenchmark("gru4rec", c, CPU_E2, num_requests=60).p90_ms
+            for c in (100_000, 1_000_000, 10_000_000)
+        ]
+        # Each 10x catalog step grows latency by roughly 10x (within 2x).
+        for smaller, larger in zip(latencies, latencies[1:]):
+            assert 5.0 < larger / smaller < 25.0
+
+    def test_gpu_order_of_magnitude_at_one_million(self):
+        cpu = serial_microbenchmark("narm", 1_000_000, CPU_E2, num_requests=60)
+        gpu = serial_microbenchmark("narm", 1_000_000, GPU_T4, num_requests=60)
+        assert cpu.p90_ms > 10.0 * gpu.p90_ms
+
+    def test_cpu_over_50ms_per_prediction_at_one_million_eager(self):
+        """Paper: 'the CPU already requires more than 50ms per prediction
+        for catalogs with one million items' — true for the heavier eager
+        implementations (CORE's un-folded normalization, RepeatNet)."""
+        core = serial_microbenchmark("core", 1_000_000, CPU_E2, "eager", num_requests=40)
+        assert core.p90_ms > 50.0
+
+    def test_cpu_competitive_at_ten_thousand(self):
+        """At C=10,000 the CPU latency is on par with or lower than the GPU
+        latency for a majority of the models (paper: 6 out of 10 cases)."""
+        from repro.models import BENCHMARK_MODELS
+
+        cpu_lower = 0
+        models = [m for m in BENCHMARK_MODELS if m != "noop"]
+        for model in models:
+            cpu = serial_microbenchmark(model, 10_000, CPU_E2, num_requests=60)
+            gpu = serial_microbenchmark(model, 10_000, GPU_T4, num_requests=60)
+            if cpu.p90_ms <= gpu.p90_ms:
+                cpu_lower += 1
+        assert 4 <= cpu_lower <= 8  # the paper observes 6/10
+
+    def test_jit_always_helps_and_never_hurts(self):
+        for model in ("gru4rec", "sasrec", "core", "stamp"):
+            for catalog in (10_000, 1_000_000):
+                eager = serial_microbenchmark(
+                    model, catalog, CPU_E2, "eager", num_requests=40
+                )
+                jit = serial_microbenchmark(
+                    model, catalog, CPU_E2, "jit", num_requests=40
+                )
+                assert jit.p90_ms <= eager.p90_ms * 1.05, (model, catalog)
+
+    def test_lightsans_jit_failure(self):
+        result = serial_microbenchmark("lightsans", 10_000, CPU_E2, "jit")
+        assert result.jit_failed
+
+
+class TestBuggyModels:
+    """RepeatNet / SR-GNN / GC-SAN cannot handle most use cases."""
+
+    def test_repeatnet_fails_fashion_on_gpu(self, runner):
+        result = runner.run(
+            ExperimentSpec(
+                model="repeatnet", catalog_size=1_000_000, target_rps=500,
+                hardware=HardwareSpec("GPU-T4", 1), duration_s=60.0,
+            )
+        )
+        assert not result.meets_slo(50.0)
+
+    def test_srgnn_host_ops_cap_gpu_throughput(self, runner):
+        healthy = runner.run(
+            ExperimentSpec(
+                model="gru4rec", catalog_size=1_000_000, target_rps=1000,
+                hardware=HardwareSpec("GPU-T4", 1), duration_s=60.0,
+            )
+        )
+        buggy = runner.run(
+            ExperimentSpec(
+                model="srgnn", catalog_size=1_000_000, target_rps=1000,
+                hardware=HardwareSpec("GPU-T4", 1), duration_s=60.0,
+            )
+        )
+        assert healthy.meets_slo(50.0)
+        assert not buggy.meets_slo(50.0)
+
+    def test_repeatnet_transfer_dominates(self):
+        """The dense one-hot scatter moves ~L*C floats per request."""
+        from repro.core.registry import GLOBAL_REGISTRY
+
+        trace, _mode, _failed = GLOBAL_REGISTRY.trace("repeatnet", 1_000_000, "jit")
+        assert trace.total_transfer_bytes > 1e8
+
+
+class TestTableIScenarios:
+    """Spot checks of the Table I deployment outcomes."""
+
+    def test_groceries_small_one_cpu_all_models(self, runner):
+        for model in HEALTHY_MODELS:
+            result = runner.run(
+                ExperimentSpec(
+                    model=model, catalog_size=10_000, target_rps=100,
+                    hardware=HardwareSpec("CPU", 1), duration_s=60.0,
+                )
+            )
+            assert result.meets_slo(50.0), model
+
+    def test_fashion_one_t4_all_models(self, runner):
+        for model in HEALTHY_MODELS:
+            result = runner.run(
+                ExperimentSpec(
+                    model=model, catalog_size=1_000_000, target_rps=500,
+                    hardware=HardwareSpec("GPU-T4", 1), duration_s=60.0,
+                )
+            )
+            assert result.meets_slo(50.0), model
+
+    def test_ecommerce_five_t4s(self, runner):
+        passing = runner.run(
+            ExperimentSpec(
+                model="gru4rec", catalog_size=10_000_000, target_rps=1000,
+                hardware=HardwareSpec("GPU-T4", 5), duration_s=90.0,
+            )
+        )
+        failing = runner.run(
+            ExperimentSpec(
+                model="gru4rec", catalog_size=10_000_000, target_rps=1000,
+                hardware=HardwareSpec("GPU-T4", 3), duration_s=90.0,
+            )
+        )
+        assert passing.meets_slo(50.0)
+        assert not failing.meets_slo(50.0)
+
+    def test_five_t4s_cheaper_than_two_a100s(self):
+        assert GPU_T4.cost_for(5) < GPU_A100.cost_for(2)
+
+    def test_platform_needs_a100(self, runner):
+        t4 = runner.run(
+            ExperimentSpec(
+                model="narm", catalog_size=20_000_000, target_rps=1000,
+                hardware=HardwareSpec("GPU-T4", 8), duration_s=90.0,
+            )
+        )
+        a100 = runner.run(
+            ExperimentSpec(
+                model="narm", catalog_size=20_000_000, target_rps=1000,
+                hardware=HardwareSpec("GPU-A100", 3), duration_s=90.0,
+            )
+        )
+        assert not t4.meets_slo(50.0)
+        assert a100.meets_slo(50.0)
+
+    def test_fashion_on_cpus_for_lean_models(self, runner):
+        """SASRec and STAMP stay cost-efficient on 3 CPUs at one million
+        items (the paper's $324 option); CORE does not."""
+        for model, expected in (("sasrec", True), ("stamp", True), ("core", False)):
+            result = runner.run(
+                ExperimentSpec(
+                    model=model, catalog_size=1_000_000, target_rps=500,
+                    hardware=HardwareSpec("CPU", 3), duration_s=60.0,
+                )
+            )
+            assert result.meets_slo(50.0) == expected, model
+
+
+class TestSyntheticVsReal:
+    """Sec III-A: synthetic replay latencies resemble real-log replay."""
+
+    def test_latency_distributions_close(self):
+        from repro.workload import (
+            SyntheticWorkloadGenerator,
+            WorkloadStatistics,
+            synthesize_real_clicklog,
+        )
+        from repro.core.experiment import ExperimentRunner as Runner
+
+        catalog = 100_000
+        real_log = synthesize_real_clicklog(catalog, 30_000, seed=31)
+        fitted = WorkloadStatistics.from_clicklog(real_log, catalog)
+
+        def run_with(source_sessions):
+            import itertools
+
+            from repro.cluster.service import ClusterIPService
+            from repro.loadgen.generator import LoadGenerator
+            from repro.metrics.collector import MetricsCollector
+
+            runner = Runner(seed=55)
+            spec = ExperimentSpec(
+                model="gru4rec", catalog_size=catalog, target_rps=200,
+                hardware=HardwareSpec("CPU", 1), duration_s=60.0,
+                workload=fitted,
+            )
+            # run() uses Algorithm 1 internally; for the "real" replay we
+            # monkey-feed sessions by cycling the real log.
+            if source_sessions is None:
+                return runner.run(spec)
+            collector = MetricsCollector()
+            assets = runner.registry.assets(
+                "gru4rec", catalog, CPU_E2.device, "jit"
+            )
+            artifact = runner._ensure_artifact(assets)
+            runner.infra.reset_simulator()
+            sim = runner.infra.simulator
+            deployment = runner.infra.cluster.deploy_model(
+                name="real", instance_type=CPU_E2, replicas=1,
+                artifact_path=artifact, service_profile=assets.profile,
+                resident_bytes=assets.resident_bytes,
+                score_bytes_per_item=assets.score_bytes_per_item,
+            )
+
+            def coordinator():
+                yield deployment.ready_signal
+                service = ClusterIPService(
+                    sim, deployment, np.random.default_rng(1)
+                )
+                generator = LoadGenerator(
+                    sim, service.submit,
+                    itertools.cycle(source_sessions),
+                    target_rps=200, duration_s=60.0, collector=collector,
+                )
+                generator.start()
+
+            sim.spawn(coordinator())
+            sim.run()
+            return collector
+
+        synthetic_result = run_with(None)
+        real_collector = run_with(real_log.sessions())
+        synthetic_p90 = synthetic_result.p90_ms
+        real_p90 = real_collector.percentile_ms(90)
+        assert synthetic_p90 == pytest.approx(real_p90, rel=0.25)

@@ -1,0 +1,90 @@
+"""Client-side request timeouts in the load generator."""
+
+import numpy as np
+
+from repro.loadgen import LoadGenerator
+from repro.metrics.collector import MetricsCollector
+from repro.serving.request import HTTP_OK, RecommendationResponse
+from repro.simulation import Simulator
+
+
+class SlowServer:
+    """Responds after a fixed delay (possibly beyond the client timeout)."""
+
+    def __init__(self, simulator, delay_s):
+        self.simulator = simulator
+        self.delay_s = delay_s
+        self.responses_sent = 0
+
+    def submit(self, request, respond):
+        def reply():
+            self.responses_sent += 1
+            respond(
+                RecommendationResponse(
+                    request_id=request.request_id,
+                    status=HTTP_OK,
+                    completed_at=self.simulator.now,
+                    latency_s=self.simulator.now - request.sent_at,
+                )
+            )
+
+        self.simulator.call_in(self.delay_s, reply)
+
+
+def sessions():
+    while True:
+        yield np.array([1, 2, 3], dtype=np.int64)
+
+
+def run(delay_s, timeout_s, target_rps=20, duration_s=10):
+    sim = Simulator()
+    server = SlowServer(sim, delay_s)
+    collector = MetricsCollector()
+    generator = LoadGenerator(
+        sim, server.submit, sessions(), target_rps=target_rps,
+        duration_s=duration_s, collector=collector,
+        request_timeout_s=timeout_s,
+    )
+    generator.start()
+    sim.run()
+    return generator, collector, server
+
+
+class TestClientTimeout:
+    def test_fast_server_no_timeouts(self):
+        generator, collector, _server = run(delay_s=0.01, timeout_s=0.5)
+        assert generator.timeouts == 0
+        assert collector.errors == 0
+
+    def test_slow_server_times_out(self):
+        generator, collector, server = run(delay_s=1.0, timeout_s=0.1)
+        assert generator.timeouts == generator.sent
+        assert collector.errors == generator.sent
+        # The server still sent its (ignored) late responses.
+        assert server.responses_sent == generator.sent
+
+    def test_late_responses_do_not_double_count(self):
+        generator, collector, _server = run(delay_s=1.0, timeout_s=0.1)
+        assert collector.total == generator.sent
+        assert generator.pending == 0
+
+    def test_timeout_latency_recorded_at_timeout(self):
+        _generator, collector, _server = run(delay_s=5.0, timeout_s=0.2)
+        # All recorded latencies equal the client timeout.
+        for bucket in collector.buckets():
+            assert bucket.errors == bucket.sent
+
+    def test_timeouts_release_backpressure(self):
+        """Without timeouts a dead-slow server stalls the generator; with
+        them, pending slots recycle and the offered load keeps flowing."""
+        with_timeout, _c1, _s1 = run(delay_s=10.0, timeout_s=0.05,
+                                     target_rps=50, duration_s=10)
+        without_timeout_sim = Simulator()
+        server = SlowServer(without_timeout_sim, 1e6)
+        generator = LoadGenerator(
+            without_timeout_sim, server.submit, sessions(),
+            target_rps=50, duration_s=10,
+        )
+        generator.start()
+        without_timeout_sim.run()
+        assert with_timeout.sent > 3 * generator.sent

@@ -1,0 +1,179 @@
+"""Algorithm 2: ramp-up, backpressure, session ordering."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import LoadGenerator, SessionReplayQueue, timeprop_rampup
+from repro.metrics.collector import MetricsCollector
+from repro.serving.request import HTTP_OK, RecommendationResponse
+from repro.simulation import Simulator
+
+
+def fixed_sessions(*sessions):
+    """Endless iterator cycling over the given sessions."""
+    def generate():
+        while True:
+            for session in sessions:
+                yield np.asarray(session, dtype=np.int64)
+    return generate()
+
+
+class TestTimepropRampup:
+    def test_proportional_growth(self):
+        assert timeprop_rampup(1000, 0, 600) == 1
+        assert timeprop_rampup(1000, 300, 600) == 500
+        assert timeprop_rampup(1000, 600, 600) == 1000
+
+    def test_clamped_past_deadline(self):
+        assert timeprop_rampup(1000, 900, 600) == 1000
+
+    def test_at_least_one(self):
+        assert timeprop_rampup(5, 0.001, 600) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            timeprop_rampup(-1, 0, 10)
+        with pytest.raises(ValueError):
+            timeprop_rampup(10, 0, 0)
+
+
+class TestSessionReplayQueue:
+    def test_serves_session_prefixes_in_order(self):
+        queue = SessionReplayQueue(fixed_sessions([10, 11, 12]))
+        sid, prefix = queue.next_click()
+        np.testing.assert_array_equal(prefix, [10])
+        queue.complete(sid)
+        sid2, prefix2 = queue.next_click()
+        assert sid2 == sid
+        np.testing.assert_array_equal(prefix2, [10, 11])
+
+    def test_no_next_click_while_awaiting_response(self):
+        queue = SessionReplayQueue(fixed_sessions([1, 2], [3, 4]))
+        sid_a, _ = queue.next_click()
+        sid_b, _ = queue.next_click()  # must open a second session
+        assert sid_b != sid_a
+
+    def test_session_retires_after_last_click(self):
+        queue = SessionReplayQueue(fixed_sessions([7]))
+        sid, _ = queue.next_click()
+        queue.complete(sid)
+        assert queue.finished_sessions == 1
+        with pytest.raises(KeyError):
+            queue.complete(sid)
+
+    def test_round_robin_over_ready_sessions(self):
+        queue = SessionReplayQueue(fixed_sessions([1, 2, 3], [4, 5, 6]))
+        sid_a, _ = queue.next_click()
+        sid_b, _ = queue.next_click()
+        queue.complete(sid_a)
+        queue.complete(sid_b)
+        order = [queue.next_click()[0], queue.next_click()[0]]
+        assert order == [sid_a, sid_b]
+
+
+class EchoServer:
+    """Responds after a fixed service time."""
+
+    def __init__(self, simulator, service_s=0.001):
+        self.simulator = simulator
+        self.service_s = service_s
+        self.received = []
+
+    def submit(self, request, respond):
+        self.received.append(request)
+
+        def reply():
+            respond(
+                RecommendationResponse(
+                    request_id=request.request_id,
+                    status=HTTP_OK,
+                    completed_at=self.simulator.now,
+                    latency_s=self.simulator.now - request.sent_at,
+                )
+            )
+
+        self.simulator.call_in(self.service_s, reply)
+
+
+class StuckServer:
+    """Never responds — the worst-case backpressure scenario."""
+
+    def __init__(self):
+        self.received = []
+
+    def submit(self, request, respond):
+        self.received.append(request)
+
+
+class TestLoadGenerator:
+    def test_ramps_to_target(self):
+        sim = Simulator()
+        server = EchoServer(sim)
+        collector = MetricsCollector()
+        generator = LoadGenerator(
+            sim, server.submit, fixed_sessions([1, 2, 3, 4, 5]),
+            target_rps=100, duration_s=20, collector=collector,
+        )
+        generator.start()
+        sim.run()
+        buckets = collector.buckets()
+        # Offered load grows roughly linearly and approaches the target.
+        assert buckets[2].sent < buckets[10].sent <= buckets[-1].sent + 15
+        assert buckets[-1].sent >= 85
+        assert generator.finished
+
+    def test_total_sent_matches_ramp_integral(self):
+        sim = Simulator()
+        server = EchoServer(sim, service_s=0.0005)
+        generator = LoadGenerator(
+            sim, server.submit, fixed_sessions([1]), target_rps=100, duration_s=20,
+        )
+        generator.start()
+        sim.run()
+        # Integral of a linear ramp: ~ r * d / 2.
+        assert generator.sent == pytest.approx(100 * 20 / 2, rel=0.15)
+
+    def test_backpressure_limits_inflight(self):
+        sim = Simulator()
+        server = StuckServer()
+        generator = LoadGenerator(
+            sim, server.submit, fixed_sessions([1]), target_rps=50, duration_s=10,
+        )
+        generator.start()
+        sim.run()
+        # Pending never exceeds the final tick's rate.
+        assert generator.pending <= 50
+        assert generator.backpressure_stalls > 0
+        # Far fewer sent than the ramp integral (stalled most of the time).
+        assert generator.sent < 100
+
+    def test_session_ordering_respected(self):
+        """The next click of a session is only sent after the response."""
+        sim = Simulator()
+        server = EchoServer(sim, service_s=0.005)
+        generator = LoadGenerator(
+            sim, server.submit, fixed_sessions(list(range(1, 9))),
+            target_rps=50, duration_s=10,
+        )
+        generator.start()
+        sim.run()
+        seen = {}
+        for request in server.received:
+            previous = seen.get(request.session_id, 0)
+            assert request.session_length == previous + 1, "clicks out of order"
+            seen[request.session_id] = request.session_length
+
+    def test_requests_spread_within_tick(self):
+        sim = Simulator()
+        server = EchoServer(sim, service_s=0.0001)
+        generator = LoadGenerator(
+            sim, server.submit, fixed_sessions([1]), target_rps=40, duration_s=10,
+        )
+        generator.start()
+        sim.run()
+        # Inside the last tick, inter-send gaps should be sub-100ms, not a
+        # single burst at the tick boundary.
+        last_tick = [r.sent_at for r in server.received if r.sent_at >= 9.0]
+        gaps = np.diff(sorted(last_tick))
+        assert len(last_tick) >= 30
+        assert gaps.max() < 0.2

@@ -1,0 +1,127 @@
+"""Arrival-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    ConstantSchedule,
+    DiurnalSchedule,
+    FlashSaleSchedule,
+    LoadGenerator,
+    RampSchedule,
+    StepSchedule,
+)
+from repro.metrics.collector import MetricsCollector
+from repro.serving.request import HTTP_OK, RecommendationResponse
+from repro.simulation import Simulator
+
+
+class TestScheduleShapes:
+    def test_ramp_matches_timeprop(self):
+        schedule = RampSchedule(1000)
+        assert schedule.rate_at(0, 600) == 1
+        assert schedule.rate_at(300, 600) == 500
+        assert schedule.rate_at(600, 600) == 1000
+
+    def test_constant(self):
+        schedule = ConstantSchedule(250)
+        assert schedule.rate_at(0, 100) == 250
+        assert schedule.rate_at(99, 100) == 250
+
+    def test_steps(self):
+        schedule = StepSchedule(((0.0, 100), (0.5, 400)))
+        assert schedule.rate_at(10, 100) == 100
+        assert schedule.rate_at(49, 100) == 100
+        assert schedule.rate_at(51, 100) == 400
+
+    def test_steps_validation(self):
+        with pytest.raises(ValueError):
+            StepSchedule(((0.2, 100),))
+        with pytest.raises(ValueError):
+            StepSchedule(((0.0, 100), (0.8, 10), (0.5, 20)))
+
+    def test_diurnal_trough_and_peak(self):
+        schedule = DiurnalSchedule(low_rps=100, high_rps=900)
+        assert schedule.rate_at(0, 100) == 100
+        assert schedule.rate_at(50, 100) == 900
+        midmorning = schedule.rate_at(25, 100)
+        assert 100 < midmorning < 900
+
+    def test_diurnal_cycles(self):
+        schedule = DiurnalSchedule(low_rps=10, high_rps=100, cycles=2)
+        assert schedule.rate_at(25, 100) == 100  # first peak at 1/4
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalSchedule(low_rps=100, high_rps=10)
+
+    def test_flash_sale_burst_window(self):
+        schedule = FlashSaleSchedule(
+            baseline_rps=100, burst_factor=4.0,
+            burst_start_fraction=0.5, burst_end_fraction=0.6,
+        )
+        assert schedule.rate_at(10, 100) == 100
+        assert schedule.rate_at(55, 100) == 400
+        assert schedule.rate_at(70, 100) == 100
+
+    def test_flash_sale_validation(self):
+        with pytest.raises(ValueError):
+            FlashSaleSchedule(100, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            FlashSaleSchedule(100, burst_start_fraction=0.8, burst_end_fraction=0.2)
+
+
+class EchoServer:
+    def __init__(self, simulator, service_s=0.0005):
+        self.simulator = simulator
+        self.service_s = service_s
+
+    def submit(self, request, respond):
+        self.simulator.call_in(
+            self.service_s,
+            lambda: respond(
+                RecommendationResponse(
+                    request_id=request.request_id,
+                    status=HTTP_OK,
+                    completed_at=self.simulator.now,
+                    latency_s=self.simulator.now - request.sent_at,
+                )
+            ),
+        )
+
+
+def run_with_schedule(schedule, duration_s=40):
+    sim = Simulator()
+    server = EchoServer(sim)
+    collector = MetricsCollector()
+
+    def sessions():
+        while True:
+            yield np.array([1, 2], dtype=np.int64)
+
+    LoadGenerator(
+        sim, server.submit, sessions(), target_rps=100, duration_s=duration_s,
+        collector=collector, schedule=schedule,
+    ).start()
+    sim.run()
+    return collector
+
+
+class TestGeneratorWithSchedules:
+    def test_constant_schedule_offered_flat(self):
+        collector = run_with_schedule(ConstantSchedule(60))
+        offered = [b.sent for b in collector.buckets()][1:-1]
+        assert all(abs(x - 60) <= 8 for x in offered)
+
+    def test_flash_sale_visible_in_buckets(self):
+        collector = run_with_schedule(
+            FlashSaleSchedule(baseline_rps=40, burst_factor=5.0,
+                              burst_start_fraction=0.5, burst_end_fraction=0.75)
+        )
+        offered = [b.sent for b in collector.buckets()]
+        assert max(offered) > 3 * offered[1]
+
+    def test_default_schedule_is_the_paper_ramp(self):
+        collector = run_with_schedule(None)
+        offered = [b.sent for b in collector.buckets()]
+        assert offered[1] < offered[len(offered) // 2] < max(offered[-3:]) + 5

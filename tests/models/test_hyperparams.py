@@ -1,0 +1,54 @@
+"""Hyperparameter heuristics from the paper."""
+
+import pytest
+
+from repro.models.hyperparams import (
+    ModelConfig,
+    attention_heads_for,
+    embedding_dim_for_catalog,
+)
+
+
+class TestEmbeddingDimHeuristic:
+    @pytest.mark.parametrize(
+        "catalog,expected",
+        [
+            (10_000, 10),
+            (100_000, 18),
+            (1_000_000, 32),
+            (10_000_000, 57),
+            (20_000_000, 67),
+        ],
+    )
+    def test_paper_catalog_sizes(self, catalog, expected):
+        """ceil(C ** 0.25) for the exact catalog sizes the paper uses."""
+        assert embedding_dim_for_catalog(catalog) == expected
+
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(ValueError):
+            embedding_dim_for_catalog(0)
+
+
+class TestAttentionHeads:
+    def test_divisibility(self):
+        for dim in (10, 18, 32, 57, 67, 64):
+            heads = attention_heads_for(dim)
+            assert dim % heads == 0
+            assert 1 <= heads <= 4
+
+    def test_prefers_more_heads(self):
+        assert attention_heads_for(32) == 4
+        assert attention_heads_for(18) == 2
+        assert attention_heads_for(57) == 1
+
+
+class TestModelConfig:
+    def test_for_catalog_applies_heuristic(self):
+        config = ModelConfig.for_catalog(1_000_000)
+        assert config.embedding_dim == 32
+        assert config.num_items == 1_000_000
+
+    def test_defaults(self):
+        config = ModelConfig.for_catalog(100)
+        assert config.top_k == 21  # paper's recommendation count
+        assert config.max_session_length == 50

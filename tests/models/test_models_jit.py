@@ -1,0 +1,68 @@
+"""JIT behaviour of the model zoo: nine compile, LightSANs does not."""
+
+import numpy as np
+import pytest
+
+from repro.models import BENCHMARK_MODELS, ModelConfig, create_model
+from repro.tensor import JitCompilationError, Tensor, cost_trace, optimize_for_inference
+
+CONFIG = ModelConfig.for_catalog(3_000, top_k=7)
+
+JITTABLE = tuple(m for m in BENCHMARK_MODELS if m != "lightsans")
+
+
+@pytest.fixture(scope="module")
+def scripted_models():
+    result = {}
+    for name in JITTABLE:
+        model = create_model(name, CONFIG)
+        result[name] = (model, optimize_for_inference(model, model.example_inputs()))
+    return result
+
+
+class TestJitCompilation:
+    def test_lightsans_cannot_be_jitted(self):
+        """The paper's Section III-B finding, reproduced mechanically."""
+        model = create_model("lightsans", CONFIG)
+        with pytest.raises(JitCompilationError):
+            optimize_for_inference(model, model.example_inputs())
+
+    @pytest.mark.parametrize("name", JITTABLE)
+    def test_other_models_compile(self, scripted_models, name):
+        _model, scripted = scripted_models[name]
+        assert scripted.report.total_eliminated() >= 0
+
+
+class TestJitEquivalence:
+    @pytest.mark.parametrize("name", JITTABLE)
+    def test_scripted_matches_eager(self, scripted_models, name):
+        model, scripted = scripted_models[name]
+        rng = np.random.default_rng(5)
+        for _trial in range(5):
+            length = int(rng.integers(1, 12))
+            session = rng.integers(0, CONFIG.num_items, size=length).tolist()
+            items, length_arr = model.prepare_inputs(session)
+            eager = model(Tensor(items), Tensor(length_arr)).numpy()
+            replay = scripted(items, length_arr).numpy()
+            np.testing.assert_array_equal(eager, replay, err_msg=name)
+
+
+class TestJitSpeedup:
+    @pytest.mark.parametrize("name", JITTABLE)
+    def test_jit_never_increases_launches(self, scripted_models, name):
+        """Paper: "JIT-optimisation is always beneficial and never hurts"."""
+        model, scripted = scripted_models[name]
+        items, length = model.example_inputs()
+        with cost_trace() as eager_trace:
+            model(Tensor(items), Tensor(length))
+        with cost_trace() as jit_trace:
+            scripted(items, length)
+        assert jit_trace.total_launches <= eager_trace.total_launches, name
+
+    @pytest.mark.parametrize("name", JITTABLE)
+    def test_jit_removes_dropout(self, scripted_models, name):
+        _model, scripted = scripted_models[name]
+        items, length = _model.example_inputs()
+        with cost_trace() as jit_trace:
+            scripted(items, length)
+        assert not any(r.op == "dropout" for r in jit_trace), name

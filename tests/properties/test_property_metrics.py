@@ -1,0 +1,109 @@
+"""Property-based tests: percentile digest, ramp-up, latency model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import GPU_T4, LatencyModel
+from repro.loadgen import timeprop_rampup
+from repro.metrics import LatencyDigest
+from repro.tensor.ops import CostRecord, CostTrace
+
+latencies = st.lists(
+    st.floats(min_value=1e-5, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestDigestProperties:
+    @given(latencies)
+    def test_percentile_monotone_in_q(self, values):
+        digest = LatencyDigest()
+        digest.record_many(values)
+        estimates = [digest.percentile(q) for q in (10, 50, 90, 99, 100)]
+        assert all(a <= b + 1e-12 for a, b in zip(estimates, estimates[1:]))
+
+    @given(latencies)
+    def test_percentile_close_to_exact(self, values):
+        digest = LatencyDigest()
+        digest.record_many(values)
+        exact = float(np.percentile(values, 90, method="lower"))
+        estimate = digest.percentile(90)
+        assert estimate >= exact * 0.9
+        assert estimate <= max(values) * 1.06
+
+    @given(latencies, latencies)
+    def test_merge_equals_combined(self, a, b):
+        separate_a, separate_b = LatencyDigest(), LatencyDigest()
+        separate_a.record_many(a)
+        separate_b.record_many(b)
+        merged = separate_a.merge(separate_b)
+        combined = LatencyDigest()
+        combined.record_many(a + b)
+        assert merged.count == combined.count
+        for q in (50, 90):
+            assert merged.percentile(q) == combined.percentile(q)
+
+    @given(latencies)
+    def test_mean_exact(self, values):
+        digest = LatencyDigest()
+        digest.record_many(values)
+        assert abs(digest.mean() - np.mean(values)) < 1e-9
+
+
+class TestRampupProperties:
+    @given(
+        st.integers(1, 5_000),
+        st.floats(0.0, 1_000.0),
+        st.floats(1.0, 1_000.0),
+    )
+    def test_bounds(self, target, elapsed, duration):
+        rate = timeprop_rampup(target, elapsed, duration)
+        assert 1 <= rate <= max(target, 1)
+
+    @given(st.integers(1, 5_000), st.floats(1.0, 1_000.0))
+    def test_monotone_in_time(self, target, duration):
+        points = np.linspace(0, duration * 1.5, 20)
+        rates = [timeprop_rampup(target, t, duration) for t in points]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    @given(st.integers(1, 5_000), st.floats(1.0, 1_000.0))
+    def test_reaches_target_at_deadline(self, target, duration):
+        assert timeprop_rampup(target, duration, duration) == target
+
+
+class TestLatencyModelProperties:
+    @given(
+        st.floats(0, 1e10),
+        st.floats(0, 1e9),
+        st.floats(0, 1e12),
+        st.integers(1, 1024),
+    )
+    @settings(max_examples=50)
+    def test_latency_positive_and_affine(self, param_bytes, act_bytes, flops, batch):
+        trace = CostTrace()
+        trace.append(
+            CostRecord(
+                op="x", param_bytes=param_bytes, write_bytes=act_bytes, flops=flops
+            )
+        )
+        profile = LatencyModel(GPU_T4.device).profile(trace)
+        t1 = profile.latency(1)
+        tb = profile.latency(batch)
+        assert t1 > 0
+        assert abs(tb - (profile.fixed_s + batch * profile.per_item_s)) < 1e-12
+        assert tb >= t1 - 1e-12
+
+    @given(st.floats(1.0, 1e4))
+    @settings(max_examples=30)
+    def test_catalog_scale_scales_latency(self, scale):
+        def profiled(s):
+            trace = CostTrace()
+            trace.append(CostRecord(op="x", param_bytes=1e7, catalog_scale=s))
+            return LatencyModel(GPU_T4.device).profile(trace)
+
+        base = profiled(1.0)
+        scaled = profiled(scale)
+        launch = GPU_T4.device.launch_overhead_s
+        assert (scaled.fixed_s - launch) >= (base.fixed_s - launch) * min(scale, 1.0)

@@ -1,0 +1,94 @@
+"""Property-based tests on the model zoo and session replay."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loadgen import SessionReplayQueue
+from repro.models import ModelConfig, create_model
+from repro.tensor import Tensor, optimize_for_inference
+
+CATALOG = 2_000
+CONFIG = ModelConfig.for_catalog(CATALOG, top_k=5)
+
+sessions = st.lists(
+    st.integers(0, CATALOG - 1), min_size=1, max_size=60
+)
+
+
+class TestModelContractProperties:
+    @given(sessions)
+    @settings(max_examples=25, deadline=None)
+    def test_stamp_output_always_valid(self, session):
+        model = _cached("stamp")
+        recs = model.recommend(session)
+        assert recs.shape == (5,)
+        assert len(set(recs.tolist())) == 5
+        assert np.all((recs >= 0) & (recs < CATALOG))
+
+    @given(sessions)
+    @settings(max_examples=25, deadline=None)
+    def test_gru4rec_jit_matches_eager(self, session):
+        model = _cached("gru4rec")
+        scripted = _cached_scripted("gru4rec")
+        items, length = model.prepare_inputs(session)
+        eager = model(Tensor(items), Tensor(length)).numpy()
+        replay = scripted(items, length).numpy()
+        np.testing.assert_array_equal(eager, replay)
+
+    @given(sessions)
+    @settings(max_examples=15, deadline=None)
+    def test_srgnn_handles_any_session_shape(self, session):
+        model = _cached("srgnn")
+        recs = model.recommend(session)
+        assert recs.shape == (5,)
+
+
+_MODELS = {}
+_SCRIPTED = {}
+
+
+def _cached(name):
+    if name not in _MODELS:
+        _MODELS[name] = create_model(name, CONFIG)
+    return _MODELS[name]
+
+
+def _cached_scripted(name):
+    if name not in _SCRIPTED:
+        model = _cached(name)
+        _SCRIPTED[name] = optimize_for_inference(model, model.example_inputs())
+    return _SCRIPTED[name]
+
+
+class TestSessionReplayProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 100), min_size=1, max_size=5),
+            min_size=1,
+            max_size=10,
+        ),
+        st.lists(st.booleans(), min_size=5, max_size=100),
+    )
+    @settings(max_examples=50)
+    def test_ordering_invariant_under_any_interleaving(self, pool, choices):
+        """Random next_click/complete interleavings never break ordering."""
+
+        def source():
+            index = 0
+            while True:
+                yield np.asarray(pool[index % len(pool)], dtype=np.int64)
+                index += 1
+
+        queue = SessionReplayQueue(source())
+        last_length = {}
+        in_flight = []
+        for advance in choices:
+            if advance or not in_flight:
+                session_id, prefix = queue.next_click()
+                previous = last_length.get(session_id, 0)
+                assert prefix.shape[0] == previous + 1
+                last_length[session_id] = prefix.shape[0]
+                in_flight.append(session_id)
+            else:
+                queue.complete(in_flight.pop(0))

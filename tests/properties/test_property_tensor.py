@@ -1,0 +1,114 @@
+"""Property-based tests on the tensor substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, cost_trace
+from repro.tensor import functional as F
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def float_arrays(max_dims=2, max_side=8):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+class TestElementwiseProperties:
+    @given(float_arrays())
+    def test_add_commutes(self, x):
+        a, b = Tensor(x), Tensor(x[::-1].copy() if x.ndim == 1 else x)
+        np.testing.assert_allclose(
+            (a + b).numpy(), (b + a).numpy(), rtol=1e-6
+        )
+
+    @given(float_arrays())
+    def test_double_negation(self, x):
+        t = Tensor(x)
+        np.testing.assert_allclose((-(-t)).numpy(), x, rtol=1e-6)
+
+    @given(float_arrays())
+    def test_relu_idempotent(self, x):
+        t = Tensor(x)
+        once = t.relu().numpy()
+        twice = t.relu().relu().numpy()
+        np.testing.assert_array_equal(once, twice)
+
+    @given(float_arrays())
+    def test_sigmoid_bounded(self, x):
+        out = Tensor(x).sigmoid().numpy()
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    @given(float_arrays())
+    def test_softmax_is_distribution(self, x):
+        out = F.softmax(Tensor(x), axis=-1).numpy()
+        np.testing.assert_allclose(
+            out.sum(axis=-1), np.ones(out.shape[:-1]), rtol=1e-4
+        )
+        assert np.all(out >= 0)
+
+
+class TestTopKProperties:
+    @given(
+        arrays(
+            dtype=np.float32,
+            shape=st.integers(1, 200),
+            elements=finite_floats,
+            unique=True,
+        ),
+        st.integers(1, 50),
+    )
+    def test_topk_returns_the_k_largest(self, scores, k):
+        result = F.topk(Tensor(scores), k).numpy()
+        k_eff = min(k, scores.shape[0])
+        expected = np.argsort(-scores)[:k_eff]
+        np.testing.assert_array_equal(result, expected)
+
+    @given(
+        arrays(dtype=np.float32, shape=st.integers(2, 100), elements=finite_floats),
+        st.integers(1, 10),
+    )
+    def test_topk_scores_descending(self, scores, k):
+        result = F.topk(Tensor(scores), k).numpy()
+        picked = scores[result]
+        assert np.all(np.diff(picked) <= 1e-6)
+
+
+class TestCostAccountingProperties:
+    @given(float_arrays())
+    def test_every_op_records_exactly_once(self, x):
+        t = Tensor(x)
+        with cost_trace() as trace:
+            t.exp()
+            t.tanh()
+            _ = t + t
+        assert len(trace) == 3
+
+    @given(float_arrays(), st.floats(1.0, 1e4))
+    def test_catalog_scale_monotone_in_costs(self, x, scale):
+        t_plain = Tensor(x)
+        t_scaled = Tensor(x, catalog_scale=scale)
+        with cost_trace() as plain:
+            t_plain.exp()
+        with cost_trace() as scaled:
+            t_scaled.exp()
+        assert scaled.total_flops >= plain.total_flops
+
+
+class TestMaskingProperties:
+    @given(st.integers(1, 50), st.integers(0, 50))
+    def test_sequence_mask_counts(self, max_len, length):
+        mask = F.sequence_mask(
+            Tensor(np.array([min(length, max_len)], dtype=np.int64)), max_len
+        ).numpy()
+        assert mask.sum() == min(length, max_len)
+        # Valid positions form a prefix.
+        if mask.sum() < max_len:
+            assert not mask[int(mask.sum()):].any()

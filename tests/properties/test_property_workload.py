@@ -1,0 +1,81 @@
+"""Property-based tests on workload generation (Algorithm 1)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import SyntheticWorkloadGenerator, WorkloadStatistics
+from repro.workload.powerlaw import BoundedPowerLaw, EmpiricalCDF
+
+alphas = st.floats(min_value=1.05, max_value=3.5)
+
+
+class TestPowerLawProperties:
+    @given(alphas, st.integers(1, 20), st.integers(0, 200), st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_samples_always_in_support(self, alpha, x_min, span, seed):
+        x_max = x_min + span
+        dist = BoundedPowerLaw(alpha, x_min=x_min, x_max=x_max)
+        samples = dist.sample(500, np.random.default_rng(seed))
+        assert samples.min() >= x_min
+        assert samples.max() <= x_max
+
+    @given(alphas, st.integers(0, 1000))
+    @settings(max_examples=25)
+    def test_pmf_monotone_decreasing(self, alpha, _seed):
+        dist = BoundedPowerLaw(alpha, x_min=1, x_max=100)
+        pmf = dist.pmf()
+        assert np.all(np.diff(pmf) <= 1e-15)
+
+    @given(alphas)
+    @settings(max_examples=25)
+    def test_mean_within_support(self, alpha):
+        dist = BoundedPowerLaw(alpha, x_min=1, x_max=50)
+        assert 1.0 <= dist.mean() <= 50.0
+
+
+class TestEmpiricalCDFProperties:
+    @given(
+        st.lists(st.integers(0, 100), min_size=2, max_size=50).filter(
+            lambda counts: sum(counts) > 0
+        ),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40)
+    def test_zero_weight_never_drawn(self, counts, seed):
+        cdf = EmpiricalCDF(np.asarray(counts, dtype=np.float64))
+        draws = cdf.sample(300, np.random.default_rng(seed))
+        zero_items = {i for i, c in enumerate(counts) if c == 0}
+        assert not (set(draws.tolist()) & zero_items)
+        assert draws.min() >= 0 and draws.max() < len(counts)
+
+
+class TestAlgorithm1Properties:
+    @given(
+        st.integers(100, 5_000),
+        st.integers(50, 2_000),
+        st.floats(1.2, 3.0),
+        st.floats(1.1, 2.0),
+        st.integers(0, 1_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_invariants(self, catalog, clicks, alpha_l, alpha_c, seed):
+        statistics = WorkloadStatistics(
+            catalog_size=catalog,
+            alpha_length=alpha_l,
+            alpha_clicks=alpha_c,
+            max_session_length=40,
+        )
+        log = SyntheticWorkloadGenerator(statistics, seed=seed).generate_clicks(clicks)
+        # At least the requested volume, whole sessions only.
+        assert len(log) >= clicks
+        lengths = log.session_lengths()
+        assert lengths.sum() == len(log)
+        assert lengths.max() <= 40
+        # Items within the catalog; session ids contiguous from 0.
+        assert log.item_ids.min() >= 0 and log.item_ids.max() < catalog
+        np.testing.assert_array_equal(
+            np.unique(log.session_ids), np.arange(lengths.shape[0])
+        )
+        # Steps strictly increasing (global click order).
+        assert np.all(np.diff(log.steps) == 1)

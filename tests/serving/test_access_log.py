@@ -1,0 +1,100 @@
+"""Server access logs: FIFO, batch co-membership, wait decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import CPU_E2, GPU_T4, LatencyModel
+from repro.serving import BatchingConfig, EtudeInferenceServer
+from repro.serving.access_log import AccessLog, AccessRecord
+from repro.serving.request import HTTP_OK, RecommendationRequest
+from repro.simulation import Simulator
+from repro.tensor.ops import CostRecord, CostTrace
+
+
+def profile_for(device, param_bytes=4.5e7):
+    trace = CostTrace()
+    trace.append(CostRecord(op="linear", param_bytes=param_bytes))
+    return LatencyModel(device).profile(trace)
+
+
+def drive(device, count, spacing, batching=None, param_bytes=4.5e7):
+    sim = Simulator()
+    log = AccessLog()
+    server = EtudeInferenceServer(
+        sim, device, profile_for(device, param_bytes),
+        np.random.default_rng(0), batching=batching, access_log=log,
+    )
+
+    def client():
+        for index in range(count):
+            request = RecommendationRequest(
+                request_id=index, session_id=index,
+                session_items=np.array([1], dtype=np.int64), sent_at=sim.now,
+            )
+            server.submit(request, lambda r: None)
+            if spacing:
+                yield spacing
+        if False:
+            yield
+
+    sim.spawn(client())
+    sim.run()
+    return log
+
+
+class TestAccessRecord:
+    def test_derived_fields(self):
+        record = AccessRecord(
+            request_id=1, arrived_at=1.0, started_at=1.5,
+            completed_at=2.0, batch_id=1, batch_size=1, status=HTTP_OK,
+        )
+        assert record.wait_s == pytest.approx(0.5)
+        assert record.service_s == pytest.approx(0.5)
+
+
+class TestCpuAccessLog:
+    def test_one_record_per_request(self):
+        log = drive(CPU_E2.device, 20, 0.001)
+        assert len(log) == 20
+        assert {record.request_id for record in log} == set(range(20))
+
+    def test_fifo_service_order(self):
+        log = drive(CPU_E2.device, 30, 0.0)
+        assert log.started_in_arrival_order()
+
+    def test_waits_grow_in_a_burst(self):
+        log = drive(CPU_E2.device, 15, 0.0)
+        by_id = sorted(log, key=lambda r: r.request_id)
+        assert by_id[-1].wait_s > by_id[0].wait_s
+
+    def test_all_status_ok(self):
+        log = drive(CPU_E2.device, 10, 0.01)
+        assert all(record.status == HTTP_OK for record in log)
+
+
+class TestGpuAccessLog:
+    def test_batch_members_share_start_and_id(self):
+        log = drive(
+            GPU_T4.device, 12, 0.0,
+            batching=BatchingConfig(max_batch_size=32, max_delay_s=0.002),
+            param_bytes=1.35e9,
+        )
+        groups = log.by_batch()
+        assert len(groups) >= 1
+        for members in groups.values():
+            starts = {record.started_at for record in members}
+            assert len(starts) == 1
+            sizes = {record.batch_size for record in members}
+            assert sizes == {len(members)}
+
+    def test_mean_wait_reflects_linger(self):
+        log = drive(
+            GPU_T4.device, 8, 0.0,
+            batching=BatchingConfig(max_batch_size=32, max_delay_s=0.002),
+            param_bytes=1e6,
+        )
+        assert 0.001 < log.mean_wait_s() < 0.004
+
+    def test_empty_log_queries_raise(self):
+        with pytest.raises(ValueError):
+            AccessLog().mean_wait_s()

@@ -1,0 +1,82 @@
+"""Latency decomposition: queue_s + inference_s vs end-to-end latency."""
+
+import numpy as np
+
+from repro.hardware import CPU_E2, GPU_T4, LatencyModel
+from repro.serving import BatchingConfig, EtudeInferenceServer
+from repro.serving.request import RecommendationRequest
+from repro.simulation import Simulator
+from repro.tensor.ops import CostRecord, CostTrace
+
+
+def profile_for(device, param_bytes):
+    trace = CostTrace()
+    trace.append(CostRecord(op="linear", param_bytes=param_bytes))
+    return LatencyModel(device).profile(trace)
+
+
+def burst(sim, server, count):
+    responses = []
+    for index in range(count):
+        request = RecommendationRequest(
+            request_id=index, session_id=index,
+            session_items=np.array([1], dtype=np.int64), sent_at=sim.now,
+        )
+        server.submit(request, responses.append)
+    return responses
+
+
+class TestCpuDecomposition:
+    def test_components_cover_latency(self):
+        sim = Simulator()
+        server = EtudeInferenceServer(
+            sim, CPU_E2.device, profile_for(CPU_E2.device, 9e7),  # ~20ms
+            np.random.default_rng(0),
+        )
+        responses = burst(sim, server, 12)
+        sim.run()
+        for response in responses:
+            assert response.queue_s + response.inference_s <= response.latency_s + 1e-9
+
+    def test_queueing_grows_behind_workers(self):
+        sim = Simulator()
+        server = EtudeInferenceServer(
+            sim, CPU_E2.device, profile_for(CPU_E2.device, 9e7),
+            np.random.default_rng(0),
+        )
+        workers = CPU_E2.device.concurrent_workers
+        responses = burst(sim, server, workers * 3)
+        sim.run()
+        by_id = sorted(responses, key=lambda r: r.request_id)
+        first_wave = by_id[:workers]
+        last_wave = by_id[-workers:]
+        assert max(r.queue_s for r in first_wave) < min(r.queue_s for r in last_wave)
+
+
+class TestGpuDecomposition:
+    def test_batch_wait_is_the_queue_component(self):
+        sim = Simulator()
+        server = EtudeInferenceServer(
+            sim, GPU_T4.device, profile_for(GPU_T4.device, 1.35e8),
+            np.random.default_rng(0),
+            batching=BatchingConfig(max_batch_size=64, max_delay_s=0.002),
+        )
+        responses = burst(sim, server, 8)
+        sim.run()
+        for response in responses:
+            # Everyone waited out the 2 ms linger together.
+            assert 0.0015 <= response.queue_s <= 0.0035
+            assert response.batch_size == 8
+
+    def test_second_batch_queues_behind_first(self):
+        sim = Simulator()
+        profile = profile_for(GPU_T4.device, 2.7e9)  # ~20 ms per pass
+        server = EtudeInferenceServer(
+            sim, GPU_T4.device, profile, np.random.default_rng(0),
+            batching=BatchingConfig(max_batch_size=4, max_delay_s=0.001),
+        )
+        responses = burst(sim, server, 8)
+        sim.run()
+        by_id = sorted(responses, key=lambda r: r.request_id)
+        # Requests 4..7 waited for the first batch's ~20 ms execution.
+        assert min(r.queue_s for r in by_id[4:]) > 0.015

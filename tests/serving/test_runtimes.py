@@ -1,0 +1,94 @@
+"""ONNX-style runtime transform and its wiring through the registry."""
+
+import pytest
+
+from repro.core.registry import AssetRegistry
+from repro.hardware import CPU_E2, GPU_T4, LatencyModel
+from repro.serving.runtimes import DISPATCH_FACTOR, onnx_transform
+from repro.tensor.ops import CostRecord, CostTrace
+
+
+def trace_of(*records):
+    trace = CostTrace()
+    for record in records:
+        trace.append(record)
+    return trace
+
+
+class TestTransform:
+    def test_epilogue_merges_into_producer(self):
+        trace = trace_of(
+            CostRecord(op="linear", launches=1, flops=100.0, write_bytes=64.0),
+            CostRecord(op="relu", launches=1, flops=8.0, write_bytes=64.0),
+        )
+        merged = onnx_transform(trace)
+        assert len(merged) == 1
+        record = merged.records[0]
+        assert record.flops == 108.0
+        assert "relu" in record.op
+
+    def test_host_ops_break_the_plan(self):
+        trace = trace_of(
+            CostRecord(op="linear", launches=1),
+            CostRecord(op="host[adjacency]", launches=1, host_op=True),
+            CostRecord(op="relu", launches=1),
+        )
+        merged = onnx_transform(trace)
+        assert len(merged) == 3  # relu's producer is the host op: no merge
+
+    def test_scale_boundary_not_merged(self):
+        trace = trace_of(
+            CostRecord(op="linear", launches=1, catalog_scale=100.0),
+            CostRecord(op="relu", launches=1, catalog_scale=1.0),
+        )
+        assert len(onnx_transform(trace)) == 2
+
+    def test_dispatch_factor_applied(self):
+        trace = trace_of(CostRecord(op="matmul", launches=1))
+        merged = onnx_transform(trace)
+        assert merged.records[0].launches == pytest.approx(DISPATCH_FACTOR)
+
+    def test_host_launches_not_discounted(self):
+        trace = trace_of(CostRecord(op="host[x]", launches=1, host_op=True))
+        merged = onnx_transform(trace)
+        assert merged.records[0].launches == 1
+
+    def test_param_bytes_preserved(self):
+        trace = trace_of(
+            CostRecord(op="linear", launches=1, param_bytes=1e6),
+            CostRecord(op="tanh", launches=1),
+        )
+        merged = onnx_transform(trace)
+        assert merged.total_param_bytes == pytest.approx(1e6)
+
+
+class TestRegistryWiring:
+    def test_onnx_profile_never_slower_than_jit(self):
+        registry = AssetRegistry()
+        for model in ("gru4rec", "sasrec", "stamp"):
+            for device in (CPU_E2.device, GPU_T4.device):
+                jit = registry.profile(model, 100_000, device, "jit")
+                onnx = registry.profile(model, 100_000, device, "onnx")
+                assert onnx.latency(1) <= jit.latency(1) * 1.001, (model, device.name)
+
+    def test_onnx_dominant_cost_unchanged(self):
+        """The catalog scan dominates; ONNX cannot shrink it."""
+        registry = AssetRegistry()
+        jit = registry.profile("gru4rec", 1_000_000, CPU_E2.device, "jit")
+        onnx = registry.profile("gru4rec", 1_000_000, CPU_E2.device, "onnx")
+        assert onnx.latency(1) > 0.9 * jit.latency(1)
+
+    def test_lightsans_onnx_falls_back_to_eager(self):
+        registry = AssetRegistry()
+        assets = registry.assets("lightsans", 10_000, CPU_E2.device, "onnx")
+        assert assets.jit_failed
+        assert assets.execution_effective == "eager"
+        assert assets.jit_fell_back
+
+    def test_spec_accepts_onnx(self):
+        from repro.core import ExperimentSpec
+
+        spec = ExperimentSpec(
+            model="stamp", catalog_size=1000, target_rps=10, execution="onnx"
+        )
+        assert spec.execution == "onnx"

@@ -1,0 +1,66 @@
+"""Graph IR introspection helpers."""
+
+import numpy as np
+
+from repro.tensor import CatalogEmbedding, Dropout, Linear
+from repro.tensor import functional as F
+from repro.tensor.jit import trace
+from repro.tensor.module import Module
+
+
+class TinyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.emb = CatalogEmbedding(50, 4)
+        self.fc = Linear(4, 4)
+        self.drop = Dropout(0.1)
+
+    def forward(self, items, length):
+        hidden = self.drop(self.fc(self.emb(items)))
+        pooled = hidden.relu().sum(axis=0)
+        scores = F.linear(pooled, self.emb.scoring_weight())
+        return F.topk(scores, 3)
+
+
+def traced():
+    model = TinyModel()
+    items = np.array([1, 2, 3], dtype=np.int64)
+    length = np.array([3], dtype=np.int64)
+    return trace(model, (items, length))
+
+
+class TestGraphIntrospection:
+    def test_op_counts(self):
+        graph = traced()
+        counts = graph.op_counts()
+        assert counts["linear"] == 2
+        assert counts["dropout"] == 1
+        assert counts["topk"] == 1
+
+    def test_launch_count_excludes_views(self):
+        graph = traced()
+        launches = graph.launch_count()
+        total_ops = sum(graph.op_counts().values())
+        assert launches == total_ops  # no views in this model
+
+    def test_consumers_map(self):
+        graph = traced()
+        consumers = graph.consumers()
+        # The topk node consumes the final linear's output.
+        topk = next(n for n in graph.nodes if n.op == "topk")
+        producer_id = topk.inputs[0]
+        assert topk in consumers[producer_id]
+
+    def test_node_by_id(self):
+        graph = traced()
+        node = graph.nodes[-1]
+        assert graph.node_by_id(node.id) is node
+
+    def test_leaf_classification(self):
+        graph = traced()
+        kinds = {node.kind for node in graph.nodes}
+        assert {"input", "param", "op"}.issubset(kinds)
+        params = [n for n in graph.nodes if n.kind == "param"]
+        assert all(n.is_leaf() and n.batch_invariant for n in params)
+        inputs = [n for n in graph.nodes if n.kind == "input"]
+        assert all(not n.batch_invariant for n in inputs)

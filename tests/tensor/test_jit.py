@@ -1,0 +1,211 @@
+"""JIT capture, optimization passes, and scripted replay."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    CatalogEmbedding,
+    Dropout,
+    JitCompilationError,
+    Linear,
+    Tensor,
+    cost_trace,
+    optimize_for_inference,
+    trace,
+)
+from repro.tensor import functional as F
+from repro.tensor.jit import run_passes
+from repro.tensor.module import Module
+
+
+class SmallModel(Module):
+    """Embedding -> linear -> relu -> masked sum -> catalog scores."""
+
+    def __init__(self, num_items=500, dim=8, max_len=6):
+        super().__init__()
+        self.max_len = max_len
+        self.emb = CatalogEmbedding(num_items, dim)
+        self.fc = Linear(dim, dim)
+        self.drop = Dropout(0.2)
+
+    def forward(self, items, length):
+        e = self.emb(items)
+        h = self.drop(self.fc(e)).relu()
+        invalid = F.logical_not(F.sequence_mask(length, self.max_len))
+        pooled = F.masked_fill(h, invalid.reshape(self.max_len, 1), 0.0).sum(axis=0)
+        scores = F.linear(pooled, self.emb.scoring_weight())
+        return F.topk(scores, 4)
+
+
+def example(model):
+    items = np.array([3, 7, 11, 0, 0, 0], dtype=np.int64)
+    length = np.array([3], dtype=np.int64)
+    return items, length
+
+
+class TestTraceCapture:
+    def test_graph_has_inputs_and_output(self):
+        model = SmallModel()
+        graph = trace(model, example(model))
+        assert len(graph.input_ids) == 2
+        assert graph.output_id is not None
+        assert graph.nodes[-1].op == "topk" or any(
+            n.op == "topk" for n in graph.nodes
+        )
+
+    def test_graph_references_are_closed(self):
+        model = SmallModel()
+        graph = trace(model, example(model))
+        ids = {n.id for n in graph.nodes}
+        for node in graph.nodes:
+            assert all(i in ids for i in node.inputs)
+
+    def test_dynamic_control_flow_raises(self):
+        class Dynamic(Module):
+            def forward(self, x, _length):
+                value = (x * 1.0).sum()
+                if value.item() > 0:  # data-dependent branch
+                    return value
+                return value
+
+        with pytest.raises(JitCompilationError):
+            trace(Dynamic(), (np.ones(3, np.float32), np.array([1])))
+
+    def test_bool_branch_raises_too(self):
+        class BoolBranch(Module):
+            def forward(self, x, _length):
+                t = x * 1.0
+                if t.sum() + 0.0:
+                    return t
+                return t
+
+        with pytest.raises(JitCompilationError):
+            trace(BoolBranch(), (np.ones(1, np.float32), np.array([1])))
+
+    def test_numpy_conversion_raises_during_trace(self):
+        class NumpyEscape(Module):
+            def forward(self, x, _length):
+                escaped = np.asarray(x * 1.0)  # leaves the traced dataflow
+                return Tensor(escaped).sum()
+
+        with pytest.raises(JitCompilationError):
+            trace(NumpyEscape(), (np.ones(3, np.float32), np.array([1])))
+
+    def test_nested_tracing_rejected(self):
+        model = SmallModel()
+
+        class Nested(Module):
+            def forward(self, x, length):
+                return trace(model, (x, length))
+
+        with pytest.raises((RuntimeError, JitCompilationError)):
+            trace(Nested(), example(model))
+
+
+class TestPasses:
+    def test_dropout_eliminated(self):
+        model = SmallModel()
+        graph = trace(model, example(model))
+        assert any(n.op == "dropout" for n in graph.nodes)
+        report = run_passes(graph)
+        assert report.dropout_removed == 1
+        assert not any(n.op == "dropout" for n in graph.nodes)
+
+    def test_dead_ops_eliminated(self):
+        class DeadBranch(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(4, 4)
+
+            def forward(self, x, _length):
+                t = Tensor(np.asarray(x, np.float32)) if not isinstance(x, Tensor) else x
+                useful = self.fc(t)
+                _dead = useful * 2.0 + 1.0  # never used
+                return useful.sum()
+
+        graph = trace(DeadBranch(), (np.ones(4, np.float32), np.array([1])))
+        report = run_passes(graph, enable_fusion=False)
+        assert report.dead_removed >= 2
+
+    def test_constant_folding_of_param_subgraphs(self):
+        class ParamDerived(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(4, 4)
+
+            def forward(self, x, _length):
+                t = x if isinstance(x, Tensor) else Tensor(np.asarray(x, np.float32))
+                doubled = self.fc.weight * 2.0  # param-only: foldable
+                return (t @ doubled.transpose()).sum()
+
+        model = ParamDerived()
+        graph = trace(model, (np.ones(4, np.float32), np.array([1])))
+        report = run_passes(graph, enable_fusion=False)
+        assert report.constants_folded >= 1
+
+    def test_launch_count_decreases(self):
+        model = SmallModel()
+        graph = trace(model, example(model))
+        before = graph.launch_count()
+        run_passes(graph)
+        assert graph.launch_count() < before
+
+
+class TestScriptedReplay:
+    def test_replay_matches_eager_everywhere(self):
+        model = SmallModel()
+        scripted = optimize_for_inference(model, example(model))
+        rng = np.random.default_rng(0)
+        for _trial in range(10):
+            length = int(rng.integers(1, 7))
+            items = np.zeros(6, dtype=np.int64)
+            items[:length] = rng.integers(0, 500, size=length)
+            length_arr = np.array([length], dtype=np.int64)
+            eager = model(Tensor(items), Tensor(length_arr)).numpy()
+            replay = scripted(items, length_arr).numpy()
+            np.testing.assert_array_equal(eager, replay)
+
+    def test_replay_has_fewer_launches(self):
+        model = SmallModel()
+        items, length = example(model)
+        scripted = optimize_for_inference(model, (items, length))
+        with cost_trace() as eager_trace:
+            model(Tensor(items), Tensor(length))
+        with cost_trace() as jit_trace:
+            scripted(items, length)
+        assert jit_trace.total_launches < eager_trace.total_launches
+
+    def test_wrong_arity_rejected(self):
+        model = SmallModel()
+        scripted = optimize_for_inference(model, example(model))
+        with pytest.raises(ValueError):
+            scripted(np.zeros(6, dtype=np.int64))
+
+    def test_parameter_bytes_passthrough(self):
+        model = SmallModel()
+        scripted = optimize_for_inference(model, example(model))
+        assert scripted.parameter_bytes() == model.parameter_bytes()
+
+    def test_fusion_preserves_numerics(self):
+        model = SmallModel()
+        items, length = example(model)
+        fused = optimize_for_inference(model, (items, length), enable_fusion=True)
+        unfused = optimize_for_inference(model, (items, length), enable_fusion=False)
+        np.testing.assert_allclose(
+            fused(items, length).numpy(), unfused(items, length).numpy()
+        )
+
+    def test_host_ops_replay_on_new_inputs(self):
+        from repro.tensor import ops
+
+        class HostModel(Module):
+            def forward(self, items, _length):
+                doubled = ops.host_numpy("double", lambda a: a * 2, items)
+                return (doubled * 1.0).sum()
+
+        model = HostModel()
+        scripted = optimize_for_inference(
+            model, (np.array([1, 2], np.int64), np.array([2]))
+        )
+        out = scripted(np.array([5, 5], np.int64), np.array([2]))
+        assert out.numpy() == pytest.approx(20.0)

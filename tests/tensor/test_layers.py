@@ -1,0 +1,124 @@
+"""Layer behaviours, especially the virtualized CatalogEmbedding."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    CatalogEmbedding,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Tensor,
+    cost_trace,
+)
+from repro.tensor import functional as F
+
+
+class TestLinear:
+    def test_output_shape_and_value(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        layer.weight.data = np.array([[1, 0, 0], [0, 1, 0]], dtype=np.float32)
+        layer.bias.data = np.array([10, 20], dtype=np.float32)
+        out = layer(Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32)))
+        np.testing.assert_allclose(out.numpy(), [11.0, 22.0])
+
+    def test_no_bias_variant(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        names = {name for name, _p in layer.named_parameters()}
+        assert names == {"weight"}
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(5, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([0, 4]))
+        np.testing.assert_allclose(out.numpy(), emb.weight.data[[0, 4]])
+
+    def test_constant_ids_are_batch_invariant(self):
+        emb = Embedding(5, 4)
+        out = emb(np.arange(5))
+        assert out.batch_invariant
+
+    def test_tensor_ids_are_not_invariant(self):
+        emb = Embedding(5, 4)
+        out = emb(Tensor(np.array([1, 2], dtype=np.int64)))
+        assert not out.batch_invariant
+
+
+class TestCatalogEmbedding:
+    def test_small_catalog_fully_materialized(self):
+        emb = CatalogEmbedding(100, 8)
+        assert emb.materialized == 100
+        assert emb.catalog_scale == 1.0
+
+    def test_large_catalog_virtualized(self):
+        emb = CatalogEmbedding(10_000_000, 57)
+        assert emb.materialized == CatalogEmbedding.DEFAULT_CAP
+        assert emb.catalog_scale == pytest.approx(10_000_000 / emb.materialized)
+
+    def test_same_seed_same_table(self):
+        a = CatalogEmbedding(1000, 8, seed=3)
+        b = CatalogEmbedding(1000, 8, seed=3)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_lookup_not_catalog_scaled(self):
+        emb = CatalogEmbedding(10_000_000, 16)
+        with cost_trace() as trace:
+            emb(np.array([5, 9_999_999]))
+        assert all(r.catalog_scale == 1.0 for r in trace)
+
+    def test_scoring_weight_is_catalog_scaled(self):
+        emb = CatalogEmbedding(1_000_000, 16)
+        query = Tensor(np.ones(16, dtype=np.float32))
+        with cost_trace() as trace:
+            F.linear(query, emb.scoring_weight())
+        logical_bytes = 1_000_000 * 16 * 4
+        assert trace.total_param_bytes == pytest.approx(logical_bytes)
+
+    def test_id_validation(self):
+        emb = CatalogEmbedding(100, 4)
+        with pytest.raises(ValueError):
+            emb(np.array([150]))
+        with pytest.raises(ValueError):
+            emb(np.array([-1]))
+
+    def test_rejects_empty_catalog(self):
+        with pytest.raises(ValueError):
+            CatalogEmbedding(0, 4)
+
+    def test_tensor_id_path_matches_eager_path(self):
+        emb = CatalogEmbedding(100_000, 8)
+        ids = np.array([1, 99_999, 40_000], dtype=np.int64)
+        eager = emb(ids).numpy()
+        traced = emb(Tensor(ids)).numpy()
+        np.testing.assert_array_equal(eager, traced)
+
+    def test_scoring_weight_survives_state_load(self):
+        emb = CatalogEmbedding(100, 4)
+        new_state = {"weight": np.ones((100, 4), dtype=np.float32)}
+        emb.load_state_dict(new_state)
+        assert emb.scoring_weight().data is emb.weight.data
+
+    def test_scoring_weight_not_in_state_dict(self):
+        emb = CatalogEmbedding(100, 4)
+        assert set(emb.state_dict()) == {"weight"}
+
+
+class TestDropoutAndNorm:
+    def test_dropout_is_identity_at_inference(self):
+        x = Tensor(np.random.default_rng(0).random(10).astype(np.float32))
+        np.testing.assert_array_equal(Dropout(0.5)(x).numpy(), x.numpy())
+
+    def test_dropout_still_costs_a_launch(self):
+        with cost_trace() as trace:
+            Dropout(0.5)(Tensor(np.ones(4)))
+        assert trace.total_launches == 1
+        assert trace.records[0].op == "dropout"
+
+    def test_layer_norm_params(self):
+        norm = LayerNorm(8)
+        assert set(norm.state_dict()) == {"gamma", "beta"}
+        out = norm(Tensor(np.random.default_rng(0).random((2, 8)).astype(np.float32)))
+        assert out.shape == (2, 8)

@@ -1,0 +1,94 @@
+"""Module / Parameter container behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Linear, Sequential, Tanh, Tensor
+from repro.tensor.module import Module, Parameter
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 2)
+        self.scale = Parameter(np.ones(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x)) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_are_hierarchical(self):
+        model = TwoLayer()
+        names = {name for name, _p in model.named_parameters()}
+        assert names == {
+            "fc1.weight",
+            "fc1.bias",
+            "fc2.weight",
+            "fc2.bias",
+            "scale",
+        }
+
+    def test_parameter_count_and_bytes(self):
+        model = TwoLayer()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert model.parameter_count() == expected
+        assert model.parameter_bytes() == expected * 4
+
+    def test_named_modules(self):
+        model = TwoLayer()
+        names = {name for name, _m in model.named_modules()}
+        assert "fc1" in names and "fc2" in names
+
+
+class TestStateDict:
+    def test_roundtrip_preserves_outputs(self):
+        model = TwoLayer()
+        x = Tensor(np.random.default_rng(0).random((2, 4)).astype(np.float32))
+        before = model(x).numpy()
+        state = model.state_dict()
+        fresh = TwoLayer()
+        fresh.scale.data = np.array([3.0], dtype=np.float32)
+        assert not np.allclose(fresh(x).numpy(), before)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh(x).numpy(), before)
+
+    def test_load_rejects_missing_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_unexpected_keys(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["phantom"] = np.ones(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_rejects_shape_mismatch(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.ones(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_state_dict_values_are_copies(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.scale.data[0] == 1.0
+
+
+class TestSequential:
+    def test_runs_children_in_order(self):
+        seq = Sequential(Linear(3, 3), Tanh(), Linear(3, 1))
+        out = seq(Tensor(np.ones((2, 3), dtype=np.float32)))
+        assert out.shape == (2, 1)
+        assert len(seq) == 3
+
+    def test_iterates_children(self):
+        seq = Sequential(Tanh(), Tanh())
+        assert len(list(seq)) == 2

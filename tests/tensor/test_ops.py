@@ -1,0 +1,262 @@
+"""Kernel correctness and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, cost_trace
+from repro.tensor import functional as F
+from repro.tensor import ops
+from repro.tensor.module import Parameter
+
+
+class TestElementwiseKernels:
+    def test_add_matches_numpy(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]))
+        b = Tensor(np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_allclose((a + b).numpy(), [11.0, 22.0, 33.0])
+
+    def test_scalar_broadcasting(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        np.testing.assert_allclose((1.0 - a).numpy(), [0.0, -1.0])
+        np.testing.assert_allclose((a * 3.0).numpy(), [3.0, 6.0])
+
+    def test_division(self):
+        a = Tensor(np.array([4.0, 9.0]))
+        np.testing.assert_allclose((a / 2.0).numpy(), [2.0, 4.5])
+
+    def test_unary_activations(self):
+        x = np.linspace(-2, 2, 7).astype(np.float32)
+        t = Tensor(x)
+        np.testing.assert_allclose(t.tanh().numpy(), np.tanh(x), rtol=1e-6)
+        np.testing.assert_allclose(
+            t.sigmoid().numpy(), 1 / (1 + np.exp(-x)), rtol=1e-6
+        )
+        np.testing.assert_allclose(t.relu().numpy(), np.maximum(x, 0), rtol=1e-6)
+
+    def test_exp_log_roundtrip(self):
+        x = Tensor(np.array([0.5, 1.0, 2.0]))
+        np.testing.assert_allclose(x.exp().log().numpy(), x.numpy(), rtol=1e-5)
+
+    def test_outputs_are_float32(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        assert (a + a).dtype == np.float32
+        assert a.tanh().dtype == np.float32
+
+
+class TestLinearAlgebraKernels:
+    def test_matmul_matches_numpy(self):
+        a = np.random.default_rng(0).random((3, 4)).astype(np.float32)
+        b = np.random.default_rng(1).random((4, 5)).astype(np.float32)
+        out = (Tensor(a) @ Tensor(b)).numpy()
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5)
+
+    def test_matmul_flop_count(self):
+        a = Tensor(np.ones((3, 4), dtype=np.float32))
+        b = Tensor(np.ones((4, 5), dtype=np.float32))
+        with cost_trace() as trace:
+            a @ b
+        assert trace.records[0].flops == 2 * 3 * 5 * 4
+
+    def test_linear_fuses_bias(self):
+        x = Tensor(np.ones((2, 3), dtype=np.float32))
+        w = Parameter(np.full((4, 3), 2.0, dtype=np.float32))
+        bias = Parameter(np.full(4, 1.0, dtype=np.float32))
+        with cost_trace() as trace:
+            out = F.linear(x, w, bias)
+        np.testing.assert_allclose(out.numpy(), np.full((2, 4), 7.0))
+        assert len(trace) == 1  # one fused kernel, one launch
+        assert trace.records[0].launches == 1
+
+    def test_batched_matmul(self):
+        a = np.random.default_rng(2).random((2, 3, 4)).astype(np.float32)
+        b = np.random.default_rng(3).random((2, 4, 5)).astype(np.float32)
+        out = (Tensor(a) @ Tensor(b)).numpy()
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5)
+
+
+class TestReductionsAndNormalization:
+    def test_softmax_sums_to_one(self):
+        x = Tensor(np.random.default_rng(0).random((4, 6)).astype(np.float32))
+        out = F.softmax(x, axis=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), rtol=1e-5)
+
+    def test_softmax_is_shift_invariant(self):
+        x = np.random.default_rng(1).random(8).astype(np.float32)
+        a = F.softmax(Tensor(x)).numpy()
+        b = F.softmax(Tensor(x + 100.0)).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-4)
+
+    def test_reductions_match_numpy(self):
+        x = np.random.default_rng(2).random((3, 5)).astype(np.float32)
+        np.testing.assert_allclose(Tensor(x).sum(axis=0).numpy(), x.sum(axis=0), rtol=1e-5)
+        np.testing.assert_allclose(Tensor(x).mean(axis=1).numpy(), x.mean(axis=1), rtol=1e-5)
+        np.testing.assert_allclose(Tensor(x).max(axis=1).numpy(), x.max(axis=1), rtol=1e-5)
+
+    def test_layer_norm_standardizes(self):
+        x = Tensor(np.random.default_rng(3).random((4, 16)).astype(np.float32) * 5)
+        gamma = Parameter(np.ones(16, dtype=np.float32))
+        beta = Parameter(np.zeros(16, dtype=np.float32))
+        out = ops.run_op("layer_norm", (x, gamma, beta), {"eps": 1e-6}).numpy()
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+
+class TestIndexingKernels:
+    def test_embedding_lookup(self):
+        table = Parameter(np.arange(12, dtype=np.float32).reshape(4, 3))
+        out = ops.run_op(
+            "embedding_lookup", (table, Tensor(np.array([2, 0], dtype=np.int64)))
+        )
+        np.testing.assert_allclose(out.numpy(), [[6, 7, 8], [0, 1, 2]])
+
+    def test_embedding_lookup_charges_touched_rows_only(self):
+        table = Parameter(np.zeros((1000, 8), dtype=np.float32))
+        with cost_trace() as trace:
+            ops.run_op(
+                "embedding_lookup", (table, Tensor(np.array([1, 2], dtype=np.int64)))
+            )
+        assert trace.records[0].param_bytes == 2 * 8 * 4
+
+    def test_topk_returns_sorted_indices(self):
+        scores = Tensor(np.array([0.1, 5.0, 3.0, 4.0, -1.0], dtype=np.float32))
+        top = F.topk(scores, 3).numpy()
+        np.testing.assert_array_equal(top, [1, 3, 2])
+
+    def test_topk_k_larger_than_size(self):
+        scores = Tensor(np.array([2.0, 1.0], dtype=np.float32))
+        assert F.topk(scores, 5).numpy().shape == (2,)
+
+    def test_topk_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            F.topk(Tensor(np.ones(3)), 0)
+
+    def test_masked_fill(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32))
+        mask = np.array([[True, False], [False, True]])
+        out = F.masked_fill(x, mask, -9.0).numpy()
+        np.testing.assert_allclose(out, [[-9, 1], [1, -9]])
+
+    def test_gather_row_with_offset(self):
+        x = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3))
+        length = Tensor(np.array([3], dtype=np.int64))
+        out = F.gather_row(x, length, offset=-1).numpy()
+        np.testing.assert_allclose(out, [6, 7, 8])
+
+    def test_sequence_mask(self):
+        mask = F.sequence_mask(Tensor(np.array([3], dtype=np.int64)), 5).numpy()
+        np.testing.assert_array_equal(mask, [True, True, True, False, False])
+
+    def test_mod_index(self):
+        ids = Tensor(np.array([1, 7, 12], dtype=np.int64))
+        out = F.mod_index(ids, 5).numpy()
+        np.testing.assert_array_equal(out, [1, 2, 2])
+
+
+class TestGRUSequenceKernel:
+    def test_matches_unrolled_cell(self):
+        from repro.tensor.rnn import GRU
+
+        rng_input = np.random.default_rng(0).random((6, 4)).astype(np.float32)
+        fused = GRU(4, 8, fused=True, rng=np.random.default_rng(7))
+        unrolled = GRU(4, 8, fused=False, rng=np.random.default_rng(7))
+        unrolled.load_state_dict(fused.state_dict())
+        out_fused, h_fused = fused(Tensor(rng_input))
+        out_unrolled, h_unrolled = unrolled(Tensor(rng_input))
+        np.testing.assert_allclose(
+            out_fused.numpy(), out_unrolled.numpy(), rtol=1e-4, atol=1e-5
+        )
+        np.testing.assert_allclose(
+            h_fused.numpy(), h_unrolled.numpy(), rtol=1e-4, atol=1e-5
+        )
+
+    def test_fused_uses_one_launch_per_layer(self):
+        from repro.tensor.rnn import GRU
+
+        gru = GRU(4, 8, num_layers=2)
+        with cost_trace() as trace:
+            gru(Tensor(np.zeros((5, 4), dtype=np.float32)))
+        gru_records = [r for r in trace if r.op == "gru_sequence"]
+        assert len(gru_records) == 2
+        assert all(r.launches == 1 for r in gru_records)
+
+
+class TestCostTraceAccounting:
+    def test_trace_captures_only_inside_block(self):
+        a = Tensor(np.ones(4))
+        _ = a + a
+        with cost_trace() as trace:
+            _ = a * a
+        _ = a - a
+        assert len(trace) == 1
+        assert trace.records[0].op == "mul"
+
+    def test_nested_traces_both_record(self):
+        a = Tensor(np.ones(4))
+        with cost_trace() as outer:
+            _ = a + a
+            with cost_trace() as inner:
+                _ = a * a
+        assert len(outer) == 2
+        assert len(inner) == 1
+
+    def test_param_vs_activation_bytes(self):
+        x = Tensor(np.ones((2, 8), dtype=np.float32))
+        w = Parameter(np.ones((4, 8), dtype=np.float32))
+        with cost_trace() as trace:
+            F.linear(x, w)
+        record = trace.records[0]
+        assert record.param_bytes == w.nbytes
+        assert record.read_bytes == x.nbytes
+
+    def test_catalog_scale_propagates(self):
+        w = Parameter(np.ones((10, 4), dtype=np.float32))
+        w.catalog_scale = 100.0
+        x = Tensor(np.ones(4, dtype=np.float32))
+        with cost_trace() as trace:
+            scores = F.linear(x, w)
+            F.topk(scores, 3)
+        assert all(r.catalog_scale == 100.0 for r in trace)
+        assert trace.total_param_bytes == w.nbytes * 100.0
+
+    def test_batch_invariance_propagates_from_params(self):
+        w = Parameter(np.ones((4, 4), dtype=np.float32))
+        x = Tensor(np.ones(4, dtype=np.float32))
+        with cost_trace() as trace:
+            derived = w * w  # param-only -> invariant
+            _ = F.linear(x, derived)  # mixes in a request tensor
+        assert trace.records[0].batch_invariant
+        assert not trace.records[1].batch_invariant
+        # The invariant input is charged like weight streaming downstream.
+        assert trace.records[1].param_bytes == derived.nbytes
+
+    def test_views_are_free(self):
+        x = Tensor(np.ones((4, 4), dtype=np.float32))
+        with cost_trace() as trace:
+            x.reshape(16).reshape(2, 8).transpose()
+        assert trace.total_launches == 0
+
+
+class TestHostOps:
+    def test_host_numpy_runs_and_tags(self):
+        items = Tensor(np.array([3, 1, 2], dtype=np.int64))
+        with cost_trace() as trace:
+            out = ops.host_numpy("sort", lambda a: np.sort(a), items)
+        np.testing.assert_array_equal(out.numpy(), [1, 2, 3])
+        record = trace.records[0]
+        assert record.host_op
+        assert record.transfer_bytes > 0
+
+    def test_host_numpy_explicit_catalog_scale(self):
+        items = Tensor(np.array([1], dtype=np.int64))
+        with cost_trace() as trace:
+            out = ops.host_numpy(
+                "expand", lambda a: np.zeros(10), items, catalog_scale=50.0
+            )
+        assert trace.records[0].catalog_scale == 50.0
+        assert out.catalog_scale == 50.0
+
+    def test_scaled_record_folds_scale(self):
+        record = ops.CostRecord(op="x", flops=10.0, catalog_scale=3.0)
+        scaled = record.scaled()
+        assert scaled.flops == 30.0
+        assert scaled.catalog_scale == 1.0

@@ -1,0 +1,95 @@
+"""Per-op profiler."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import CPU_E2, GPU_T4
+from repro.models import ModelConfig, create_model
+from repro.tensor.profiler import profile_model, profile_trace
+from repro.tensor.ops import CostRecord, CostTrace
+
+CONFIG = ModelConfig.for_catalog(100_000)
+
+
+class TestProfileTrace:
+    def test_groups_by_op_kind(self):
+        trace = CostTrace()
+        trace.append(CostRecord(op="linear", launches=1, flops=10.0))
+        trace.append(CostRecord(op="linear", launches=1, flops=20.0))
+        trace.append(CostRecord(op="relu", launches=1, flops=5.0))
+        report = profile_trace(trace, CPU_E2.device)
+        assert len(report.rows) == 2
+        linear = report.row_for("linear")
+        assert linear.calls == 2
+        assert linear.flops == 30.0
+
+    def test_rows_sorted_by_time(self):
+        trace = CostTrace()
+        trace.append(CostRecord(op="cheap", launches=1))
+        trace.append(CostRecord(op="expensive", launches=1, param_bytes=1e9))
+        report = profile_trace(trace, CPU_E2.device)
+        assert report.rows[0].op == "expensive"
+
+    def test_shares_sum_below_one(self):
+        trace = CostTrace()
+        for op in ("a", "b", "c"):
+            trace.append(CostRecord(op=op, launches=1, param_bytes=1e6))
+        report = profile_trace(trace, CPU_E2.device)
+        assert sum(row.share for row in report.rows) <= 1.0 + 1e-9
+
+    def test_catalog_scale_included(self):
+        trace = CostTrace()
+        trace.append(CostRecord(op="scan", launches=1, param_bytes=1e6, catalog_scale=100.0))
+        report = profile_trace(trace, CPU_E2.device)
+        assert report.row_for("scan").param_bytes == pytest.approx(1e8)
+
+
+class TestProfileModel:
+    def test_healthy_model_dominated_by_catalog_scan(self):
+        model = create_model("gru4rec", CONFIG)
+        report = profile_model(model, CPU_E2.device)
+        top = report.rows[0]
+        assert top.op in ("linear", "gru_sequence")
+        assert top.param_bytes > 5e6  # the C x d table
+
+    def test_repeatnet_dense_scatter_dominates(self):
+        model = create_model("repeatnet", CONFIG)
+        report = profile_model(model, GPU_T4.device)
+        assert "repeatnet_dense_onehot" in report.rows[0].op or (
+            report.rows[0].op == "matmul"
+        )
+        host_rows = [row for row in report.rows if row.host_op]
+        assert host_rows and host_rows[0].share > 0.2
+
+    def test_srgnn_host_ops_visible_on_gpu_only(self):
+        model = create_model("srgnn", CONFIG)
+        gpu = profile_model(model, GPU_T4.device)
+        cpu = profile_model(model, CPU_E2.device)
+        gpu_host_share = sum(row.share for row in gpu.rows if row.host_op)
+        cpu_host_share = sum(row.share for row in cpu.rows if row.host_op)
+        assert gpu_host_share > 0.3
+        assert cpu_host_share < gpu_host_share
+
+    def test_total_time_close_to_latency_model(self):
+        from repro.hardware import LatencyModel
+        from repro.tensor import Tensor, cost_trace
+
+        model = create_model("stamp", CONFIG)
+        items, length = model.example_inputs()
+        with cost_trace() as trace:
+            model.forward(Tensor(items), Tensor(length))
+        direct = LatencyModel(CPU_E2.device).profile(trace).latency(1)
+        report = profile_trace(trace, CPU_E2.device)
+        assert report.total_time_s == pytest.approx(direct, rel=0.05)
+
+    def test_custom_session(self):
+        model = create_model("stamp", CONFIG)
+        report = profile_model(model, CPU_E2.device, session=[1, 2, 3])
+        assert report.total_time_s > 0
+
+    def test_render_contains_header_and_rows(self):
+        model = create_model("stamp", CONFIG)
+        text = profile_model(model, CPU_E2.device).render(max_rows=3)
+        assert "profile on cpu-e2" in text
+        assert "share" in text
+        assert "more op kinds" in text

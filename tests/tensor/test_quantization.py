@@ -1,0 +1,124 @@
+"""Int8 quantization of the catalog scoring head."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import CPU_E2, GPU_T4, LatencyModel
+from repro.models import ModelConfig, create_model
+from repro.tensor import Tensor, cost_trace
+from repro.tensor.quantization import (
+    QuantizedCatalogEmbedding,
+    dequantize_rows,
+    quantize_model,
+    quantize_rows,
+)
+
+CONFIG = ModelConfig.for_catalog(50_000, top_k=10)
+
+
+class TestRowQuantization:
+    def test_roundtrip_error_small(self):
+        table = np.random.default_rng(0).normal(0, 0.1, (100, 16)).astype(np.float32)
+        quantized, scales = quantize_rows(table)
+        restored = dequantize_rows(quantized, scales)
+        relative = np.linalg.norm(restored - table) / np.linalg.norm(table)
+        assert relative < 0.01
+
+    def test_int8_range(self):
+        table = np.random.default_rng(1).normal(0, 5.0, (50, 8)).astype(np.float32)
+        quantized, _scales = quantize_rows(table)
+        assert quantized.dtype == np.int8
+        assert quantized.min() >= -127 and quantized.max() <= 127
+
+    def test_zero_rows_survive(self):
+        table = np.zeros((3, 4), dtype=np.float32)
+        quantized, scales = quantize_rows(table)
+        np.testing.assert_array_equal(dequantize_rows(quantized, scales), table)
+
+
+class TestQuantizedEmbedding:
+    def test_lookup_close_to_fp32(self):
+        model = create_model("stamp", CONFIG)
+        quantized = QuantizedCatalogEmbedding(model.item_embedding)
+        ids = np.array([1, 4999, 123], dtype=np.int64)
+        fp32 = model.item_embedding(ids).numpy()
+        int8 = quantized(ids).numpy()
+        np.testing.assert_allclose(int8, fp32, atol=0.01)
+
+    def test_scoring_param_traffic_quartered(self):
+        model = create_model("stamp", CONFIG)
+        quantized = QuantizedCatalogEmbedding(model.item_embedding)
+        query = Tensor(np.random.default_rng(0).random(CONFIG.embedding_dim).astype(np.float32))
+        from repro.tensor import functional as F
+
+        with cost_trace() as fp32_trace:
+            F.linear(query, model.item_embedding.scoring_weight())
+        with cost_trace() as int8_trace:
+            quantized.score(query)
+        ratio = fp32_trace.total_param_bytes / int8_trace.total_param_bytes
+        assert 2.5 < ratio < 4.0  # 4x table, minus the fp32 row scales
+
+    def test_preserves_catalog_scale(self):
+        big = ModelConfig.for_catalog(10_000_000)
+        model = create_model("stamp", big)
+        quantized = QuantizedCatalogEmbedding(model.item_embedding)
+        assert quantized.catalog_scale == model.item_embedding.catalog_scale
+
+    def test_quantization_error_metric(self):
+        model = create_model("stamp", CONFIG)
+        quantized = QuantizedCatalogEmbedding(model.item_embedding)
+        error = quantized.quantization_error(model.item_embedding)
+        assert 0.0 < error < 0.02
+
+
+class TestQuantizedModel:
+    def test_topk_overlap_high(self):
+        model = create_model("gru4rec", CONFIG)
+        quantized = quantize_model(model)
+        rng = np.random.default_rng(2)
+        overlaps = []
+        for _trial in range(10):
+            session = rng.integers(0, CONFIG.num_items, size=5).tolist()
+            exact = set(model.recommend(session).tolist())
+            approx = set(quantized.recommend(session).tolist())
+            overlaps.append(len(exact & approx) / CONFIG.top_k)
+        assert np.mean(overlaps) > 0.9
+
+    def test_latency_improves_on_cpu(self):
+        model = create_model("gru4rec", ModelConfig.for_catalog(1_000_000))
+        quantized = quantize_model(model)
+        session = [5, 17, 900]
+
+        def latency_of(m):
+            items, length = m.prepare_inputs(session)
+            with cost_trace() as trace:
+                m.forward(Tensor(items), Tensor(length))
+            return LatencyModel(CPU_E2.device).profile(trace).latency(1)
+
+        assert latency_of(quantized) < 0.5 * latency_of(model)
+
+    def test_resident_bytes_shrink(self):
+        model = create_model("gru4rec", ModelConfig.for_catalog(1_000_000))
+        quantized = quantize_model(model)
+        assert quantized.resident_bytes() < 0.5 * model.resident_bytes()
+
+    def test_jit_traceable(self):
+        from repro.tensor import optimize_for_inference
+
+        model = create_model("stamp", CONFIG)
+        quantized = quantize_model(model)
+        scripted = optimize_for_inference(quantized, quantized.example_inputs())
+        session = [1, 2, 3]
+        items, length = quantized.prepare_inputs(session)
+        np.testing.assert_array_equal(
+            scripted(items, length).numpy(), quantized.recommend(session)
+        )
+
+    def test_fused_scoring_models_rejected(self):
+        model = create_model("repeatnet", CONFIG)
+        with pytest.raises(ValueError):
+            quantize_model(model)
+
+    def test_non_model_rejected(self):
+        with pytest.raises(TypeError):
+            quantize_model(object())

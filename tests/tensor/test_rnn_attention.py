@@ -1,0 +1,98 @@
+"""GRU and attention building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import GRU, GRUCell, MultiHeadAttention, Tensor, cost_trace
+from repro.tensor.attention import (
+    TransformerBlock,
+    causal_mask,
+    scaled_dot_product_attention,
+)
+
+
+class TestGRUCell:
+    def test_step_shapes(self):
+        cell = GRUCell(4, 8)
+        h = cell(Tensor(np.ones(4, np.float32)), cell.initial_state())
+        assert h.shape == (8,)
+
+    def test_gating_bounds_state(self):
+        cell = GRUCell(4, 8)
+        h = cell.initial_state()
+        for _step in range(50):
+            h = cell(Tensor(np.ones(4, np.float32) * 100.0), h)
+        # tanh candidate keeps hidden state in (-1, 1)
+        assert np.all(np.abs(h.numpy()) <= 1.0 + 1e-5)
+
+
+class TestGRU:
+    def test_output_shapes(self):
+        gru = GRU(4, 8, num_layers=2)
+        outputs, final = gru(Tensor(np.random.default_rng(0).random((5, 4)).astype(np.float32)))
+        assert outputs.shape == (5, 8)
+        assert final.shape == (8,)
+
+    def test_initial_state_respected(self):
+        gru = GRU(4, 4, num_layers=1)
+        x = Tensor(np.zeros((1, 4), dtype=np.float32))
+        h0 = Tensor(np.full(4, 0.9, dtype=np.float32))
+        _out_a, final_a = gru(x)
+        _out_b, final_b = gru(x, initial_state=h0)
+        assert not np.allclose(final_a.numpy(), final_b.numpy())
+
+    def test_causality(self):
+        """Changing a later input must not affect earlier outputs."""
+        gru = GRU(3, 6)
+        base = np.random.default_rng(1).random((6, 3)).astype(np.float32)
+        modified = base.copy()
+        modified[4:] += 1.0
+        out_base, _ = gru(Tensor(base))
+        out_modified, _ = gru(Tensor(modified))
+        np.testing.assert_allclose(
+            out_base.numpy()[:4], out_modified.numpy()[:4], rtol=1e-5
+        )
+
+
+class TestAttention:
+    def test_sdpa_weights_rows(self):
+        # A query identical to key 1 attends mostly there.
+        keys = Tensor(np.eye(3, dtype=np.float32) * 5)
+        values = Tensor(np.diag([1.0, 2.0, 3.0]).astype(np.float32))
+        query = Tensor((np.eye(3, dtype=np.float32) * 5)[1:2])
+        out = scaled_dot_product_attention(query, keys, values).numpy()
+        assert out[0, 1] > out[0, 0] and out[0, 1] > out[0, 2]
+
+    def test_sdpa_mask_blocks_positions(self):
+        query = Tensor(np.ones((1, 4), dtype=np.float32))
+        keys = Tensor(np.ones((3, 4), dtype=np.float32))
+        values = Tensor(np.arange(9, dtype=np.float32).reshape(3, 3))
+        mask = np.array([[False, True, True]])
+        out = scaled_dot_product_attention(query, keys, values, mask=mask).numpy()
+        np.testing.assert_allclose(out[0], values.numpy()[0], atol=1e-4)
+
+    def test_mha_shape_and_determinism(self):
+        mha = MultiHeadAttention(8, 2, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).random((5, 8)).astype(np.float32))
+        out1 = mha(x).numpy()
+        out2 = mha(x).numpy()
+        assert out1.shape == (5, 8)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_mha_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2)
+
+    def test_causal_mask_shape(self):
+        mask = causal_mask(4)
+        assert mask[0, 3] and not mask[3, 0] and not mask[2, 2]
+
+    def test_transformer_block_causality(self):
+        block = TransformerBlock(8, 2, rng=np.random.default_rng(0))
+        mask = causal_mask(6)
+        base = np.random.default_rng(2).random((6, 8)).astype(np.float32)
+        modified = base.copy()
+        modified[5] += 1.0
+        out_base = block(Tensor(base), mask=mask).numpy()
+        out_modified = block(Tensor(modified), mask=mask).numpy()
+        np.testing.assert_allclose(out_base[:5], out_modified[:5], rtol=1e-4, atol=1e-5)

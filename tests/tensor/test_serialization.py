@@ -1,0 +1,49 @@
+"""Model artifact (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Linear, Tensor
+from repro.tensor.module import Module
+from repro.tensor.serialization import (
+    load_into_module,
+    load_module_state,
+    save_module_state,
+)
+
+
+class Small(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = Linear(3, 2)
+
+    def forward(self, x):
+        return self.fc(x)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_weights(self):
+        model = Small()
+        blob = save_module_state(model, metadata={"model": "small"})
+        state, metadata = load_module_state(blob)
+        assert metadata == {"model": "small"}
+        np.testing.assert_array_equal(state["fc.weight"], model.fc.weight.data)
+        np.testing.assert_array_equal(state["fc.bias"], model.fc.bias.data)
+
+    def test_load_into_module_restores_outputs(self):
+        source = Small()
+        blob = save_module_state(source)
+        target = Small()
+        target.fc.weight.data = target.fc.weight.data + 5.0
+        load_into_module(target, blob)
+        x = Tensor(np.ones(3, dtype=np.float32))
+        np.testing.assert_allclose(source(x).numpy(), target(x).numpy())
+
+    def test_corrupted_payload_rejected(self):
+        with pytest.raises(Exception):
+            load_module_state(b"not an npz archive")
+
+    def test_metadata_defaults_to_empty(self):
+        blob = save_module_state(Small())
+        _state, metadata = load_module_state(blob)
+        assert metadata == {}

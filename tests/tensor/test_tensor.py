@@ -1,0 +1,90 @@
+"""Tensor wrapper semantics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, as_tensor
+from repro.tensor.module import Parameter
+from repro.tensor.tensor import concat, stack
+
+
+class TestConstruction:
+    def test_float_arrays_become_float32(self):
+        assert Tensor(np.array([1.0], dtype=np.float64)).dtype == np.float32
+
+    def test_int_arrays_become_int64(self):
+        assert Tensor(np.array([1], dtype=np.int32)).dtype == np.int64
+
+    def test_bool_arrays_stay_bool(self):
+        assert Tensor(np.array([True])).dtype == np.bool_
+
+    def test_from_tensor_shares_data(self):
+        original = Tensor(np.ones(3))
+        wrapped = Tensor(original)
+        assert wrapped.data is original.data
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+    def test_parameter_is_batch_invariant(self):
+        p = Parameter(np.ones(3))
+        assert p.is_param
+        assert p.batch_invariant
+
+    def test_plain_tensor_not_invariant(self):
+        assert not Tensor(np.ones(3)).batch_invariant
+
+
+class TestIntrospection:
+    def test_shape_size_nbytes(self):
+        t = Tensor(np.zeros((2, 3), dtype=np.float32))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert t.nbytes == 24
+
+    def test_repr_distinguishes_parameter(self):
+        assert "Parameter" in repr(Parameter(np.ones(2)))
+        assert repr(Tensor(np.ones(2))).startswith("Tensor")
+
+
+class TestValueExtraction:
+    def test_item_on_scalar(self):
+        assert Tensor(np.array([3.5])).item() == pytest.approx(3.5)
+
+    def test_item_rejects_multielement(self):
+        with pytest.raises(ValueError):
+            Tensor(np.array([1.0, 2.0])).item()
+
+    def test_bool_on_scalar(self):
+        assert bool(Tensor(np.array([1.0])))
+        assert not bool(Tensor(np.array([0.0])))
+
+    def test_bool_rejects_multielement(self):
+        with pytest.raises(ValueError):
+            bool(Tensor(np.ones(3)))
+
+
+class TestShapeOps:
+    def test_reshape_accepts_tuple_or_args(self):
+        t = Tensor(np.arange(6, dtype=np.float32))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_property(self):
+        t = Tensor(np.zeros((2, 5), dtype=np.float32))
+        assert t.T.shape == (5, 2)
+
+    def test_getitem_slicing(self):
+        t = Tensor(np.arange(12, dtype=np.float32).reshape(4, 3))
+        np.testing.assert_allclose(t[1].numpy(), [3, 4, 5])
+        np.testing.assert_allclose(t[:, 0].numpy(), [0, 3, 6, 9])
+        np.testing.assert_allclose(t[-1].numpy(), [9, 10, 11])
+
+    def test_concat_and_stack(self):
+        a = Tensor(np.ones(2, dtype=np.float32))
+        b = Tensor(np.zeros(2, dtype=np.float32))
+        np.testing.assert_allclose(concat([a, b], axis=0).numpy(), [1, 1, 0, 0])
+        assert stack([a, b], axis=0).shape == (2, 2)

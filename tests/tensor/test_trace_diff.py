@@ -1,0 +1,76 @@
+"""Trace comparison tool."""
+
+import pytest
+
+from repro.core.registry import AssetRegistry
+from repro.hardware import CPU_E2
+from repro.tensor.ops import CostRecord, CostTrace
+from repro.tensor.trace_diff import TraceSummary, diff_traces
+
+
+def trace_of(*records):
+    trace = CostTrace()
+    for record in records:
+        trace.append(record)
+    return trace
+
+
+class TestSummary:
+    def test_aggregates(self):
+        trace = trace_of(
+            CostRecord(op="a", launches=1, flops=10.0, param_bytes=100.0),
+            CostRecord(op="b", launches=2, flops=5.0, host_op=True,
+                       transfer_bytes=7.0),
+        )
+        summary = TraceSummary.of(trace, "x")
+        assert summary.ops == 2
+        assert summary.launches == 3.0
+        assert summary.flops == 15.0
+        assert summary.host_ops == 1
+        assert summary.transfer_bytes == 7.0
+
+
+class TestDiff:
+    def test_ratios(self):
+        before = trace_of(CostRecord(op="a", launches=4, flops=100.0))
+        after = trace_of(CostRecord(op="a", launches=1, flops=100.0))
+        diff = diff_traces(before, after)
+        assert diff.ratio("launches") == pytest.approx(0.25)
+        assert diff.ratio("flops") == pytest.approx(1.0)
+
+    def test_zero_denominator(self):
+        before = trace_of(CostRecord(op="a"))
+        after = trace_of(CostRecord(op="a", flops=5.0))
+        diff = diff_traces(before, after)
+        assert diff.ratio("flops") == float("inf")
+
+    def test_device_latency_speedup(self):
+        before = trace_of(CostRecord(op="a", param_bytes=9e7))
+        after = trace_of(CostRecord(op="a", param_bytes=3e7))
+        diff = diff_traces(before, after, device=CPU_E2.device)
+        assert diff.latency_speedup > 2.0
+
+    def test_render_contains_rows(self):
+        before = trace_of(CostRecord(op="a", launches=2))
+        after = trace_of(CostRecord(op="a", launches=1))
+        text = diff_traces(before, after, labels=("eager", "jit")).render()
+        assert "eager" in text and "jit" in text
+        assert "launches" in text and "0.50x" in text
+
+
+class TestRealModes:
+    def test_eager_vs_jit_for_a_real_model(self):
+        registry = AssetRegistry()
+        eager, _m, _f = registry.trace("sasrec", 10_000, "eager")
+        jit, _m, _f = registry.trace("sasrec", 10_000, "jit")
+        diff = diff_traces(eager, jit, ("eager", "jit"), device=CPU_E2.device)
+        assert diff.ratio("launches") < 1.0
+        assert diff.latency_speedup >= 1.0
+
+    def test_jit_vs_onnx(self):
+        registry = AssetRegistry()
+        jit, _m, _f = registry.trace("core", 10_000, "jit")
+        onnx, _m, _f = registry.trace("core", 10_000, "onnx")
+        diff = diff_traces(jit, onnx, ("jit", "onnx"))
+        assert diff.ratio("launches") < 1.0
+        assert diff.ratio("flops") == pytest.approx(1.0, rel=1e-6)

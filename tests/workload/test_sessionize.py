@@ -1,0 +1,113 @@
+"""Sessionization of raw event streams."""
+
+import numpy as np
+import pytest
+
+from repro.workload.sessionize import (
+    DEFAULT_GAP_S,
+    RawEvents,
+    sessionize,
+    synthesize_raw_events,
+)
+
+
+def events_of(rows):
+    """rows: (visitor, timestamp, item) triples."""
+    visitors, timestamps, items = zip(*rows)
+    return RawEvents(
+        visitor_ids=np.asarray(visitors, dtype=np.int64),
+        timestamps=np.asarray(timestamps, dtype=np.float64),
+        item_ids=np.asarray(items, dtype=np.int64),
+    )
+
+
+class TestSessionize:
+    def test_gap_splits_sessions(self):
+        events = events_of([
+            (1, 0.0, 10),
+            (1, 60.0, 11),
+            (1, 60.0 + DEFAULT_GAP_S + 1, 12),  # long pause -> new session
+        ])
+        log = sessionize(events)
+        assert log.num_sessions == 2
+        sessions = log.sessions()
+        np.testing.assert_array_equal(sessions[0], [10, 11])
+        np.testing.assert_array_equal(sessions[1], [12])
+
+    def test_visitor_change_splits(self):
+        events = events_of([(1, 0.0, 10), (2, 1.0, 20)])
+        log = sessionize(events)
+        assert log.num_sessions == 2
+
+    def test_events_sorted_per_visitor(self):
+        """Out-of-order arrival must not break sessionization."""
+        events = events_of([
+            (1, 100.0, 11),
+            (1, 0.0, 10),
+            (2, 50.0, 20),
+        ])
+        log = sessionize(events, inactivity_gap_s=200.0)
+        sessions = log.sessions()
+        assert any(list(s) == [10, 11] for s in sessions)
+
+    def test_custom_gap(self):
+        events = events_of([(1, 0.0, 1), (1, 10.0, 2), (1, 25.0, 3)])
+        assert sessionize(events, inactivity_gap_s=12.0).num_sessions == 2
+        assert sessionize(events, inactivity_gap_s=30.0).num_sessions == 1
+
+    def test_max_session_length_cap(self):
+        events = events_of([(1, float(i), i) for i in range(10)])
+        log = sessionize(events, inactivity_gap_s=100.0, max_session_length=4)
+        lengths = log.session_lengths()
+        assert lengths.max() <= 4
+        assert lengths.sum() == 10
+
+    def test_empty_stream(self):
+        empty = RawEvents(
+            visitor_ids=np.empty(0, dtype=np.int64),
+            timestamps=np.empty(0, dtype=np.float64),
+            item_ids=np.empty(0, dtype=np.int64),
+        )
+        assert len(sessionize(empty)) == 0
+
+    def test_validation(self):
+        events = events_of([(1, 0.0, 1)])
+        with pytest.raises(ValueError):
+            sessionize(events, inactivity_gap_s=0.0)
+        with pytest.raises(ValueError):
+            sessionize(events, max_session_length=0)
+        with pytest.raises(ValueError):
+            RawEvents(
+                visitor_ids=np.zeros(2, dtype=np.int64),
+                timestamps=np.zeros(1),
+                item_ids=np.zeros(2, dtype=np.int64),
+            )
+
+
+class TestEndToEndPipeline:
+    def test_raw_events_to_workload_statistics(self):
+        """The full preprocessing path: raw events -> sessions -> fitted
+        statistics -> Algorithm 1."""
+        from repro.workload import SyntheticWorkloadGenerator, WorkloadStatistics
+
+        catalog = 5_000
+        raw = synthesize_raw_events(catalog, 40_000, num_visitors=2_000)
+        log = sessionize(raw)
+        assert 2_000 <= log.num_sessions <= 40_000
+        lengths = log.session_lengths()
+        assert lengths.mean() > 1.0  # visits actually group events
+
+        statistics = WorkloadStatistics.from_clicklog(log, catalog)
+        synthetic = SyntheticWorkloadGenerator(statistics, seed=2).generate_clicks(
+            20_000
+        )
+        ratio = synthetic.session_lengths().mean() / lengths.mean()
+        assert 0.4 < ratio < 2.5
+
+    def test_surrogate_stream_properties(self):
+        raw = synthesize_raw_events(1_000, 5_000, num_visitors=100)
+        assert len(raw) == 5_000
+        assert raw.item_ids.max() < 1_000
+        # Timestamps are positive and visitors interleave.
+        assert raw.timestamps.min() >= 0.0
+        assert len(np.unique(raw.visitor_ids)) > 50

@@ -1,0 +1,102 @@
+"""Power-law exponent fitting and the workload-statistics roundtrip."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ClickLog,
+    SyntheticWorkloadGenerator,
+    WorkloadStatistics,
+    synthesize_real_clicklog,
+)
+from repro.workload.powerlaw import BoundedPowerLaw
+from repro.workload.statistics import fit_power_law_exponent
+
+
+class TestExponentFitting:
+    def test_recovers_known_exponent(self):
+        rng = np.random.default_rng(0)
+        for alpha in (1.5, 2.0, 2.5):
+            samples = BoundedPowerLaw(alpha, x_min=1, x_max=100_000).sample(
+                200_000, rng
+            )
+            fitted = fit_power_law_exponent(samples, x_min=1)
+            assert fitted == pytest.approx(alpha, rel=0.06)
+
+    def test_rejects_empty_tail(self):
+        with pytest.raises(ValueError):
+            fit_power_law_exponent(np.array([1, 2, 3]), x_min=10)
+
+    def test_rejects_degenerate_samples(self):
+        with pytest.raises(ValueError):
+            fit_power_law_exponent(np.ones(100) * 0.5, x_min=1)
+
+
+class TestWorkloadStatistics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadStatistics(catalog_size=0, alpha_length=2.0, alpha_clicks=2.0)
+        with pytest.raises(ValueError):
+            WorkloadStatistics(catalog_size=10, alpha_length=1.0, alpha_clicks=2.0)
+
+    def test_from_clicklog(self):
+        log = synthesize_real_clicklog(5_000, 50_000, seed=1)
+        statistics = WorkloadStatistics.from_clicklog(log, 5_000)
+        assert 1.0 < statistics.alpha_length < 4.0
+        assert 1.0 < statistics.alpha_clicks < 4.0
+
+    def test_bol_like_presets(self):
+        statistics = WorkloadStatistics.bol_like(1_000_000)
+        assert statistics.catalog_size == 1_000_000
+
+
+class TestEstimateOnceReuseLater:
+    def test_fit_then_regenerate_preserves_marginal_shape(self):
+        """The paper's workflow: estimate exponents from a real log once,
+        then generate synthetic sessions with similar marginals."""
+        real = synthesize_real_clicklog(10_000, 100_000, seed=3)
+        fitted = WorkloadStatistics.from_clicklog(real, 10_000)
+        synthetic = SyntheticWorkloadGenerator(fitted, seed=4).generate_clicks(100_000)
+
+        real_lengths = real.session_lengths()
+        synthetic_lengths = synthetic.session_lengths()
+        # Means within 2x and both heavy-tailed.
+        ratio = synthetic_lengths.mean() / real_lengths.mean()
+        assert 0.5 < ratio < 2.0
+        # Popularity skew: Gini-like top-share comparison.
+        real_counts = np.sort(real.click_counts(10_000))[::-1]
+        synthetic_counts = np.sort(synthetic.click_counts(10_000))[::-1]
+        real_top = real_counts[:1_000].sum() / real_counts.sum()
+        synthetic_top = synthetic_counts[:1_000].sum() / synthetic_counts.sum()
+        assert abs(real_top - synthetic_top) < 0.35
+
+
+class TestClickLog:
+    def test_from_sessions_roundtrip(self):
+        sessions = [[1, 2, 3], [4], [5, 6]]
+        log = ClickLog.from_sessions(sessions)
+        assert len(log) == 6
+        assert log.num_sessions == 3
+        recovered = [items.tolist() for items in log.sessions()]
+        assert recovered == sessions
+
+    def test_parallel_array_validation(self):
+        with pytest.raises(ValueError):
+            ClickLog(
+                session_ids=np.zeros(3, dtype=np.int64),
+                item_ids=np.zeros(2, dtype=np.int64),
+                steps=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_click_counts_cover_catalog(self):
+        log = ClickLog.from_sessions([[0, 0, 2]])
+        np.testing.assert_array_equal(log.click_counts(4), [2, 0, 1, 0])
+
+    def test_real_log_has_repeats(self):
+        """The surrogate production log re-clicks items within sessions."""
+        log = synthesize_real_clicklog(1_000, 20_000, seed=5, repeat_probability=0.4)
+        repeats = sum(
+            len(items) - len(set(items.tolist()))
+            for items in log.sessions()
+        )
+        assert repeats > 0

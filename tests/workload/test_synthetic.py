@@ -1,0 +1,97 @@
+"""Algorithm 1: synthetic session generation."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    SyntheticWorkloadGenerator,
+    WorkloadStatistics,
+    generate_synthetic_sessions,
+)
+
+
+def stats(catalog=10_000, alpha_l=1.85, alpha_c=1.35):
+    return WorkloadStatistics(
+        catalog_size=catalog, alpha_length=alpha_l, alpha_clicks=alpha_c
+    )
+
+
+class TestGenerateClicks:
+    def test_generates_at_least_n_whole_sessions(self):
+        log = SyntheticWorkloadGenerator(stats()).generate_clicks(10_000)
+        assert len(log) >= 10_000
+        # Whole sessions only: the last session is complete.
+        lengths = log.session_lengths()
+        assert lengths.sum() == len(log)
+
+    def test_item_ids_within_catalog(self):
+        log = SyntheticWorkloadGenerator(stats(catalog=500)).generate_clicks(5_000)
+        assert log.item_ids.min() >= 0
+        assert log.item_ids.max() < 500
+
+    def test_session_ids_contiguous(self):
+        log = SyntheticWorkloadGenerator(stats()).generate_clicks(2_000)
+        unique = np.unique(log.session_ids)
+        np.testing.assert_array_equal(unique, np.arange(unique.shape[0]))
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticWorkloadGenerator(stats(), seed=9).generate_clicks(1_000)
+        b = SyntheticWorkloadGenerator(stats(), seed=9).generate_clicks(1_000)
+        np.testing.assert_array_equal(a.item_ids, b.item_ids)
+        np.testing.assert_array_equal(a.session_ids, b.session_ids)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWorkloadGenerator(stats(), seed=1).generate_clicks(1_000)
+        b = SyntheticWorkloadGenerator(stats(), seed=2).generate_clicks(1_000)
+        assert not np.array_equal(a.item_ids, b.item_ids)
+
+    def test_lengths_bounded_by_max(self):
+        statistics = WorkloadStatistics(
+            catalog_size=1_000, alpha_length=1.5, alpha_clicks=1.35,
+            max_session_length=20,
+        )
+        log = SyntheticWorkloadGenerator(statistics).generate_clicks(20_000)
+        assert log.session_lengths().max() <= 20
+
+
+class TestMarginalFidelity:
+    def test_session_length_marginal_is_power_law_like(self):
+        """Heavy tail: single-click sessions dominate, long tail present."""
+        log = SyntheticWorkloadGenerator(stats()).generate_clicks(100_000)
+        lengths = log.session_lengths()
+        counts = np.bincount(lengths)
+        assert counts[1] > counts[2] > counts[4]
+        assert lengths.max() > 20
+
+    def test_click_popularity_is_skewed(self):
+        log = SyntheticWorkloadGenerator(stats(catalog=2_000)).generate_clicks(100_000)
+        counts = np.sort(log.click_counts(2_000))[::-1]
+        top_share = counts[:200].sum() / counts.sum()
+        assert top_share > 0.3  # top 10% of items draw >30% of clicks
+
+
+class TestStreaming:
+    def test_iter_sessions_is_endless_and_bounded(self):
+        gen = SyntheticWorkloadGenerator(stats())
+        iterator = gen.iter_sessions()
+        sessions = [next(iterator) for _ in range(10_000)]
+        assert all(1 <= len(s) <= 80 for s in sessions)
+
+    def test_streamed_items_in_catalog(self):
+        gen = SyntheticWorkloadGenerator(stats(catalog=50))
+        iterator = gen.iter_sessions()
+        for _ in range(100):
+            session = next(iterator)
+            assert session.max() < 50
+
+
+class TestFunctionalEntrypoint:
+    def test_paper_signature(self):
+        log = generate_synthetic_sessions(
+            catalog_size=1_000, num_clicks=5_000, alpha_length=1.85, alpha_clicks=1.35
+        )
+        assert len(log) >= 5_000
+
+    def test_exponents_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            generate_synthetic_sessions(1_000, 100, alpha_length=0.9, alpha_clicks=1.35)

@@ -1,0 +1,74 @@
+"""Synthetic-workload statistical validation."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    SyntheticWorkloadGenerator,
+    WorkloadStatistics,
+    synthesize_real_clicklog,
+    validate_synthetic,
+)
+from repro.workload.validation import (
+    popularity_curve,
+    popularity_l1,
+    session_length_ks,
+)
+
+CATALOG = 5_000
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return synthesize_real_clicklog(CATALOG, 60_000, seed=8)
+
+
+@pytest.fixture(scope="module")
+def fitted_synthetic(reference):
+    fitted = WorkloadStatistics.from_clicklog(reference, CATALOG)
+    return SyntheticWorkloadGenerator(fitted, seed=9).generate_clicks(60_000)
+
+
+class TestPrimitives:
+    def test_identical_logs_ks_zero(self, reference):
+        assert session_length_ks(reference, reference) == 0.0
+
+    def test_popularity_curve_monotone_to_one(self, reference):
+        curve = popularity_curve(reference, CATALOG)
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_identical_logs_popularity_zero(self, reference):
+        assert popularity_l1(reference, reference, CATALOG) == 0.0
+
+    def test_empty_log_rejected(self):
+        from repro.workload import ClickLog
+
+        empty = ClickLog(
+            session_ids=np.array([], dtype=np.int64),
+            item_ids=np.array([], dtype=np.int64),
+            steps=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            popularity_curve(empty, CATALOG)
+
+
+class TestValidation:
+    def test_fitted_synthetic_accepted(self, reference, fitted_synthetic):
+        """The paper's workflow produces an acceptable synthetic log."""
+        report = validate_synthetic(reference, fitted_synthetic, CATALOG)
+        assert report.session_length_ks < 0.15, report.summary()
+        assert report.acceptable, report.summary()
+
+    def test_mismatched_workload_rejected(self, reference):
+        """Deliberately wrong exponents: the report must flag it."""
+        wrong = WorkloadStatistics(
+            catalog_size=CATALOG, alpha_length=3.5, alpha_clicks=3.5
+        )
+        mismatched = SyntheticWorkloadGenerator(wrong, seed=10).generate_clicks(60_000)
+        report = validate_synthetic(reference, mismatched, CATALOG)
+        assert not report.acceptable, report.summary()
+
+    def test_summary_mentions_verdict(self, reference, fitted_synthetic):
+        report = validate_synthetic(reference, fitted_synthetic, CATALOG)
+        assert "ACCEPT" in report.summary()
