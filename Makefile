@@ -29,8 +29,14 @@ run_deployed_benchmark:
 install:
 	$(PYTHON) setup.py develop
 
+# Validate the code examples in docs/*.md and README.md against the
+# source tree (imports must resolve, CLI lines must parse).
+.PHONY: docs-check
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
 .PHONY: test
-test:
+test: docs-check
 	$(PYTHON) -m pytest tests/
 
 .PHONY: benchmarks

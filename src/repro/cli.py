@@ -46,6 +46,7 @@ def _add_infra_command(subparsers) -> None:
     parser.add_argument("--rps", type=int, default=1000)
     parser.add_argument("--duration", type=float, default=120.0)
     parser.add_argument("--seed", type=int, default=1234)
+    _add_trace_flags(parser)
 
 
 def _add_micro_command(subparsers) -> None:
@@ -73,6 +74,7 @@ def _add_run_command(subparsers) -> None:
     parser.add_argument("--series", action="store_true", help="print per-second series")
     parser.add_argument("--plot", action="store_true",
                         help="ASCII latency-vs-load chart (the Figure 4 view)")
+    _add_trace_flags(parser)
 
 
 def _add_plan_command(subparsers) -> None:
@@ -144,6 +146,17 @@ def _add_workload_command(subparsers) -> None:
                         help="rows to print when writing to stdout")
 
 
+def _add_trace_flags(parser) -> None:
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record per-request spans + metrics; print the stage breakdown",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the span trace as JSON to PATH (implies --trace)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +180,49 @@ def build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 
+def _make_telemetry(args):
+    """A fresh Telemetry when --trace/--trace-out was given, else None."""
+    trace_out = getattr(args, "trace_out", None)
+    if not (getattr(args, "trace", False) or trace_out):
+        return None
+    if trace_out:
+        # Fail before the (possibly long) run, not after it.
+        try:
+            with open(trace_out, "a"):
+                pass
+        except OSError as error:
+            raise SystemExit(f"cannot write --trace-out {trace_out!r}: {error}")
+    from repro.obs import Telemetry
+
+    return Telemetry()
+
+
+def _emit_telemetry(telemetry, out, trace_out: Optional[str]) -> None:
+    """Print the per-stage breakdown + timeline, optionally dump the trace."""
+    from repro.obs import (
+        render_breakdown,
+        render_timeline,
+        stage_breakdown,
+        trace_to_json,
+    )
+
+    report = stage_breakdown(telemetry.trace)
+    if report is not None:
+        out.write(render_breakdown(report) + "\n")
+    else:
+        out.write("no completed (HTTP 200) traced requests; no breakdown\n")
+    if telemetry.sampler is not None and telemetry.sampler.ticks:
+        out.write(render_timeline(telemetry.sampler) + "\n")
+    if trace_out:
+        try:
+            with open(trace_out, "w") as handle:
+                handle.write(trace_to_json(telemetry.trace, indent=2))
+        except OSError as error:
+            raise SystemExit(f"cannot write --trace-out {trace_out!r}: {error}")
+        spans = len(telemetry.trace.spans)
+        out.write(f"wrote {spans} spans to {trace_out}\n")
+
+
 def _cmd_models(_args, out) -> int:
     out.write("benchmarked models (paper Section II):\n")
     for name in BENCHMARK_MODELS:
@@ -177,8 +233,15 @@ def _cmd_models(_args, out) -> int:
 
 
 def _cmd_infra(args, out) -> int:
+    telemetry = _make_telemetry(args)
+    if telemetry is not None and args.server != "actix":
+        out.write("note: --trace instruments only the actix server\n")
     result = run_infra_test(
-        args.server, target_rps=args.rps, duration_s=args.duration, seed=args.seed
+        args.server,
+        target_rps=args.rps,
+        duration_s=args.duration,
+        seed=args.seed,
+        telemetry=telemetry,
     )
     out.write(render_latency_series(result.series, args.server, every=20) + "\n")
     out.write(
@@ -186,6 +249,8 @@ def _cmd_infra(args, out) -> int:
         f"{result.errors} errors ({result.error_rate * 100:.1f}%), "
         f"p90={result.p90_ms:.2f} ms\n"
     )
+    if telemetry is not None:
+        _emit_telemetry(telemetry, out, args.trace_out)
     return 0
 
 
@@ -234,8 +299,9 @@ def _cmd_run(args, out) -> int:
         ]
 
     all_ok = True
-    for spec, slo in jobs:
-        result = runner.run(spec)
+    for index, (spec, slo) in enumerate(jobs):
+        telemetry = _make_telemetry(args)
+        result = runner.run(spec, telemetry=telemetry)
         if args.series and result.series is not None:
             out.write(
                 render_latency_series(result.series, spec.model, every=10) + "\n"
@@ -258,6 +324,15 @@ def _cmd_run(args, out) -> int:
             f"{'n/a' if p90_target is None else f'{p90_target:.1f} ms'}\n"
             f"  meets p90<={slo.p90_latency_ms:.0f}ms SLO: {meets}\n"
         )
+        if telemetry is not None:
+            trace_out = args.trace_out
+            if trace_out and len(jobs) > 1:
+                # One trace file per job of a multi-job spec file.
+                stem, dot, ext = trace_out.rpartition(".")
+                trace_out = (
+                    f"{stem}-{index}.{ext}" if dot else f"{trace_out}-{index}"
+                )
+            _emit_telemetry(telemetry, out, trace_out)
     return 0 if all_ok else 2
 
 

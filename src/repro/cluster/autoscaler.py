@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.cluster.kubernetes import Cluster, ModelDeployment
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 
 @dataclass
@@ -61,6 +64,7 @@ class HorizontalPodAutoscaler:
         cluster: Cluster,
         deployment: ModelDeployment,
         config: Optional[AutoscalerConfig] = None,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self.cluster = cluster
         self.deployment = deployment
@@ -69,6 +73,30 @@ class HorizontalPodAutoscaler:
         self._low_pressure_streak = 0
         self._starting_pods: List = []
         self._stopped = False
+        #: Optional telemetry handle; None = zero overhead.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            metrics.gauge(
+                "autoscaler_ready_replicas",
+                fn=lambda: len(self.deployment.ready_pods),
+                unit="pods", help="replicas past their readiness probe",
+            )
+            metrics.gauge(
+                "autoscaler_starting_replicas",
+                fn=lambda: len(self._starting_pods),
+                unit="pods", help="replicas still provisioning/booting",
+            )
+            self._queue_gauge = metrics.gauge(
+                "autoscaler_observed_queue_per_pod", unit="requests",
+                help="mean per-pod queue depth at the last control tick",
+            )
+            self._scale_up_counter = metrics.counter(
+                "autoscaler_scale_ups_total", unit="events",
+            )
+            self._scale_down_counter = metrics.counter(
+                "autoscaler_scale_downs_total", unit="events",
+            )
 
     def start(self) -> None:
         self.cluster.simulator.spawn(self._control_loop())
@@ -100,12 +128,16 @@ class HorizontalPodAutoscaler:
             observed = self.observed_queue_per_pod()
             if observed is None:
                 continue
+            if self.telemetry is not None:
+                self._queue_gauge.set(observed)
             ready = len(self.deployment.ready_pods)
             current = ready + len(self._starting_pods)
             desired = self._desired_replicas(observed, max(ready, 1))
 
             if desired > current:
                 self._low_pressure_streak = 0
+                if self.telemetry is not None:
+                    self._scale_up_counter.inc()
                 for _new in range(desired - current):
                     self._starting_pods.append(self.cluster.add_pod(self.deployment))
                 self.events.append(
@@ -123,6 +155,8 @@ class HorizontalPodAutoscaler:
                     self._low_pressure_streak = 0
                     removed = self.cluster.remove_pod(self.deployment)
                     if removed is not None:
+                        if self.telemetry is not None:
+                            self._scale_down_counter.inc()
                         self.events.append(
                             ScalingEvent(
                                 time=self.cluster.simulator.now,

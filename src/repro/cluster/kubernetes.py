@@ -12,7 +12,7 @@ the service.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from repro.serving.actix import EtudeInferenceServer
 from repro.serving.batching import BatchingConfig
 from repro.serving.profiles import ActixProfile
 from repro.simulation import Signal, Simulator
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 
 class DeploymentError(RuntimeError):
@@ -166,6 +169,7 @@ class Cluster:
         model=None,
         jit_warmup_s: float = 0.0,
         load_bytes: Optional[float] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> ModelDeployment:
         """Create a deployment; pods become ready asynchronously.
 
@@ -205,6 +209,7 @@ class Cluster:
                     ready_signal,
                     remaining,
                     load_bytes,
+                    telemetry,
                 )
             )
         deployment = ModelDeployment(
@@ -219,6 +224,7 @@ class Cluster:
                 "model": model,
                 "jit_warmup_s": jit_warmup_s,
                 "load_bytes": load_bytes,
+                "telemetry": telemetry,
             },
         )
         self.deployments.append(deployment)
@@ -278,6 +284,7 @@ class Cluster:
                 Signal(f"{pod.name}-ready"),
                 {"count": 1},
                 context["load_bytes"],
+                context.get("telemetry"),
             )
         )
         return pod
@@ -316,6 +323,7 @@ class Cluster:
             batching=context["batching"],
             model=context["model"],
             name=f"{pod.name}-restarted",
+            telemetry=context.get("telemetry"),
         )
         pod.ready = True
         pod.ready_at = self.simulator.now
@@ -332,6 +340,7 @@ class Cluster:
         ready_signal: Signal,
         remaining: dict,
         load_bytes: Optional[float] = None,
+        telemetry: Optional["Telemetry"] = None,
     ):
         # 1. Autopilot provisions a node for the pod.
         yield float(self.rng.uniform(self.PROVISION_MIN_S, self.PROVISION_MAX_S))
@@ -354,6 +363,7 @@ class Cluster:
             batching=batching,
             model=model,
             name=pod.name,
+            telemetry=telemetry,
         )
         pod.ready = True
         pod.ready_at = self.simulator.now

@@ -10,7 +10,7 @@ are charged.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.serving.request import (
     ResponseCallback,
 )
 from repro.simulation import Simulator
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 
 class ClusterIPService:
@@ -36,6 +39,7 @@ class ClusterIPService:
         simulator: Simulator,
         deployment: ModelDeployment,
         rng: np.random.Generator,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self.simulator = simulator
         self.deployment = deployment
@@ -43,6 +47,24 @@ class ClusterIPService:
         self._round_robin = 0
         self.routed = 0
         self.rejected_no_backend = 0
+        #: Optional telemetry handle; None = zero overhead.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            self._routed_counter = metrics.counter(
+                "service_routed_total", unit="requests",
+                help="requests forwarded to a ready pod",
+            )
+            self._rejected_counter = metrics.counter(
+                "service_rejected_no_backend_total", unit="requests",
+                help="503s answered because no pod was in rotation",
+            )
+            metrics.gauge(
+                "service_ready_pods",
+                fn=lambda: len(self.deployment.ready_pods),
+                unit="pods",
+                help="pods currently in the ClusterIP rotation",
+            )
 
     def _network_delay(self) -> float:
         return self.NETWORK_LATENCY_S * float(
@@ -60,6 +82,8 @@ class ClusterIPService:
                 )
             # All pods down after a failure: the service answers 503.
             self.rejected_no_backend += 1
+            if self.telemetry is not None:
+                self._rejected_counter.inc()
             self.simulator.call_in(
                 self._network_delay(),
                 lambda: respond(
@@ -75,6 +99,8 @@ class ClusterIPService:
         pod = pods[self._round_robin % len(pods)]
         self._round_robin += 1
         self.routed += 1
+        if self.telemetry is not None:
+            self._routed_counter.inc()
 
         def respond_via_network(response: RecommendationResponse) -> None:
             def deliver() -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.cluster.provisioning import Infrastructure, make_infra
 from repro.cluster.service import ClusterIPService
@@ -28,6 +28,9 @@ from repro.metrics.results import LatencySeries, RunResult
 from repro.serving.batching import BatchingConfig
 from repro.tensor.serialization import save_module_state
 from repro.workload.synthetic import SyntheticWorkloadGenerator
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 
 class ExperimentRunner:
@@ -65,8 +68,15 @@ class ExperimentRunner:
 
     # -- running -----------------------------------------------------------------
 
-    def run(self, spec: ExperimentSpec) -> RunResult:
-        """Deploy + load-test one configuration; returns the measurements."""
+    def run(
+        self, spec: ExperimentSpec, telemetry: Optional["Telemetry"] = None
+    ) -> RunResult:
+        """Deploy + load-test one configuration; returns the measurements.
+
+        Pass a :class:`~repro.obs.telemetry.Telemetry` to record per-request
+        spans and cluster metrics for this run (see ``docs/observability.md``);
+        with the default ``None`` the run carries zero instrumentation.
+        """
         instance = instance_by_name(spec.hardware.instance_type)
         assets = self.registry.assets(
             spec.model,
@@ -81,6 +91,8 @@ class ExperimentRunner:
         simulator = self.infra.simulator
         cluster = self.infra.cluster
         streams = self.infra.streams.fork(spec.seed)
+        if telemetry is not None:
+            telemetry.bind(simulator)
 
         deployment = cluster.deploy_model(
             name=f"{spec.model}-bench",
@@ -95,6 +107,7 @@ class ExperimentRunner:
                 self.JIT_WARMUP_S if assets.execution_effective == "jit" else 0.0
             ),
             load_bytes=assets.resident_bytes,
+            telemetry=telemetry,
         )
 
         workload = SyntheticWorkloadGenerator(
@@ -107,7 +120,8 @@ class ExperimentRunner:
         def coordinator():
             yield deployment.ready_signal
             service = ClusterIPService(
-                simulator, deployment, streams.stream("network")
+                simulator, deployment, streams.stream("network"),
+                telemetry=telemetry,
             )
             generator = LoadGenerator(
                 simulator=simulator,
@@ -116,6 +130,7 @@ class ExperimentRunner:
                 target_rps=spec.target_rps,
                 duration_s=spec.duration_s,
                 collector=collector,
+                telemetry=telemetry,
             )
             generator.start()
             state["generator"] = generator
@@ -124,7 +139,7 @@ class ExperimentRunner:
         simulator.spawn(coordinator())
         simulator.run()
 
-        return self._build_result(spec, assets, collector, state)
+        return self._build_result(spec, assets, collector, state, telemetry)
 
     def _build_result(
         self,
@@ -132,6 +147,7 @@ class ExperimentRunner:
         assets: ServingAssets,
         collector: MetricsCollector,
         state: dict,
+        telemetry: Optional["Telemetry"] = None,
     ) -> RunResult:
         generator = state.get("generator")
         series = LatencySeries.from_collector(collector)
@@ -162,6 +178,12 @@ class ExperimentRunner:
             series=series if spec.collect_series else None,
             backpressure_stalls=generator.backpressure_stalls if generator else 0,
         )
+        if telemetry is not None:
+            from repro.obs.export import stage_breakdown
+
+            report = stage_breakdown(telemetry.trace)
+            if report is not None:
+                result.stage_breakdown = report.to_dict()
         self._persist_result(spec, result)
         return result
 

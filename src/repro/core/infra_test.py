@@ -12,7 +12,7 @@ inference server analogously."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.registry import GLOBAL_REGISTRY, AssetRegistry
 from repro.hardware.device import DeviceModel
@@ -25,6 +25,9 @@ from repro.serving.torchserve import TorchServeServer
 from repro.simulation import RandomStreams, Simulator
 from repro.workload.statistics import WorkloadStatistics
 from repro.workload.synthetic import SyntheticWorkloadGenerator
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 #: The small machine the infra test runs on (2 vCPUs, 2 GB).
 INFRA_TEST_DEVICE = DeviceModel(
@@ -67,8 +70,13 @@ def run_infra_test(
     duration_s: float = 600.0,
     seed: int = 1234,
     registry: Optional[AssetRegistry] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> InfraTestResult:
-    """Run the no-inference serving test with one of the two stacks."""
+    """Run the no-inference serving test with one of the two stacks.
+
+    ``telemetry`` (optional) records spans + metrics for the run; only the
+    Actix stack is instrumented (see ``docs/observability.md``).
+    """
     if server_kind not in ("torchserve", "actix"):
         raise ValueError("server_kind must be 'torchserve' or 'actix'")
     registry = registry or GLOBAL_REGISTRY
@@ -76,6 +84,8 @@ def run_infra_test(
 
     simulator = Simulator()
     streams = RandomStreams(seed)
+    if telemetry is not None:
+        telemetry.bind(simulator)
     if server_kind == "torchserve":
         server = TorchServeServer(
             simulator=simulator,
@@ -91,6 +101,7 @@ def run_infra_test(
             service_profile=assets.profile,
             rng=streams.stream("actix"),
             batching=BatchingConfig(max_batch_size=1, max_delay_s=0.0),
+            telemetry=telemetry,
         )
 
     workload = SyntheticWorkloadGenerator(
@@ -105,6 +116,7 @@ def run_infra_test(
         target_rps=target_rps,
         duration_s=duration_s,
         collector=collector,
+        telemetry=telemetry,
     )
     generator.start()
     simulator.run()

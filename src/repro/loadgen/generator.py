@@ -15,7 +15,7 @@ previous response, via :class:`~repro.loadgen.session_replay.SessionReplayQueue`
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.serving.request import (
     RecommendationResponse,
 )
 from repro.simulation import Simulator
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 SubmitFn = Callable[[RecommendationRequest, Callable[[RecommendationResponse], None]], None]
 
@@ -48,6 +51,7 @@ class LoadGenerator:
         collector: Optional[MetricsCollector] = None,
         schedule=None,
         request_timeout_s: Optional[float] = None,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self.simulator = simulator
         self.submit = submit
@@ -71,6 +75,27 @@ class LoadGenerator:
         self._next_request_id = 0
         self.finished = False
 
+        #: Optional telemetry handle; None = zero instrumentation overhead.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            metrics.gauge(
+                "loadgen_pending", fn=lambda: self.pending, unit="requests",
+                help="in-flight requests awaiting a response or timeout",
+            )
+            self._sent_counter = metrics.counter(
+                "loadgen_sent_total", unit="requests",
+                help="requests handed to the submit target",
+            )
+            self._timeout_counter = metrics.counter(
+                "loadgen_timeouts_total", unit="requests",
+                help="requests abandoned client-side after request_timeout_s",
+            )
+            self._stall_counter = metrics.counter(
+                "loadgen_backpressure_stalls_total", unit="stalls",
+                help="1 ms backpressure pauses (Algorithm 2 line 12)",
+            )
+
     def start(self) -> None:
         self.simulator.spawn(self._run())
 
@@ -91,12 +116,23 @@ class LoadGenerator:
         sent_at = request.sent_at
         settled = {"done": False}
 
+        root_span = None
+        if self.telemetry is not None:
+            self._sent_counter.inc()
+            root_span = self.telemetry.trace.begin(
+                "request", request.request_id, session_id=int(session_id)
+            )
+
         def on_response(response: RecommendationResponse) -> None:
             if settled["done"]:
                 return  # the client already timed out; connection is gone
             settled["done"] = True
             self.pending -= 1
             self.collector.record(sent_at, response)
+            if root_span is not None:
+                root_span.finish(
+                    status=response.status, batch_size=response.batch_size
+                )
             self.sessions.complete(session_id)
 
         if self.request_timeout_s is not None:
@@ -107,6 +143,9 @@ class LoadGenerator:
                 settled["done"] = True
                 self.pending -= 1
                 self.timeouts += 1
+                if root_span is not None:
+                    self._timeout_counter.inc()
+                    root_span.finish(status=HTTP_GATEWAY_TIMEOUT)
                 now = self.simulator.now
                 self.collector.record(
                     sent_at,
@@ -143,6 +182,8 @@ class LoadGenerator:
                         stalled = True
                         break
                     self.backpressure_stalls += 1
+                    if self.telemetry is not None:
+                        self._stall_counter.inc()
                     yield self.BACKPRESSURE_WAIT_S
                 if stalled or self.simulator.now >= deadline:
                     break

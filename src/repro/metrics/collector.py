@@ -4,6 +4,14 @@ The collector buckets responses by the (virtual) second in which their
 request was *sent*, which is what the paper's ramp-up plots need: the x-axis
 of Figure 2 / Figure 4 is the offered load at send time, the y-axis the
 latency distribution of requests sent in that window.
+
+Units (see ``docs/observability.md`` for the repo-wide conventions):
+every timestamp (``sent_at``, ``completed_at``) and every stored duration
+(``latency_s``, ``inference_s``, the :class:`LatencyDigest` contents) is in
+**virtual-time seconds** read from the simulator clock — never wall time.
+Milliseconds appear only at the reporting edge: methods with an ``_ms``
+suffix (``percentile_ms``, ``p90_ms``) multiply by 1000 on the way out.
+Throughput numbers are responses per virtual second.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ class MetricsCollector:
         self.errors = 0
         self.first_sent_at: Optional[float] = None
         self.last_completed_at: float = 0.0
+        self.last_ok_completed_at: float = 0.0
 
     def _bucket(self, second: int) -> SecondBucket:
         if second not in self._buckets:
@@ -64,6 +73,9 @@ class MetricsCollector:
         self.last_completed_at = max(self.last_completed_at, response.completed_at)
         if response.ok:
             bucket.ok += 1
+            self.last_ok_completed_at = max(
+                self.last_ok_completed_at, response.completed_at
+            )
             bucket.digest.record(response.latency_s)
             bucket.batch_sizes.append(response.batch_size)
             self.ok += 1
@@ -87,8 +99,27 @@ class MetricsCollector:
         return self.overall.percentile(q) * 1000.0
 
     def achieved_throughput(self) -> float:
-        """Successful responses per second over the active window."""
+        """Successful responses per second over the *successful* window.
+
+        The window ends at the last **ok** completion, not the last
+        completion overall: a trailing burst of errors (e.g. timeouts
+        firing after the last success) used to stretch the denominator and
+        deflate the reported rate. Error-only runs report 0 — use
+        :meth:`total_response_rate` for the rate including errors.
+        """
         if self.first_sent_at is None or self.ok == 0:
             return 0.0
-        window = max(self.last_completed_at - self.first_sent_at, 1e-9)
+        window = max(self.last_ok_completed_at - self.first_sent_at, 1e-9)
         return self.ok / window
+
+    def total_response_rate(self) -> float:
+        """All responses (ok + errors) per second over the full window.
+
+        Unlike :meth:`achieved_throughput` this stays meaningful on
+        error-only runs, where it shows how fast the deployment was
+        answering even though every answer was an error.
+        """
+        if self.first_sent_at is None or self.total == 0:
+            return 0.0
+        window = max(self.last_completed_at - self.first_sent_at, 1e-9)
+        return self.total / window

@@ -82,6 +82,9 @@ class RunResult:
     series: Optional[LatencySeries] = None
     backpressure_stalls: int = 0
     notes: str = ""
+    #: Per-stage latency breakdown (``repro.obs.export.BreakdownReport``
+    #: as a plain dict), present when the run was traced (``--trace``).
+    stage_breakdown: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

@@ -1,0 +1,221 @@
+"""A Prometheus-style metric registry for simulation actors.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+- :class:`Counter` — monotonically increasing totals (requests sent,
+  batches flushed, scale-up events);
+- :class:`Gauge` — point-in-time values that go up and down (queue depth,
+  active workers, pending in-flight requests). A gauge can be *settable*
+  or *callback-backed*: passing ``fn=`` makes reads evaluate the callable,
+  so actors expose live state without bookkeeping on the hot path;
+- :class:`Histogram` — value distributions (batch sizes, stage latencies).
+  Built on :class:`~repro.metrics.percentile.LatencyDigest`, so its
+  percentile queries agree bin-for-bin with the rest of the metrics stack.
+
+Instruments are identified by ``name`` plus optional key=value labels and
+are get-or-create: registering the same (name, labels) twice returns the
+existing instrument; re-registering under a different kind raises. The
+fully qualified key renders Prometheus-style: ``name{label="value"}``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.metrics.percentile import LatencyDigest
+
+
+def metric_key(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """Canonical instrument key: ``name{k="v",...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Instrument:
+    """Common identity for all instrument kinds."""
+
+    kind = "instrument"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ):
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self.labels = dict(labels) if labels else {}
+
+    @property
+    def key(self) -> str:
+        return metric_key(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.key!r})"
+
+
+class Counter(Instrument):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(name, **kwargs)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(Instrument):
+    """A point-in-time value; settable or backed by a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None, **kwargs):
+        super().__init__(name, **kwargs)
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.key} is callback-backed; cannot set()")
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self._value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self._value - amount)
+
+    def read(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self.read()
+
+
+class Histogram(Instrument):
+    """A value distribution with constant-memory percentile queries.
+
+    Observations land in the same log-spaced bins as
+    :class:`~repro.metrics.percentile.LatencyDigest`, so a histogram and a
+    digest fed the same samples answer percentile queries identically.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(name, **kwargs)
+        self.digest = LatencyDigest()
+
+    def observe(self, value: float) -> None:
+        self.digest.record(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.digest)
+
+    def mean(self) -> float:
+        return self.digest.mean()
+
+    def percentile(self, q: float) -> float:
+        return self.digest.percentile(q)
+
+
+class MetricRegistry:
+    """Get-or-create instrument registry keyed by (name, labels)."""
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, kwargs: dict) -> Instrument:
+        labels = kwargs.get("labels")
+        key = metric_key(name, labels)
+        existing = self._instruments.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {key!r} already registered as {existing.kind}"
+                )
+            return existing
+        instrument = cls(name, **kwargs)
+        self._instruments[key] = instrument
+        return instrument
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Counter:
+        return self._get_or_create(
+            Counter, name, dict(help=help, unit=unit, labels=labels)
+        )
+
+    def gauge(
+        self,
+        name: str,
+        fn: Optional[Callable[[], float]] = None,
+        help: str = "",
+        unit: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Gauge:
+        return self._get_or_create(
+            Gauge, name, dict(fn=fn, help=help, unit=unit, labels=labels)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        unit: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, dict(help=help, unit=unit, labels=labels)
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def get(self, name: str, labels: Optional[Dict[str, str]] = None) -> Optional[Instrument]:
+        return self._instruments.get(metric_key(name, labels))
+
+    def gauges(self) -> List[Gauge]:
+        return [i for i in self._instruments.values() if isinstance(i, Gauge)]
+
+    def counters(self) -> List[Counter]:
+        return [i for i in self._instruments.values() if isinstance(i, Counter)]
+
+    def histograms(self) -> List[Histogram]:
+        return [i for i in self._instruments.values() if isinstance(i, Histogram)]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current value of every counter and gauge (histograms excluded)."""
+        values: Dict[str, float] = {}
+        for instrument in self._instruments.values():
+            if isinstance(instrument, Counter):
+                values[instrument.key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                values[instrument.key] = instrument.read()
+        return values

@@ -1,0 +1,80 @@
+"""Periodic gauge snapshots — the time-series half of the telemetry.
+
+End-of-run aggregates cannot show *when* a queue built up or how the
+autoscaler's replica count chased a ramp. The :class:`Sampler` runs on the
+simulator's event heap and snapshots every registered gauge each
+``interval_s`` of **virtual time** (default: one virtual second), building
+``{gauge key: [(t, value), ...]}`` series for the timeline exporters.
+
+Termination: a naive "sleep forever" process would keep the event heap
+non-empty and :meth:`Simulator.run` would never return. Instead each tick
+reschedules itself only while *other* events remain pending — when the
+sampler is the last thing on the heap, the run is over and it parks
+itself, letting the simulation drain naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import MetricRegistry
+from repro.simulation import Simulator
+
+
+class Sampler:
+    """Snapshots registry gauges every ``interval_s`` virtual seconds."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        registry: MetricRegistry,
+        interval_s: float = 1.0,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.simulator = simulator
+        self.registry = registry
+        self.interval_s = interval_s
+        #: Gauge key -> [(virtual time, value), ...].
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+        self.ticks = 0
+        self._started = False
+        self._stopped = False
+
+    def start(self) -> None:
+        """Begin sampling; the first snapshot is taken immediately."""
+        if self._started:
+            return
+        self._started = True
+        self.simulator.call_in(0.0, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._record()
+        self.ticks += 1
+        # Park when nothing else is pending: an empty heap means the run
+        # is over, and rescheduling would keep Simulator.run() alive.
+        if self.simulator.pending_events == 0:
+            return
+        self.simulator.call_in(self.interval_s, self._tick)
+
+    def _record(self) -> None:
+        now = self.simulator.now
+        for gauge in self.registry.gauges():
+            self.series.setdefault(gauge.key, []).append((now, gauge.read()))
+
+    # -- queries ------------------------------------------------------------
+
+    def timestamps(self) -> List[float]:
+        """Tick times of the longest recorded series."""
+        if not self.series:
+            return []
+        longest = max(self.series.values(), key=len)
+        return [t for t, _ in longest]
+
+    def values(self, key: str) -> List[float]:
+        return [v for _, v in self.series.get(key, [])]

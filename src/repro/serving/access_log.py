@@ -4,6 +4,13 @@ Production servers emit access logs; here they double as the ground truth
 for validating queueing behaviour (FIFO order, batch co-membership, wait
 decomposition) in tests and deep-dive analyses. Disabled by default — a
 ten-minute ramp produces hundreds of thousands of records.
+
+Units: ``arrived_at``, ``started_at`` and ``completed_at`` are absolute
+timestamps in **virtual-time seconds** (the simulator clock — wall time
+never appears here), so the derived ``wait_s`` / ``service_s`` durations
+are also seconds. For richer per-request timing (send/queue/linger/HTTP
+split out per stage) use the span tracer instead; its ``batch_id``
+attribute matches the one logged here (see ``docs/observability.md``).
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ Serving semantics reproduced from the paper's implementation:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,10 @@ from repro.serving.request import (
 )
 from repro.simulation import Signal, Simulator
 
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
+    from repro.obs.trace import Span
+
 
 class EtudeInferenceServer:
     """One deployed model replica served by the Actix-style runtime."""
@@ -52,6 +56,7 @@ class EtudeInferenceServer:
         name: str = "etude-server",
         worker_threads: Optional[int] = None,
         access_log: Optional[AccessLog] = None,
+        telemetry: Optional["Telemetry"] = None,
     ):
         self.simulator = simulator
         self.device = device
@@ -68,7 +73,35 @@ class EtudeInferenceServer:
         self.worker_threads = worker_threads or device.concurrent_workers
         #: Optional per-request access log (testing / deep dives).
         self.access_log = access_log
+        #: Optional telemetry handle (spans + metrics); None = zero overhead.
+        self.telemetry = telemetry
         self._batch_counter = 0
+        #: Open ``queued`` spans by request id (tracing only).
+        self._queued_spans: Dict[int, "Span"] = {}
+        if telemetry is not None:
+            labels = {"server": name}
+            metrics = telemetry.metrics
+            self._completed_counter = metrics.counter(
+                "server_completed_total", unit="requests", labels=labels,
+                help="responses served with HTTP 200",
+            )
+            self._rejected_counter = metrics.counter(
+                "server_rejected_total", unit="requests", labels=labels,
+                help="requests shed at intake (queue full or unhealthy)",
+            )
+            self._batch_size_hist = metrics.histogram(
+                "server_batch_size", unit="requests", labels=labels,
+                help="requests per executed batch (1 on the CPU path)",
+            )
+            metrics.gauge(
+                "server_queue_depth", fn=self.queue_depth, unit="requests",
+                labels=labels, help="requests parked in the intake queue",
+            )
+            metrics.gauge(
+                "server_active_workers", fn=lambda: self._active_workers,
+                unit="workers", labels=labels,
+                help="CPU worker threads currently executing an inference",
+            )
 
         # Queue entries: (request, respond, arrival_time).
         self._queue: Deque[Tuple[RecommendationRequest, ResponseCallback, float]] = (
@@ -94,8 +127,18 @@ class EtudeInferenceServer:
         """Accept a request (called at its arrival time)."""
         if not self.healthy or len(self._queue) >= self.profile.max_queue_depth:
             self.rejected += 1
+            if self.telemetry is not None:
+                self._rejected_counter.inc()
             self._fail(request, respond)
             return
+        if self.telemetry is not None:
+            trace = self.telemetry.trace
+            now = self.simulator.now
+            # The client→server leg: from send time to intake.
+            trace.begin("sent", request.request_id, at=request.sent_at).finish(at=now)
+            self._queued_spans[request.request_id] = trace.begin(
+                "queued", request.request_id, server=self.name
+            )
         self._queue.append((request, respond, self.simulator.now))
         self._work_signal.fire()
 
@@ -121,6 +164,10 @@ class EtudeInferenceServer:
         self.healthy = False
         while self._queue:
             request, respond, _arrival = self._queue.popleft()
+            if self.telemetry is not None:
+                span = self._queued_spans.pop(request.request_id, None)
+                if span is not None:
+                    span.finish(crashed=True)
             self._fail(request, respond)
 
     def queue_depth(self) -> int:
@@ -167,6 +214,8 @@ class EtudeInferenceServer:
             )
         )
         self.completed += 1
+        if self.telemetry is not None:
+            self._completed_counter.inc()
 
     # -- CPU path -------------------------------------------------------------------
 
@@ -192,12 +241,17 @@ class EtudeInferenceServer:
             request, respond, arrival = self._queue.popleft()
             started = self.simulator.now
             queue_s = started - arrival
+            if self.telemetry is not None:
+                queued_span = self._queued_spans.pop(request.request_id, None)
+                if queued_span is not None:
+                    queued_span.finish(at=started)
             self._active_workers += 1
             inference_s = self._cpu_service_time()
-            yield self._http_overhead() + inference_s
+            http_s = self._http_overhead()
+            yield http_s + inference_s
             self._active_workers -= 1
+            self._batch_counter += 1
             if self.access_log is not None:
-                self._batch_counter += 1
                 self.access_log.append(
                     AccessRecord(
                         request_id=request.request_id,
@@ -209,6 +263,18 @@ class EtudeInferenceServer:
                         status=HTTP_OK if self.healthy else HTTP_SERVICE_UNAVAILABLE,
                     )
                 )
+            if self.telemetry is not None:
+                trace = self.telemetry.trace
+                rid = request.request_id
+                trace.begin("inference", rid, at=started).finish(
+                    at=started + inference_s,
+                    batch_id=self._batch_counter,
+                    batch_size=1,
+                )
+                trace.begin("http_respond", rid, at=started + inference_s).finish(
+                    at=started + inference_s + http_s
+                )
+                self._batch_size_hist.observe(1)
             self._respond_ok(
                 request, respond, inference_s, batch_size=1, queue_s=queue_s
             )
@@ -228,9 +294,13 @@ class EtudeInferenceServer:
                 continue
             # Honour the linger window: flush when the oldest buffered
             # request is max_delay old or the buffer is full.
+            linger_started = None
             oldest = self._queue[0][2]
             deadline = oldest + linger
             if self.simulator.now < deadline and len(self._queue) < max_batch:
+                # The executor is idle and deliberately waiting for the
+                # buffer to fill — that wait is batch-linger, not queueing.
+                linger_started = self.simulator.now
                 yield deadline - self.simulator.now
             take = min(len(self._queue), max_batch)
             if take == 0:
@@ -253,15 +323,48 @@ class EtudeInferenceServer:
                             status=HTTP_OK if self.healthy else HTTP_SERVICE_UNAVAILABLE,
                         )
                     )
+            if self.telemetry is not None:
+                self._trace_batch(batch, started, batch_time, take, linger_started)
             for request, respond, arrival in batch:
                 # HTTP handling happens concurrently on the event loop; it
                 # adds latency but does not occupy the device.
+                http_s = self._http_overhead()
+                if self.telemetry is not None:
+                    self.telemetry.trace.begin(
+                        "http_respond", request.request_id, at=self.simulator.now
+                    ).finish(at=self.simulator.now + http_s)
                 self.simulator.call_in(
-                    self._http_overhead(),
+                    http_s,
                     self._make_responder(
                         request, respond, batch_time, take, started - arrival
                     ),
                 )
+
+    def _trace_batch(self, batch, started, batch_time, take, linger_started):
+        """Record queued / batch_assembled / inference spans for one flush.
+
+        Wait decomposition: time a request spent buffered while the
+        executor idled inside the linger window counts as
+        ``batch_assembled``; everything before that (the executor busy
+        with earlier batches) counts as ``queued``.
+        """
+        trace = self.telemetry.trace
+        self._batch_size_hist.observe(take)
+        window_open = started if linger_started is None else linger_started
+        for request, _respond, arrival in batch:
+            rid = request.request_id
+            assembly_from = max(arrival, window_open)
+            queued_span = self._queued_spans.pop(rid, None)
+            if queued_span is not None:
+                queued_span.finish(at=assembly_from)
+            trace.begin("batch_assembled", rid, at=assembly_from).finish(
+                at=started, batch_id=self._batch_counter, batch_size=take
+            )
+            trace.begin("inference", rid, at=started).finish(
+                at=started + batch_time,
+                batch_id=self._batch_counter,
+                batch_size=take,
+            )
 
     def _make_responder(self, request, respond, batch_time, take, queue_s):
         return lambda: self._respond_ok(

@@ -4,6 +4,14 @@ A tiny, fast simpy-like engine: a heap of timestamped callbacks plus
 generator-based processes. Determinism: ties on the heap break by insertion
 sequence number, and all randomness used by simulation actors flows through
 :class:`~repro.simulation.random_streams.RandomStreams`.
+
+Units: ``Simulator.now`` is **virtual time in seconds**, starting at 0.0
+when the simulator is created; it advances only when events fire and has no
+relation to the wall clock (a ten-minute benchmark simulates in wall-clock
+seconds). Every delay yielded by a process, every ``call_in`` offset and
+every ``call_at``/``run(until=...)`` deadline is likewise in virtual
+seconds. All timestamps elsewhere in the repo (metrics, access logs,
+telemetry spans) are readings of this clock — see ``docs/observability.md``.
 """
 
 from __future__ import annotations

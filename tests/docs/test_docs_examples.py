@@ -1,0 +1,124 @@
+"""The docs-check harness itself, plus a live run over the real docs."""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import docs_check  # noqa: E402  (needs the tools/ path above)
+
+
+def md(tmp_path, body):
+    path = tmp_path / "doc.md"
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+class TestBlockExtraction:
+    def test_languages_and_line_numbers(self, tmp_path):
+        path = md(
+            tmp_path,
+            """\
+            # Title
+
+            ```python
+            import json
+            ```
+
+            ```text
+            not code
+            ```
+
+            ```bash
+            python -m repro models
+            ```
+            """,
+        )
+        blocks = list(docs_check.fenced_blocks(path.read_text()))
+        assert [(lang, line) for lang, line, _ in blocks] == [
+            ("python", 4), ("text", 8), ("bash", 12),
+        ]
+
+
+class TestPythonBlocks:
+    def test_valid_imports_pass(self):
+        body = "from repro.obs import Telemetry\nimport repro.cli\n"
+        assert docs_check.check_python_block(body, "doc.md:1") == []
+
+    def test_missing_attribute_flagged(self):
+        body = "from repro.obs import NoSuchThing\n"
+        problems = docs_check.check_python_block(body, "doc.md:1")
+        assert len(problems) == 1
+        assert "NoSuchThing" in problems[0]
+
+    def test_missing_module_flagged(self):
+        problems = docs_check.check_python_block(
+            "import repro.not_a_module\n", "doc.md:1"
+        )
+        assert len(problems) == 1
+
+    def test_syntax_error_flagged(self):
+        problems = docs_check.check_python_block("def broken(:\n", "doc.md:1")
+        assert "does not parse" in problems[0]
+
+    def test_body_is_not_executed(self):
+        body = "import json\nraise RuntimeError('docs must not execute this')\n"
+        assert docs_check.check_python_block(body, "doc.md:1") == []
+
+
+class TestBashBlocks:
+    def test_valid_cli_line_passes(self):
+        body = "python -m repro run --model gru4rec --catalog 1000 --rps 50 --trace\n"
+        assert docs_check.check_bash_block(body, "doc.md:1") == []
+
+    def test_unknown_flag_flagged(self):
+        body = "python -m repro run --model gru4rec --no-such-flag\n"
+        problems = docs_check.check_bash_block(body, "doc.md:1")
+        assert len(problems) == 1
+        assert "--no-such-flag" in problems[0]
+
+    def test_unknown_subcommand_flagged(self):
+        problems = docs_check.check_bash_block(
+            "python -m repro frobnicate\n", "doc.md:1"
+        )
+        assert len(problems) == 1
+
+    def test_backslash_continuations_joined(self):
+        body = (
+            "python -m repro run --model gru4rec --catalog 1000 \\\n"
+            "    --rps 50 --instance GPU-T4\n"
+        )
+        assert docs_check.check_bash_block(body, "doc.md:1") == []
+
+    def test_placeholder_lines_skipped(self):
+        body = "python -m repro run --model <name> ...\n"
+        assert docs_check.check_bash_block(body, "doc.md:1") == []
+
+    def test_non_repro_lines_ignored(self):
+        body = "pytest tests/\npython setup.py develop\n"
+        assert docs_check.check_bash_block(body, "doc.md:1") == []
+
+
+class TestRealDocs:
+    def test_shipped_documentation_is_clean(self, capsys):
+        """The committed docs/README examples must validate — the same
+        check ``make docs-check`` (and thus ``make test``) runs."""
+        assert docs_check.main() == 0
+        output = capsys.readouterr().out
+        assert "0 problem(s)" in output
+
+    def test_main_reports_failures(self, tmp_path, capsys):
+        path = md(
+            tmp_path,
+            """\
+            ```python
+            from repro.obs import DoesNotExist
+            ```
+            """,
+        )
+        assert docs_check.main([str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out

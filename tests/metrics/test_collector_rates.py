@@ -1,0 +1,75 @@
+"""Throughput accounting: ok-rate vs total-response rate regressions."""
+
+import pytest
+
+from repro.metrics import MetricsCollector
+from repro.serving.request import (
+    HTTP_GATEWAY_TIMEOUT,
+    HTTP_OK,
+    HTTP_SERVICE_UNAVAILABLE,
+    RecommendationResponse,
+)
+
+
+def respond(collector, sent_at, completed_at, status=HTTP_OK):
+    collector.note_sent(sent_at)
+    collector.record(
+        sent_at,
+        RecommendationResponse(
+            request_id=0,
+            status=status,
+            completed_at=completed_at,
+            latency_s=completed_at - sent_at,
+        ),
+    )
+
+
+class TestAchievedThroughput:
+    def test_all_ok(self):
+        collector = MetricsCollector()
+        for second in range(10):
+            respond(collector, float(second), second + 0.05)
+        # 10 ok over the 9.05 s window from first send to last ok completion.
+        assert collector.achieved_throughput() == pytest.approx(10 / 9.05)
+
+    def test_error_only_run_reports_zero(self):
+        collector = MetricsCollector()
+        for second in range(5):
+            respond(collector, float(second), second + 0.05, HTTP_SERVICE_UNAVAILABLE)
+        assert collector.achieved_throughput() == 0.0
+
+    def test_trailing_errors_do_not_deflate_ok_rate(self):
+        """Regression: timeouts firing long after the last success used to
+        stretch the denominator (last *overall* completion) and underreport
+        the ok throughput."""
+        collector = MetricsCollector()
+        for second in range(10):
+            respond(collector, float(second), second + 0.05)
+        # A straggler times out 30 s after the last success.
+        respond(collector, 10.0, 40.0, HTTP_GATEWAY_TIMEOUT)
+        assert collector.achieved_throughput() == pytest.approx(10 / 9.05)
+
+    def test_empty_collector(self):
+        assert MetricsCollector().achieved_throughput() == 0.0
+
+
+class TestTotalResponseRate:
+    def test_error_only_run_still_has_a_rate(self):
+        """An overloaded deployment answering only 503s is not idle; the
+        total-response rate shows how fast it was failing."""
+        collector = MetricsCollector()
+        for second in range(5):
+            respond(collector, float(second), second + 0.05, HTTP_SERVICE_UNAVAILABLE)
+        assert collector.achieved_throughput() == 0.0
+        assert collector.total_response_rate() == pytest.approx(5 / 4.05)
+
+    def test_counts_ok_and_errors_over_full_window(self):
+        collector = MetricsCollector()
+        respond(collector, 0.0, 0.5)
+        respond(collector, 1.0, 1.5, HTTP_SERVICE_UNAVAILABLE)
+        respond(collector, 2.0, 2.5)
+        # 3 responses over the 2.5 s window ending at the last completion.
+        assert collector.total_response_rate() == pytest.approx(3 / 2.5)
+
+    def test_empty_collector(self):
+        assert MetricsCollector().total_response_rate() == 0.0

@@ -1,0 +1,112 @@
+"""Metric registry: instrument semantics and percentile agreement."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.percentile import LatencyDigest
+from repro.obs import Counter, Gauge, Histogram, MetricRegistry, metric_key
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("queue_depth") == "queue_depth"
+
+    def test_labels_sorted(self):
+        key = metric_key("queue_depth", {"server": "a", "model": "gru"})
+        assert key == 'queue_depth{model="gru",server="a"}'
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("requests_total").inc(-1)
+
+
+class TestGauge:
+    def test_settable(self):
+        gauge = Gauge("pending")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.read() == 2
+
+    def test_callback_backed_reads_live_state(self):
+        state = {"depth": 0}
+        gauge = Gauge("queue_depth", fn=lambda: state["depth"])
+        assert gauge.read() == 0
+        state["depth"] = 7
+        assert gauge.read() == 7
+
+    def test_callback_backed_rejects_set(self):
+        gauge = Gauge("queue_depth", fn=lambda: 1)
+        with pytest.raises(ValueError):
+            gauge.set(5)
+
+
+class TestHistogram:
+    def test_percentiles_agree_with_latency_digest(self):
+        """The acceptance contract: a Histogram and a LatencyDigest fed the
+        same samples answer percentile queries identically (same bins)."""
+        histogram = Histogram("stage_latency")
+        digest = LatencyDigest()
+        samples = np.random.default_rng(3).lognormal(
+            mean=np.log(0.01), sigma=0.8, size=20_000
+        )
+        for sample in samples:
+            histogram.observe(float(sample))
+            digest.record(float(sample))
+        assert histogram.count == len(digest)
+        assert histogram.mean() == pytest.approx(digest.mean())
+        for q in (10, 50, 90, 99, 99.9):
+            assert histogram.percentile(q) == digest.percentile(q), q
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricRegistry()
+        first = registry.counter("sent_total", labels={"server": "a"})
+        second = registry.counter("sent_total", labels={"server": "a"})
+        assert first is second
+        assert len(registry) == 1
+
+    def test_same_name_different_labels_are_distinct(self):
+        registry = MetricRegistry()
+        a = registry.counter("sent_total", labels={"server": "a"})
+        b = registry.counter("sent_total", labels={"server": "b"})
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("depth")
+        with pytest.raises(ValueError):
+            registry.gauge("depth")
+
+    def test_lookup_by_name_and_labels(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("pending", labels={"pod": "p1"})
+        assert registry.get("pending", {"pod": "p1"}) is gauge
+        assert registry.get("pending") is None
+
+    def test_snapshot_covers_counters_and_gauges_only(self):
+        registry = MetricRegistry()
+        registry.counter("sent_total").inc(3)
+        registry.gauge("pending", fn=lambda: 2)
+        registry.histogram("latency").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot == {"sent_total": 3, "pending": 2}
+
+    def test_kind_listings(self):
+        registry = MetricRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert [i.name for i in registry.counters()] == ["a"]
+        assert [i.name for i in registry.gauges()] == ["b"]
+        assert [i.name for i in registry.histograms()] == ["c"]

@@ -1,0 +1,103 @@
+"""Gauge sampler: tick alignment to virtual seconds, and termination."""
+
+import pytest
+
+from repro.obs import MetricRegistry, Sampler, Telemetry
+from repro.simulation import Simulator
+
+
+def run_with_workload(duration_s, interval_s=1.0, registry=None):
+    """A simulator kept busy for ``duration_s`` with an attached sampler."""
+    sim = Simulator()
+    registry = registry or MetricRegistry()
+    registry.gauge("clock", fn=lambda: sim.now)
+    sampler = Sampler(sim, registry, interval_s=interval_s)
+
+    def workload():
+        yield duration_s
+
+    sim.spawn(workload())
+    sampler.start()
+    sim.run()
+    return sim, sampler
+
+
+class TestTickAlignment:
+    def test_ticks_land_on_whole_intervals(self):
+        _sim, sampler = run_with_workload(5.0)
+        times = sampler.timestamps()
+        # One tick per virtual second starting at t=0.
+        assert times == pytest.approx([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        assert sampler.ticks == len(times)
+
+    def test_sampled_values_read_gauges_at_tick_time(self):
+        _sim, sampler = run_with_workload(3.0)
+        assert sampler.values("clock") == pytest.approx(sampler.timestamps())
+
+    def test_custom_interval(self):
+        _sim, sampler = run_with_workload(2.0, interval_s=0.5)
+        assert sampler.timestamps() == pytest.approx(
+            [0.0, 0.5, 1.0, 1.5, 2.0]
+        )
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Sampler(Simulator(), MetricRegistry(), interval_s=0.0)
+
+
+class TestTermination:
+    def test_sampler_does_not_keep_simulation_alive(self):
+        """Self-parking: once the sampler is the only pending event the run
+        must drain — the clock stops within one interval of the workload."""
+        sim, _sampler = run_with_workload(7.3)
+        assert sim.now <= 7.3 + 1.0
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        registry = MetricRegistry()
+        registry.gauge("clock", fn=lambda: sim.now)
+        sampler = Sampler(sim, registry, interval_s=1.0)
+
+        def workload():
+            yield 2.5
+            sampler.stop()
+            yield 2.5
+
+        sim.spawn(workload())
+        sampler.start()
+        sim.run()
+        assert all(t <= 2.5 for t in sampler.timestamps())
+
+    def test_start_is_idempotent(self):
+        sim, sampler = run_with_workload(0.0)
+        before = sampler.ticks
+        sampler.start()  # second call must not restart sampling
+        sim.run()
+        assert sampler.ticks == before
+
+
+class TestTelemetryBundle:
+    def test_bind_starts_sampler_on_simulator_clock(self):
+        sim = Simulator()
+        telemetry = Telemetry()
+        assert telemetry.now() == 0.0
+        telemetry.metrics.gauge("pending", fn=lambda: 1)
+        telemetry.bind(sim)
+
+        def workload():
+            yield 2.0
+
+        sim.spawn(workload())
+        sim.run()
+        assert telemetry.bound
+        assert telemetry.sampler.ticks >= 3
+        assert telemetry.now() == sim.now
+
+    def test_rebind_replaces_sampler(self):
+        telemetry = Telemetry()
+        first = Simulator()
+        telemetry.bind(first)
+        old_sampler = telemetry.sampler
+        telemetry.bind(Simulator())
+        assert telemetry.sampler is not old_sampler
+        assert old_sampler._stopped

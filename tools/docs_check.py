@@ -1,0 +1,170 @@
+"""Check that the code examples in the documentation cannot rot.
+
+``make docs-check`` runs this against ``docs/*.md`` (plus the top-level
+``README.md``). Two kinds of fenced blocks are validated:
+
+- ```` ```python ```` blocks must parse, and every import in them must
+  resolve against ``src/``: ``import x`` must be importable and
+  ``from x import name`` must also expose ``name``. The block bodies are
+  **not** executed — docs may show expensive runs — but a renamed module,
+  class or function breaks the check immediately.
+- ```` ```bash ```` blocks: every ``python -m repro ...`` command line must
+  be accepted by the actual CLI argument parser (unknown subcommands,
+  removed or misspelled flags fail). Lines containing placeholders
+  (``...`` or ``<``) are skipped.
+
+Run directly:  ``PYTHONPATH=src python tools/docs_check.py``
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import importlib
+import io
+import re
+import shlex
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def fenced_blocks(text: str) -> Iterator[Tuple[str, int, str]]:
+    """Yield (language, first line number, body) for each fenced block."""
+    language = None
+    start = 0
+    body: List[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = FENCE_RE.match(line.strip())
+        if match and language is None:
+            language = match.group(1).lower()
+            start = number + 1
+            body = []
+        elif line.strip() == "```" and language is not None:
+            yield language, start, "\n".join(body)
+            language = None
+        elif language is not None:
+            body.append(line)
+
+
+def check_python_block(body: str, where: str) -> List[str]:
+    """Parse the block and resolve every import it states."""
+    try:
+        tree = ast.parse(body)
+    except SyntaxError as error:
+        return [f"{where}: python block does not parse: {error}"]
+    problems = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                try:
+                    importlib.import_module(alias.name)
+                except Exception as error:
+                    problems.append(f"{where}: import {alias.name}: {error}")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never appear in docs
+            try:
+                module = importlib.import_module(node.module)
+            except Exception as error:
+                problems.append(f"{where}: from {node.module} import ...: {error}")
+                continue
+            for alias in node.names:
+                if alias.name != "*" and not hasattr(module, alias.name):
+                    problems.append(
+                        f"{where}: {node.module} has no attribute {alias.name!r}"
+                    )
+    return problems
+
+
+def cli_lines(body: str) -> Iterator[str]:
+    """Logical ``python -m repro`` commands, honouring ``\\`` continuations."""
+    logical = ""
+    for line in body.splitlines():
+        stripped = line.strip()
+        if logical:
+            logical += " " + stripped.rstrip("\\").strip()
+        elif stripped.startswith("python -m repro"):
+            logical = stripped.rstrip("\\").strip()
+        else:
+            continue
+        if not stripped.endswith("\\"):
+            yield logical
+            logical = ""
+    if logical:
+        yield logical
+
+
+def check_bash_block(body: str, where: str) -> List[str]:
+    """Feed each documented CLI invocation to the real argument parser."""
+    from repro.cli import build_parser
+
+    problems = []
+    for command in cli_lines(body):
+        if "..." in command or "<" in command:
+            continue  # placeholder, not a literal invocation
+        # comments=True drops trailing "# ..." annotations.
+        argv = shlex.split(command, comments=True)[3:]  # drop "python -m repro"
+        parser = build_parser()
+        stderr = io.StringIO()
+        try:
+            with contextlib.redirect_stderr(stderr):
+                parser.parse_args(argv)
+        except SystemExit as error:
+            if error.code not in (0, None):
+                detail = stderr.getvalue().strip().splitlines()
+                problems.append(
+                    f"{where}: CLI rejects {command!r}"
+                    + (f" ({detail[-1]})" if detail else "")
+                )
+    return problems
+
+
+def check_file(path: Path) -> Tuple[List[str], int]:
+    problems: List[str] = []
+    blocks = 0
+    try:
+        display = path.relative_to(REPO_ROOT)
+    except ValueError:
+        display = path
+    for language, line, body in fenced_blocks(path.read_text()):
+        where = f"{display}:{line}"
+        if language == "python":
+            blocks += 1
+            problems.extend(check_python_block(body, where))
+        elif language in ("bash", "sh", "shell"):
+            blocks += 1
+            problems.extend(check_bash_block(body, where))
+    return problems, blocks
+
+
+def main(argv: List[str] = None) -> int:
+    paths = [Path(p) for p in (argv or [])]
+    if not paths:
+        paths = sorted((REPO_ROOT / "docs").glob("*.md"))
+        paths.append(REPO_ROOT / "README.md")
+    problems: List[str] = []
+    checked = 0
+    for path in paths:
+        try:
+            file_problems, blocks = check_file(path)
+        except OSError as error:
+            problems.append(f"{path}: unreadable: {error}")
+            continue
+        problems.extend(file_problems)
+        checked += blocks
+    for problem in problems:
+        print(f"FAIL {problem}")
+    print(
+        f"docs-check: {checked} code blocks in {len(paths)} files, "
+        f"{len(problems)} problem(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
