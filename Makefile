@@ -36,12 +36,20 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 .PHONY: test
-test: docs-check
+test: docs-check bench-smoke
 	$(PYTHON) -m pytest tests/
 
 .PHONY: benchmarks
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Every benchmark script in a tiny configuration (ETUDE_BENCH_SMOKE=1
+# shrinks durations/request counts in benchmarks/conftest.py): proves each
+# paper artifact still regenerates and its shape assertions still hold,
+# without paying for the full regeneration.
+.PHONY: bench-smoke
+bench-smoke:
+	ETUDE_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 .PHONY: reproduce
 reproduce:

@@ -7,10 +7,11 @@ suite, measured with pytest-benchmark's repetition machinery.
 """
 
 import pytest
+from conftest import WORKLOAD_CLICKS
 
 from repro.workload import SyntheticWorkloadGenerator, WorkloadStatistics
 
-CLICKS = 500_000
+CLICKS = WORKLOAD_CLICKS
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,10 @@ the rows/series the paper reports (run with ``-s`` to see them). By default
 the load-test durations are scaled down from the paper's ten minutes —
 virtual time is free but event processing is not; the *shape* conclusions
 are duration-invariant (see EXPERIMENTS.md). Set ``ETUDE_BENCH_FULL=1`` for
-paper-scale durations and the three-repetition protocol.
+paper-scale durations and the three-repetition protocol, or
+``ETUDE_BENCH_SMOKE=1`` (``make bench-smoke``) for a tiny configuration
+that only proves each artifact still regenerates and its shape assertions
+still hold.
 """
 
 import os
@@ -13,13 +16,16 @@ import os
 import pytest
 
 FULL = os.environ.get("ETUDE_BENCH_FULL", "0") == "1"
+SMOKE = os.environ.get("ETUDE_BENCH_SMOKE", "0") == "1" and not FULL
 
 #: Load-test duration (paper: 600 s).
-DURATION_S = 600.0 if FULL else 90.0
+DURATION_S = 600.0 if FULL else (30.0 if SMOKE else 90.0)
 #: Repetitions per configuration (paper: 3, dropping best and worst).
 REPETITIONS = 3 if FULL else 1
 #: Serial requests per microbenchmark point.
-MICRO_REQUESTS = 300 if FULL else 120
+MICRO_REQUESTS = 300 if FULL else (40 if SMOKE else 120)
+#: Clicks per workload-generator throughput measurement.
+WORKLOAD_CLICKS = 500_000 if not SMOKE else 50_000
 
 
 @pytest.fixture(scope="session")

@@ -47,6 +47,7 @@ def _add_infra_command(subparsers) -> None:
     parser.add_argument("--duration", type=float, default=120.0)
     parser.add_argument("--seed", type=int, default=1234)
     _add_trace_flags(parser)
+    _add_resilience_flags(parser)
 
 
 def _add_micro_command(subparsers) -> None:
@@ -75,6 +76,7 @@ def _add_run_command(subparsers) -> None:
     parser.add_argument("--plot", action="store_true",
                         help="ASCII latency-vs-load chart (the Figure 4 view)")
     _add_trace_flags(parser)
+    _add_resilience_flags(parser)
 
 
 def _add_plan_command(subparsers) -> None:
@@ -157,6 +159,38 @@ def _add_trace_flags(parser) -> None:
     )
 
 
+def _add_resilience_flags(parser) -> None:
+    parser.add_argument(
+        "--retry", nargs="?", const="", default=None, metavar="SPEC",
+        help="client retries with backoff; optional SPEC like "
+        "'max=3,base=0.05,cap=1,mult=2,jitter=0.5,hedge=0.2' "
+        "(bare --retry uses the defaults)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="fault-injection schedule: comma-separated kind@seconds events, "
+        "e.g. 'crash@60:restart=20,slow@90:factor=3:dur=30,"
+        "netdelay@30:add=0.005:dur=20' (times relative to load start)",
+    )
+
+
+def _parse_resilience(args):
+    """(RetryPolicy | None, ChaosSchedule | None) from the CLI flags."""
+    from repro.cluster.chaos import ChaosSchedule
+    from repro.loadgen.retry import RetryPolicy
+
+    try:
+        retry = (
+            RetryPolicy.parse(args.retry) if args.retry is not None else None
+        )
+        chaos = (
+            ChaosSchedule.parse(args.chaos) if args.chaos is not None else None
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    return retry, chaos
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -236,12 +270,17 @@ def _cmd_infra(args, out) -> int:
     telemetry = _make_telemetry(args)
     if telemetry is not None and args.server != "actix":
         out.write("note: --trace instruments only the actix server\n")
+    retry, chaos = _parse_resilience(args)
+    if chaos is not None and args.server != "actix":
+        raise SystemExit("--chaos needs the actix server's fault hooks")
     result = run_infra_test(
         args.server,
         target_rps=args.rps,
         duration_s=args.duration,
         seed=args.seed,
         telemetry=telemetry,
+        retry_policy=retry,
+        chaos=chaos,
     )
     out.write(render_latency_series(result.series, args.server, every=20) + "\n")
     out.write(
@@ -249,6 +288,11 @@ def _cmd_infra(args, out) -> int:
         f"{result.errors} errors ({result.error_rate * 100:.1f}%), "
         f"p90={result.p90_ms:.2f} ms\n"
     )
+    if retry is not None or chaos is not None:
+        out.write(
+            f"  resilience: {result.retries} retries, {result.hedges} hedges, "
+            f"{len(result.chaos_events)} chaos events\n"
+        )
     if telemetry is not None:
         _emit_telemetry(telemetry, out, args.trace_out)
     return 0
@@ -274,10 +318,26 @@ def _cmd_micro(args, out) -> int:
 
 def _cmd_run(args, out) -> int:
     runner = ExperimentRunner()
+    retry, chaos = _parse_resilience(args)
     if args.spec:
+        from dataclasses import replace
+
         from repro.core.specfile import load_spec_file
 
         jobs = load_spec_file(args.spec)
+        if retry is not None or chaos is not None:
+            # CLI flags override the spec file's resilience settings.
+            jobs = [
+                (
+                    replace(
+                        spec,
+                        retry=retry if retry is not None else spec.retry,
+                        chaos=chaos if chaos is not None else spec.chaos,
+                    ),
+                    slo,
+                )
+                for spec, slo in jobs
+            ]
     else:
         for required in ("model", "catalog", "rps"):
             if getattr(args, required) is None:
@@ -293,6 +353,8 @@ def _cmd_run(args, out) -> int:
                     hardware=HardwareSpec(args.instance, args.replicas),
                     duration_s=args.duration,
                     execution=args.execution,
+                    retry=retry,
+                    chaos=chaos,
                 ),
                 SLO(p90_latency_ms=args.p90_limit),
             )
@@ -324,6 +386,15 @@ def _cmd_run(args, out) -> int:
             f"{'n/a' if p90_target is None else f'{p90_target:.1f} ms'}\n"
             f"  meets p90<={slo.p90_latency_ms:.0f}ms SLO: {meets}\n"
         )
+        if result.resilience is not None:
+            res = result.resilience
+            out.write(
+                f"  resilience: {res['retries']} retries "
+                f"({res['retry_successes']} recovered, "
+                f"{res['retry_exhausted']} exhausted), "
+                f"{res['hedges']} hedges, "
+                f"{len(res['chaos_events'])} chaos events\n"
+            )
         if telemetry is not None:
             trace_out = args.trace_out
             if trace_out and len(jobs) > 1:

@@ -18,6 +18,15 @@ from repro.cluster.kubernetes import (
     Pod,
 )
 from repro.cluster.service import ClusterIPService
+from repro.cluster.chaos import (
+    ChaosController,
+    ChaosEvent,
+    ChaosSchedule,
+    CrashStorm,
+    NetworkDelay,
+    PodCrash,
+    SlowNode,
+)
 from repro.cluster.provisioning import Infrastructure, make_infra
 from repro.cluster.autoscaler import (
     AutoscalerConfig,
@@ -32,6 +41,13 @@ __all__ = [
     "ModelDeployment",
     "DeploymentError",
     "ClusterIPService",
+    "ChaosSchedule",
+    "ChaosController",
+    "ChaosEvent",
+    "PodCrash",
+    "CrashStorm",
+    "SlowNode",
+    "NetworkDelay",
     "Infrastructure",
     "make_infra",
     "AutoscalerConfig",

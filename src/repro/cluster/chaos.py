@@ -1,0 +1,377 @@
+"""Composable fault-injection schedules for the simulated cluster.
+
+``Cluster.inject_pod_failure`` covers exactly one scenario: one pod, one
+crash, one optional restart. Measuring how a deployment behaves at the
+edge of its capacity needs richer degradation patterns — the regimes the
+DeepRecSys and capacity-driven scale-out studies identify as the ones
+that actually determine provisioning. A :class:`ChaosSchedule` composes
+timed events over one run:
+
+- :class:`PodCrash` — the classic single-pod crash (+ kubelet restart);
+- :class:`CrashStorm` — several pods crashing in quick succession;
+- :class:`SlowNode` — one replica's service times degrade by a factor
+  (thermal throttling, noisy neighbour) for a window;
+- :class:`NetworkDelay` — transient extra latency on the client→server
+  leg of the ClusterIP service.
+
+Event times are **relative to load start** (the schedule is installed
+once the deployment's readiness signal fires), so the same schedule means
+the same thing regardless of how long provisioning took.
+
+Determinism: chaos draws no random numbers. An empty schedule — or none —
+leaves every code path bit-identical to the pre-chaos simulator; the
+degradation hooks multiply by 1.0 / add 0.0 when nominal.
+
+Targets: cluster runs pass ``cluster`` + ``deployment`` (+ ``service``
+for :class:`NetworkDelay`); bare-server setups like the Figure 2 infra
+test pass ``servers`` instead, where crashes recover in place (no pod
+boot sequence to replay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation import Simulator
+
+if TYPE_CHECKING:
+    from repro.cluster.kubernetes import Cluster, ModelDeployment
+    from repro.cluster.service import ClusterIPService
+    from repro.obs.telemetry import Telemetry
+    from repro.serving.actix import EtudeInferenceServer
+
+
+def _parse_optional_s(value: str) -> Optional[float]:
+    return None if value.lower() in ("none", "never") else float(value)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One timed fault; ``at_s`` is seconds after load start."""
+
+    at_s: float = 0.0
+
+    kind = "event"
+
+    def fire(self, controller: "ChaosController") -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.kind}@{self.at_s:g}s"
+
+
+@dataclass(frozen=True)
+class PodCrash(ChaosEvent):
+    """Crash one pod; the kubelet restarts it after ``restart_after_s``
+    (``None``: stays dead). On bare servers, "restart" is an in-place
+    recovery after the same delay."""
+
+    pod_index: int = 0
+    restart_after_s: Optional[float] = 20.0
+
+    kind = "crash"
+
+    def fire(self, controller: "ChaosController") -> None:
+        controller.crash_pod(self.pod_index, self.restart_after_s)
+        controller.note(self, pod_index=self.pod_index)
+
+
+@dataclass(frozen=True)
+class CrashStorm(ChaosEvent):
+    """``count`` pods crash ``stagger_s`` apart, starting at ``at_s``."""
+
+    count: int = 2
+    stagger_s: float = 1.0
+    restart_after_s: Optional[float] = 20.0
+
+    kind = "storm"
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError("storm count must be >= 1")
+        if self.stagger_s < 0:
+            raise ValueError("stagger_s must be >= 0")
+
+    def fire(self, controller: "ChaosController") -> None:
+        for index in range(self.count):
+            controller.simulator.call_in(
+                index * self.stagger_s,
+                lambda i=index: controller.crash_pod(i, self.restart_after_s),
+            )
+        controller.note(self, count=self.count)
+
+
+@dataclass(frozen=True)
+class SlowNode(ChaosEvent):
+    """One replica's service times multiply by ``factor`` for
+    ``duration_s`` (``None``: for the rest of the run)."""
+
+    pod_index: int = 0
+    factor: float = 3.0
+    duration_s: Optional[float] = 30.0
+
+    kind = "slow"
+
+    def __post_init__(self):
+        if self.factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+
+    def fire(self, controller: "ChaosController") -> None:
+        server = controller.server(self.pod_index)
+        if server is None:
+            return  # pod not up (crashed or still booting): nothing to slow
+        server.set_slowdown(self.factor)
+        if self.duration_s is not None:
+            controller.simulator.call_in(
+                self.duration_s, lambda: server.set_slowdown(1.0)
+            )
+        controller.note(
+            self,
+            pod_index=self.pod_index,
+            factor=self.factor,
+            duration_s=self.duration_s,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkDelay(ChaosEvent):
+    """Extra one-way latency on the client→server leg for a window."""
+
+    extra_s: float = 0.005
+    duration_s: Optional[float] = 30.0
+
+    kind = "netdelay"
+
+    def __post_init__(self):
+        if self.extra_s < 0:
+            raise ValueError("extra_s must be >= 0")
+
+    def fire(self, controller: "ChaosController") -> None:
+        service = controller.service
+        if service is None:
+            raise ValueError("netdelay chaos requires a ClusterIP service")
+        service.extra_latency_s += self.extra_s
+        if self.duration_s is not None:
+
+            def restore() -> None:
+                service.extra_latency_s = max(
+                    service.extra_latency_s - self.extra_s, 0.0
+                )
+
+            controller.simulator.call_in(self.duration_s, restore)
+        controller.note(
+            self, extra_s=self.extra_s, duration_s=self.duration_s
+        )
+
+
+_EVENT_KINDS = {
+    "crash": (
+        PodCrash,
+        {"pod": ("pod_index", int), "restart": ("restart_after_s", _parse_optional_s)},
+    ),
+    "storm": (
+        CrashStorm,
+        {
+            "count": ("count", int),
+            "stagger": ("stagger_s", float),
+            "restart": ("restart_after_s", _parse_optional_s),
+        },
+    ),
+    "slow": (
+        SlowNode,
+        {
+            "pod": ("pod_index", int),
+            "factor": ("factor", float),
+            "dur": ("duration_s", _parse_optional_s),
+        },
+    ),
+    "netdelay": (
+        NetworkDelay,
+        {"add": ("extra_s", float), "dur": ("duration_s", _parse_optional_s)},
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered, immutable collection of chaos events for one run."""
+
+    events: Tuple[ChaosEvent, ...] = ()
+
+    def __post_init__(self):
+        for event in self.events:
+            if event.at_s < 0:
+                raise ValueError(f"event time must be >= 0: {event}")
+
+    def install(
+        self,
+        simulator: Simulator,
+        *,
+        cluster: Optional["Cluster"] = None,
+        deployment: Optional["ModelDeployment"] = None,
+        service: Optional["ClusterIPService"] = None,
+        servers: Optional[Sequence["EtudeInferenceServer"]] = None,
+        telemetry: Optional["Telemetry"] = None,
+        start_at: Optional[float] = None,
+    ) -> "ChaosController":
+        """Schedule every event; returns the controller holding the log.
+
+        ``start_at`` anchors the relative event times (default: now — call
+        this when the load starts, e.g. right after the readiness signal).
+        """
+        controller = ChaosController(
+            simulator,
+            cluster=cluster,
+            deployment=deployment,
+            service=service,
+            servers=servers,
+            telemetry=telemetry,
+        )
+        origin = simulator.now if start_at is None else start_at
+        for event in self.events:
+            simulator.call_at(
+                origin + event.at_s, lambda e=event: e.fire(controller)
+            )
+        return controller
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSchedule":
+        """Build a schedule from a compact CLI spec.
+
+        Comma-separated events, each ``kind@at[:key=value...]``::
+
+            crash@150:pod=0:restart=20
+            storm@200:count=3:stagger=1:restart=none
+            slow@100:pod=1:factor=3:dur=30
+            netdelay@50:add=0.005:dur=30
+        """
+        events: List[ChaosEvent] = []
+        for item in filter(None, (p.strip() for p in text.split(","))):
+            head, *options = item.split(":")
+            kind, at, at_text = head.partition("@")
+            if not at or kind not in _EVENT_KINDS:
+                raise ValueError(
+                    f"bad chaos event {item!r}; expected kind@seconds with "
+                    f"kind in {sorted(_EVENT_KINDS)}"
+                )
+            event_cls, keys = _EVENT_KINDS[kind]
+            kwargs: dict = {"at_s": float(at_text)}
+            for option in options:
+                key, eq, value = option.partition("=")
+                if not eq or key not in keys:
+                    raise ValueError(
+                        f"bad chaos option {option!r} for {kind!r}; "
+                        f"known: {sorted(keys)}"
+                    )
+                name, cast = keys[key]
+                kwargs[name] = cast(value)
+            events.append(event_cls(**kwargs))
+        return cls(events=tuple(events))
+
+    def describe(self) -> str:
+        if not self.events:
+            return "no chaos"
+        return ", ".join(event.describe() for event in self.events)
+
+    def spec_string(self) -> str:
+        """The compact form :meth:`parse` accepts (for spec files)."""
+        parts = []
+        for event in self.events:
+            _, keys = _EVENT_KINDS[event.kind]
+            options = "".join(
+                f":{key}={'none' if value is None else format(value, 'g')}"
+                for key, (name, _) in keys.items()
+                for value in (getattr(event, name),)
+            )
+            parts.append(f"{event.kind}@{event.at_s:g}{options}")
+        return ",".join(parts)
+
+
+class ChaosController:
+    """Fires a schedule's events against one run's targets and logs them."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        *,
+        cluster: Optional["Cluster"] = None,
+        deployment: Optional["ModelDeployment"] = None,
+        service: Optional["ClusterIPService"] = None,
+        servers: Optional[Sequence["EtudeInferenceServer"]] = None,
+        telemetry: Optional["Telemetry"] = None,
+    ):
+        self.simulator = simulator
+        self.cluster = cluster
+        self.deployment = deployment
+        self.service = service
+        self.servers = list(servers) if servers is not None else None
+        self.telemetry = telemetry
+        #: Chronological log of fired events (for ``RunResult.resilience``).
+        self.fired: List[Dict] = []
+        self._counters: Dict[str, object] = {}
+        self._next_chaos_trace_id = -1
+
+    # -- target helpers -----------------------------------------------------
+
+    def server(self, pod_index: int) -> Optional["EtudeInferenceServer"]:
+        if self.deployment is not None:
+            pods = self.deployment.pods
+            if not pods:
+                return None
+            return pods[pod_index % len(pods)].server
+        if self.servers:
+            return self.servers[pod_index % len(self.servers)]
+        return None
+
+    def crash_pod(
+        self, pod_index: int, restart_after_s: Optional[float]
+    ) -> None:
+        if self.cluster is not None and self.deployment is not None:
+            pods = self.deployment.pods
+            if not pods:
+                return
+            self.cluster.inject_pod_failure(
+                self.deployment,
+                pod_index % len(pods),
+                at_time=self.simulator.now,
+                restart_after=restart_after_s,
+            )
+            return
+        server = self.server(pod_index)
+        if server is None:
+            raise ValueError(
+                "crash chaos requires a cluster+deployment or bare servers"
+            )
+        server.crash()
+        if restart_after_s is not None:
+            self.simulator.call_in(restart_after_s, server.recover)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def note(self, event: ChaosEvent, **detail) -> None:
+        """Log a fired event, bump its counter, record a run-level span."""
+        at = self.simulator.now
+        self.fired.append({"at_s": at, "kind": event.kind, **detail})
+        if self.telemetry is None:
+            return
+        counter = self._counters.get(event.kind)
+        if counter is None:
+            counter = self.telemetry.metrics.counter(
+                "chaos_events_total",
+                unit="events",
+                labels={"kind": event.kind},
+                help="chaos-schedule events fired during the run",
+            )
+            self._counters[event.kind] = counter
+        counter.inc()
+        span = self.telemetry.trace.begin(
+            f"chaos_{event.kind}", self._next_chaos_trace_id, **detail
+        )
+        self._next_chaos_trace_id -= 1
+        end = at + (detail.get("duration_s") or 0.0)
+        span.finish(at=end)
+
+    @property
+    def events_fired(self) -> int:
+        return len(self.fired)

@@ -47,6 +47,10 @@ class ClusterIPService:
         self._round_robin = 0
         self.routed = 0
         self.rejected_no_backend = 0
+        #: Additional one-way latency injected by chaos schedules
+        #: (transient degradation of the client→server leg). 0.0 = nominal
+        #: and bit-exact: adding 0.0 never changes a latency.
+        self.extra_latency_s = 0.0
         #: Optional telemetry handle; None = zero overhead.
         self.telemetry = telemetry
         if telemetry is not None:
@@ -67,8 +71,10 @@ class ClusterIPService:
             )
 
     def _network_delay(self) -> float:
-        return self.NETWORK_LATENCY_S * float(
-            self.rng.lognormal(0.0, self.NETWORK_JITTER_SIGMA)
+        return (
+            self.NETWORK_LATENCY_S
+            * float(self.rng.lognormal(0.0, self.NETWORK_JITTER_SIGMA))
+            + self.extra_latency_s
         )
 
     def submit(

@@ -131,8 +131,22 @@ class ExperimentRunner:
                 duration_s=spec.duration_s,
                 collector=collector,
                 telemetry=telemetry,
+                retry_policy=spec.retry,
+                retry_rng=(
+                    streams.stream("retry") if spec.retry is not None else None
+                ),
             )
             generator.start()
+            if spec.chaos is not None:
+                # Installed at load start so event times are relative to
+                # the ramp, not to however long provisioning took.
+                state["chaos"] = spec.chaos.install(
+                    simulator,
+                    cluster=cluster,
+                    deployment=deployment,
+                    service=service,
+                    telemetry=telemetry,
+                )
             state["generator"] = generator
             state["started_at"] = simulator.now
 
@@ -178,6 +192,25 @@ class ExperimentRunner:
             series=series if spec.collect_series else None,
             backpressure_stalls=generator.backpressure_stalls if generator else 0,
         )
+        if spec.retry is not None or spec.chaos is not None:
+            chaos = state.get("chaos")
+            result.resilience = {
+                "retry_policy": (
+                    spec.retry.spec_string() if spec.retry is not None else None
+                ),
+                "retries": generator.retries if generator else 0,
+                "hedges": generator.hedges if generator else 0,
+                "retry_successes": (
+                    generator.retry_successes if generator else 0
+                ),
+                "retry_exhausted": (
+                    generator.retry_exhausted if generator else 0
+                ),
+                "chaos_schedule": (
+                    spec.chaos.spec_string() if spec.chaos is not None else None
+                ),
+                "chaos_events": chaos.fired if chaos is not None else [],
+            }
         if telemetry is not None:
             from repro.obs.export import stage_breakdown
 

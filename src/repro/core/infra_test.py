@@ -11,12 +11,14 @@ inference server analogously."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.cluster.chaos import ChaosSchedule
 from repro.core.registry import GLOBAL_REGISTRY, AssetRegistry
 from repro.hardware.device import DeviceModel
 from repro.loadgen.generator import LoadGenerator
+from repro.loadgen.retry import RetryPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.results import LatencySeries
 from repro.serving.actix import EtudeInferenceServer
@@ -58,6 +60,9 @@ class InfraTestResult:
     p90_ms: Optional[float]
     p99_ms: Optional[float]
     series: LatencySeries
+    retries: int = 0
+    hedges: int = 0
+    chaos_events: List[Dict] = field(default_factory=list)
 
     @property
     def error_rate(self) -> float:
@@ -71,14 +76,22 @@ def run_infra_test(
     seed: int = 1234,
     registry: Optional[AssetRegistry] = None,
     telemetry: Optional["Telemetry"] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosSchedule] = None,
 ) -> InfraTestResult:
     """Run the no-inference serving test with one of the two stacks.
 
     ``telemetry`` (optional) records spans + metrics for the run; only the
     Actix stack is instrumented (see ``docs/observability.md``).
+    ``retry_policy`` enables client retries/hedging; ``chaos`` injects
+    faults against the single bare server (crashes recover in place).
     """
     if server_kind not in ("torchserve", "actix"):
         raise ValueError("server_kind must be 'torchserve' or 'actix'")
+    if chaos is not None and server_kind != "actix":
+        raise ValueError(
+            "chaos injection needs the actix server's crash/slowdown hooks"
+        )
     registry = registry or GLOBAL_REGISTRY
     assets = registry.assets("noop", 1, INFRA_TEST_DEVICE, "eager", top_k=1)
 
@@ -117,8 +130,17 @@ def run_infra_test(
         duration_s=duration_s,
         collector=collector,
         telemetry=telemetry,
+        retry_policy=retry_policy,
+        retry_rng=(
+            streams.stream("retry") if retry_policy is not None else None
+        ),
     )
     generator.start()
+    controller = None
+    if chaos is not None:
+        controller = chaos.install(
+            simulator, servers=[server], telemetry=telemetry
+        )
     simulator.run()
 
     return InfraTestResult(
@@ -132,4 +154,7 @@ def run_infra_test(
         p90_ms=collector.percentile_ms(90) if collector.ok else None,
         p99_ms=collector.percentile_ms(99) if collector.ok else None,
         series=LatencySeries.from_collector(collector),
+        retries=generator.retries,
+        hedges=generator.hedges,
+        chaos_events=controller.fired if controller is not None else [],
     )

@@ -9,8 +9,10 @@ five end-to-end use-case scenarios of Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
+from repro.cluster.chaos import ChaosSchedule
+from repro.loadgen.retry import RetryPolicy
 from repro.workload.statistics import WorkloadStatistics
 
 
@@ -49,12 +51,24 @@ class ExperimentSpec:
     workload: Optional[WorkloadStatistics] = None
     seed: int = 1234
     collect_series: bool = True
+    #: Client retry/hedging behaviour (None = every error is terminal).
+    #: Accepts a :class:`~repro.loadgen.retry.RetryPolicy` or its compact
+    #: spec string (``"max=3,base=0.05"``; ``""`` = defaults).
+    retry: Optional[Union[RetryPolicy, str]] = None
+    #: Fault-injection schedule anchored at load start (None = no chaos).
+    #: Accepts a :class:`~repro.cluster.chaos.ChaosSchedule` or its compact
+    #: spec string (``"crash@60:restart=20"``).
+    chaos: Optional[Union[ChaosSchedule, str]] = None
 
     def __post_init__(self):
         if self.execution not in ("jit", "eager", "onnx"):
             raise ValueError("execution must be 'jit', 'eager' or 'onnx'")
         if self.catalog_size < 1 or self.target_rps < 1:
             raise ValueError("catalog_size and target_rps must be positive")
+        if isinstance(self.retry, str):
+            object.__setattr__(self, "retry", RetryPolicy.parse(self.retry))
+        if isinstance(self.chaos, str):
+            object.__setattr__(self, "chaos", ChaosSchedule.parse(self.chaos))
 
     def workload_statistics(self) -> WorkloadStatistics:
         """The provided statistics, or the bol.com-like defaults."""

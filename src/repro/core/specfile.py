@@ -41,6 +41,8 @@ _KNOWN_KEYS = {
     "workload",
     "seed",
     "slo",
+    "retry",
+    "chaos",
 }
 
 
@@ -88,6 +90,8 @@ def spec_from_dict(raw: Dict[str, Any]) -> Tuple[ExperimentSpec, SLO]:
         top_k=int(raw.get("top_k", 21)),
         workload=workload,
         seed=int(raw.get("seed", 1234)),
+        retry=raw.get("retry"),
+        chaos=raw.get("chaos"),
     )
     return spec, slo
 
@@ -119,6 +123,10 @@ def spec_to_dict(spec: ExperimentSpec, slo: SLO = SLO()) -> Dict[str, Any]:
         "seed": spec.seed,
         "slo": asdict(slo),
     }
+    if spec.retry is not None:
+        document["retry"] = spec.retry.spec_string()
+    if spec.chaos is not None:
+        document["chaos"] = spec.chaos.spec_string()
     if spec.workload is not None:
         document["workload"] = {
             "catalog_size": spec.workload.catalog_size,

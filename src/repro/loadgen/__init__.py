@@ -1,6 +1,7 @@
 """Backpressure-aware load generation (Algorithm 2 of the paper)."""
 
 from repro.loadgen.rampup import timeprop_rampup
+from repro.loadgen.retry import RetryPolicy
 from repro.loadgen.session_replay import SessionReplayQueue
 from repro.loadgen.generator import LoadGenerator
 from repro.loadgen.schedules import (
@@ -13,6 +14,7 @@ from repro.loadgen.schedules import (
 
 __all__ = [
     "timeprop_rampup",
+    "RetryPolicy",
     "SessionReplayQueue",
     "LoadGenerator",
     "RampSchedule",

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Optional
 import numpy as np
 
 from repro.loadgen.rampup import timeprop_rampup
+from repro.loadgen.retry import RetryPolicy
 from repro.loadgen.session_replay import SessionReplayQueue
 from repro.metrics.collector import MetricsCollector
 from repro.serving.request import (
@@ -52,6 +53,8 @@ class LoadGenerator:
         schedule=None,
         request_timeout_s: Optional[float] = None,
         telemetry: Optional["Telemetry"] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng: Optional[np.random.Generator] = None,
     ):
         self.simulator = simulator
         self.submit = submit
@@ -68,10 +71,21 @@ class LoadGenerator:
         #: Optional client-side timeout: give up waiting after this long
         #: (late responses are dropped, like a closed HTTP connection).
         self.request_timeout_s = request_timeout_s
+        #: Optional retry/hedging behaviour; ``None`` = every error is
+        #: terminal (the pre-resilience client). Jitter draws come from
+        #: ``retry_rng`` (a dedicated seeded stream) and only when a retry
+        #: actually fires, so a failure-free run stays bit-identical.
+        self.retry_policy = retry_policy
+        self.retry_rng = retry_rng
         self.pending = 0
         self.sent = 0
         self.backpressure_stalls = 0
         self.timeouts = 0
+        #: Resilience tallies (wire-level extras beyond ``sent``).
+        self.retries = 0
+        self.hedges = 0
+        self.retry_successes = 0
+        self.retry_exhausted = 0
         self._next_request_id = 0
         self.finished = False
 
@@ -95,6 +109,19 @@ class LoadGenerator:
                 "loadgen_backpressure_stalls_total", unit="stalls",
                 help="1 ms backpressure pauses (Algorithm 2 line 12)",
             )
+            if retry_policy is not None:
+                self._retry_counter = metrics.counter(
+                    "loadgen_retries_total", unit="requests",
+                    help="retry attempts after a retryable error response",
+                )
+                self._hedge_counter = metrics.counter(
+                    "loadgen_hedges_total", unit="requests",
+                    help="hedged duplicate requests sent after hedge_after_s",
+                )
+                self._retry_exhausted_counter = metrics.counter(
+                    "loadgen_retry_exhausted_total", unit="requests",
+                    help="requests that stayed failed after the retry budget",
+                )
 
     def start(self) -> None:
         self.simulator.spawn(self._run())
@@ -114,7 +141,17 @@ class LoadGenerator:
         self.sent += 1
         self.collector.note_sent(request.sent_at)
         sent_at = request.sent_at
-        settled = {"done": False}
+        # Per-logical-request state: one settle across all attempts and
+        # hedges, plus the cancellable timers covering the whole request.
+        state = {
+            "done": False,
+            "attempt": 0,
+            "hedged": False,
+            "timeout": None,
+            "hedge": None,
+            "hedge_span": None,
+        }
+        policy = self.retry_policy
 
         root_span = None
         if self.telemetry is not None:
@@ -123,29 +160,70 @@ class LoadGenerator:
                 "request", request.request_id, session_id=int(session_id)
             )
 
+        def cancel_timers() -> None:
+            for key in ("timeout", "hedge"):
+                if state[key] is not None:
+                    state[key].cancel()
+                    state[key] = None
+
+        def settle_spans(status: int) -> None:
+            if state["hedge_span"] is not None:
+                state["hedge_span"].finish(status=status)
+                state["hedge_span"] = None
+
         def on_response(response: RecommendationResponse) -> None:
-            if settled["done"]:
-                return  # the client already timed out; connection is gone
-            settled["done"] = True
+            if state["done"]:
+                return  # the client already settled; connection is gone
+            if (
+                policy is not None
+                and policy.retryable(response.status)
+                and state["attempt"] < policy.max_retries
+            ):
+                self._schedule_retry(request, state, response, on_response)
+                return
+            state["done"] = True
+            cancel_timers()
             self.pending -= 1
+            if policy is not None and state["attempt"] > 0:
+                if response.ok:
+                    self.retry_successes += 1
+                elif policy.retryable(response.status):
+                    self.retry_exhausted += 1
+                    if self.telemetry is not None:
+                        self._retry_exhausted_counter.inc()
+                # End-to-end latency spans all attempts, not just the last
+                # wire exchange (the service stamps from first send, but a
+                # bare-server submit target may not).
+                response.latency_s = response.completed_at - sent_at
             self.collector.record(sent_at, response)
             if root_span is not None:
+                attrs = {}
+                if state["attempt"]:
+                    attrs["retries"] = state["attempt"]
+                if state["hedged"]:
+                    attrs["hedged"] = True
                 root_span.finish(
-                    status=response.status, batch_size=response.batch_size
+                    status=response.status,
+                    batch_size=response.batch_size,
+                    **attrs,
                 )
+            settle_spans(response.status)
             self.sessions.complete(session_id)
 
         if self.request_timeout_s is not None:
 
             def on_timeout() -> None:
-                if settled["done"]:
+                if state["done"]:
                     return
-                settled["done"] = True
+                state["done"] = True
+                state["timeout"] = None
+                cancel_timers()
                 self.pending -= 1
                 self.timeouts += 1
                 if root_span is not None:
                     self._timeout_counter.inc()
                     root_span.finish(status=HTTP_GATEWAY_TIMEOUT)
+                settle_spans(HTTP_GATEWAY_TIMEOUT)
                 now = self.simulator.now
                 self.collector.record(
                     sent_at,
@@ -159,9 +237,72 @@ class LoadGenerator:
                 # The visitor moved on; the session continues regardless.
                 self.sessions.complete(session_id)
 
-            self.simulator.call_in(self.request_timeout_s, on_timeout)
+            state["timeout"] = self.simulator.call_in(
+                self.request_timeout_s, on_timeout
+            )
+
+        if policy is not None and policy.hedge_after_s is not None:
+            state["hedge"] = self.simulator.call_in(
+                policy.hedge_after_s,
+                lambda: self._send_hedge(request, state, on_response),
+            )
 
         self.submit(request, on_response)
+
+    # -- resilience plumbing ------------------------------------------------
+
+    def _schedule_retry(self, request, state, response, on_response) -> None:
+        """Resubmit ``request`` after the policy's (jittered) backoff."""
+        state["attempt"] += 1
+        attempt = state["attempt"]
+        self.retries += 1
+        delay = self.retry_policy.backoff_s(attempt, self.retry_rng)
+        backoff_span = None
+        if self.telemetry is not None:
+            self._retry_counter.inc()
+            backoff_span = self.telemetry.trace.begin(
+                "retry_backoff",
+                request.request_id,
+                attempt=attempt,
+                status=response.status,
+            )
+
+        def resend() -> None:
+            if state["done"]:
+                return  # the client timeout fired mid-backoff
+            if backoff_span is not None:
+                backoff_span.finish()
+            # Same request object: ``sent_at`` stays at the first attempt,
+            # so delivered latencies remain end-to-end across retries. The
+            # ClusterIP rotation advances per submit, so the retry lands on
+            # the next pod rather than hammering the crashed one.
+            self.submit(request, on_response)
+
+        self.simulator.call_in(delay, resend)
+
+    def _send_hedge(self, request, state, on_response) -> None:
+        """Send one duplicate of a slow request; first response settles."""
+        if state["done"] or state["hedged"]:
+            return
+        state["hedged"] = True
+        state["hedge"] = None
+        self.hedges += 1
+        hedge = RecommendationRequest(
+            request_id=self._next_request_id,
+            session_id=request.session_id,
+            session_items=request.session_items,
+            sent_at=request.sent_at,
+        )
+        self._next_request_id += 1
+        if self.telemetry is not None:
+            self._hedge_counter.inc()
+            state["hedge_span"] = self.telemetry.trace.begin(
+                "request",
+                hedge.request_id,
+                session_id=int(request.session_id),
+                hedge_of=request.request_id,
+            )
+        self.submit(hedge, on_response)
 
     # -- Algorithm 2 main loop -----------------------------------------------
 

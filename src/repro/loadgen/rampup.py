@@ -2,7 +2,9 @@
 
 The per-tick request rate grows proportionally to the time spent relative
 to the benchmark duration, reaching the target throughput exactly at the
-deadline: ``r_c(t) = ceil(r * t / d)`` (at least 1 once the run started).
+deadline: ``r_c(t) = ceil(r * t / d)`` (at least 1 once the run started —
+unless the target itself is zero, in which case the schedule must stay
+silent instead of trickling one request per second).
 """
 
 from __future__ import annotations
@@ -16,5 +18,7 @@ def timeprop_rampup(target_rps: float, elapsed_s: float, duration_s: float) -> i
         raise ValueError("target_rps must be non-negative")
     if duration_s <= 0:
         raise ValueError("duration_s must be positive")
+    if target_rps == 0:
+        return 0
     fraction = min(max(elapsed_s, 0.0) / duration_s, 1.0)
     return max(1, int(math.ceil(target_rps * fraction)))

@@ -31,6 +31,14 @@ class RateSchedule(Protocol):
     def rate_at(self, elapsed_s: float, duration_s: float) -> int: ...
 
 
+def _tick_rate(rate: float) -> int:
+    """Whole requests for one tick: positive rates offer at least one
+    request (fractional rates must not stall the run), a zero rate offers
+    none — a silent phase is silence, not a one-request-per-second trickle.
+    """
+    return 0 if rate <= 0 else max(1, int(round(rate)))
+
+
 @dataclass(frozen=True)
 class RampSchedule:
     """The paper's TIMEPROP ramp to ``target_rps`` over the duration."""
@@ -48,7 +56,7 @@ class ConstantSchedule:
     target_rps: float
 
     def rate_at(self, elapsed_s: float, duration_s: float) -> int:
-        return max(1, int(round(self.target_rps)))
+        return _tick_rate(self.target_rps)
 
 
 @dataclass(frozen=True)
@@ -74,7 +82,7 @@ class StepSchedule:
         for start, rps in self.steps:
             if fraction >= start:
                 current = rps
-        return max(1, int(round(current)))
+        return _tick_rate(current)
 
 
 @dataclass(frozen=True)
@@ -98,7 +106,7 @@ class DiurnalSchedule:
         # Sine from trough (midnight) to peak (midday) and back.
         weight = 0.5 - 0.5 * math.cos(2.0 * math.pi * fraction)
         rate = self.low_rps + (self.high_rps - self.low_rps) * weight
-        return max(1, int(round(rate)))
+        return _tick_rate(rate)
 
 
 @dataclass(frozen=True)
@@ -125,4 +133,4 @@ class FlashSaleSchedule:
         rate = self.baseline_rps
         if self.burst_start_fraction <= fraction < self.burst_end_fraction:
             rate *= self.burst_factor
-        return max(1, int(round(rate)))
+        return _tick_rate(rate)

@@ -85,6 +85,9 @@ class RunResult:
     #: Per-stage latency breakdown (``repro.obs.export.BreakdownReport``
     #: as a plain dict), present when the run was traced (``--trace``).
     stage_breakdown: Optional[Dict] = None
+    #: Retry/hedge tallies and the fired chaos events, present when the
+    #: run had a retry policy or a chaos schedule configured.
+    resilience: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

@@ -108,10 +108,17 @@ class EtudeInferenceServer:
             deque()
         )
         self._work_signal = Signal(f"{name}-work")
+        #: Set while the GPU executor idles inside the linger window, so
+        #: intake can cut the wait short the moment the buffer fills.
+        self._linger_wake: Optional[Signal] = None
         self._active_workers = 0
         self.completed = 0
         self.rejected = 0
         self.healthy = True
+        #: Service-time multiplier for chaos "slow node" degradation;
+        #: 1.0 = nominal (multiplying by it is bit-exact, so an
+        #: undegraded run reproduces the pre-chaos latencies).
+        self.slowdown = 1.0
 
         if device.supports_batching():
             simulator.spawn(self._gpu_executor())
@@ -141,6 +148,11 @@ class EtudeInferenceServer:
             )
         self._queue.append((request, respond, self.simulator.now))
         self._work_signal.fire()
+        if (
+            self._linger_wake is not None
+            and len(self._queue) >= self.batching.max_batch_size
+        ):
+            self._linger_wake.fire()
 
     def _fail(
         self, request: RecommendationRequest, respond: ResponseCallback
@@ -170,6 +182,22 @@ class EtudeInferenceServer:
                     span.finish(crashed=True)
             self._fail(request, respond)
 
+    def recover(self) -> None:
+        """Bring a crashed server back into service in place.
+
+        The cluster path restarts pods with a fresh server (boot + model
+        load); this is the bare-server equivalent used by chaos schedules
+        in cluster-less setups like the Figure 2 infra test, where the
+        worker processes are still parked on the work signal.
+        """
+        self.healthy = True
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) this replica's service times by ``factor``."""
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self.slowdown = float(factor)
+
     def queue_depth(self) -> int:
         return len(self._queue)
 
@@ -193,10 +221,15 @@ class EtudeInferenceServer:
         inference_s: float,
         batch_size: int,
         queue_s: float = 0.0,
-    ) -> None:
+    ) -> bool:
+        """Deliver a 200 — or a 503 if the server died meanwhile.
+
+        Returns whether the client actually saw the 200, so callers
+        logging the exchange record the delivered status.
+        """
         if not self.healthy:
             self._fail(request, respond)
-            return
+            return False
         items = None
         if self.model is not None:
             items = self.model.recommend(request.session_items)
@@ -216,6 +249,7 @@ class EtudeInferenceServer:
         self.completed += 1
         if self.telemetry is not None:
             self._completed_counter.inc()
+        return True
 
     # -- CPU path -------------------------------------------------------------------
 
@@ -231,7 +265,7 @@ class EtudeInferenceServer:
             demanded = self._active_workers * self.device.weight_bandwidth
             contention = max(1.0, demanded / self.device.shared_bandwidth)
         noise = float(self.rng.lognormal(mean=0.0, sigma=0.08))
-        return (other_s + memory_s * contention) * noise
+        return (other_s + memory_s * contention) * noise * self.slowdown
 
     def _cpu_worker(self, index: int):
         while True:
@@ -283,7 +317,7 @@ class EtudeInferenceServer:
 
     def _gpu_batch_time(self, batch_size: int) -> float:
         noise = float(self.rng.lognormal(mean=0.0, sigma=0.08))
-        return self.service_profile.latency(batch_size) * noise
+        return self.service_profile.latency(batch_size) * noise * self.slowdown
 
     def _gpu_executor(self):
         max_batch = self.batching.max_batch_size
@@ -300,8 +334,16 @@ class EtudeInferenceServer:
             if self.simulator.now < deadline and len(self._queue) < max_batch:
                 # The executor is idle and deliberately waiting for the
                 # buffer to fill — that wait is batch-linger, not queueing.
+                # Wake at the deadline OR the moment intake fills the
+                # buffer: sleeping out the rest of the window with a full
+                # buffer only delays a flush that could already happen.
                 linger_started = self.simulator.now
-                yield deadline - self.simulator.now
+                wake = Signal(f"{self.name}-linger")
+                deadline_timer = self.simulator.call_at(deadline, wake.fire)
+                self._linger_wake = wake
+                yield wake
+                self._linger_wake = None
+                deadline_timer.cancel()
             take = min(len(self._queue), max_batch)
             if take == 0:
                 continue
@@ -310,19 +352,6 @@ class EtudeInferenceServer:
             batch_time = self._gpu_batch_time(take)
             yield batch_time
             self._batch_counter += 1
-            if self.access_log is not None:
-                for request, _respond, arrival in batch:
-                    self.access_log.append(
-                        AccessRecord(
-                            request_id=request.request_id,
-                            arrived_at=arrival,
-                            started_at=started,
-                            completed_at=self.simulator.now,
-                            batch_id=self._batch_counter,
-                            batch_size=take,
-                            status=HTTP_OK if self.healthy else HTTP_SERVICE_UNAVAILABLE,
-                        )
-                    )
             if self.telemetry is not None:
                 self._trace_batch(batch, started, batch_time, take, linger_started)
             for request, respond, arrival in batch:
@@ -336,7 +365,8 @@ class EtudeInferenceServer:
                 self.simulator.call_in(
                     http_s,
                     self._make_responder(
-                        request, respond, batch_time, take, started - arrival
+                        request, respond, batch_time, take, started, arrival,
+                        self._batch_counter,
                     ),
                 )
 
@@ -366,7 +396,32 @@ class EtudeInferenceServer:
                 batch_size=take,
             )
 
-    def _make_responder(self, request, respond, batch_time, take, queue_s):
-        return lambda: self._respond_ok(
-            request, respond, batch_time, take, queue_s=queue_s
-        )
+    def _make_responder(
+        self, request, respond, batch_time, take, started, arrival, batch_id
+    ):
+        """Responder fired once the HTTP leg is done.
+
+        The access record is written here, at delivery time, with the
+        status the client actually saw — a crash between batch completion
+        and response delivery turns the whole batch into 503s, and the
+        log must say so rather than claim a 200 nobody received.
+        """
+
+        def respond_and_log() -> None:
+            delivered = self._respond_ok(
+                request, respond, batch_time, take, queue_s=started - arrival
+            )
+            if self.access_log is not None:
+                self.access_log.append(
+                    AccessRecord(
+                        request_id=request.request_id,
+                        arrived_at=arrival,
+                        started_at=started,
+                        completed_at=self.simulator.now,
+                        batch_id=batch_id,
+                        batch_size=take,
+                        status=HTTP_OK if delivered else HTTP_SERVICE_UNAVAILABLE,
+                    )
+                )
+
+        return respond_and_log

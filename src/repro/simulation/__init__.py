@@ -17,7 +17,7 @@ Process model:
 """
 
 from repro.simulation.events import Signal
-from repro.simulation.simulator import Simulator
+from repro.simulation.simulator import EventHandle, Simulator
 from repro.simulation.random_streams import RandomStreams
 
-__all__ = ["Simulator", "Signal", "RandomStreams"]
+__all__ = ["Simulator", "EventHandle", "Signal", "RandomStreams"]

@@ -1,0 +1,256 @@
+"""Chaos schedules: parsing, event semantics, and the crash→503→restart path."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ChaosSchedule,
+    ClusterIPService,
+    CrashStorm,
+    NetworkDelay,
+    PodCrash,
+    SlowNode,
+    make_infra,
+)
+from repro.hardware import CPU_E2, LatencyModel
+from repro.loadgen.generator import LoadGenerator
+from repro.metrics.collector import MetricsCollector
+from repro.tensor.ops import CostRecord, CostTrace
+
+
+def profile_with_latency(seconds):
+    trace = CostTrace()
+    trace.append(
+        CostRecord(op="linear", param_bytes=seconds * CPU_E2.device.weight_bandwidth)
+    )
+    return LatencyModel(CPU_E2.device).profile(trace)
+
+
+def deploy(infra, replicas, service_seconds=0.004, name="t"):
+    infra.bucket.upload("m", b"x" * 64)
+    return infra.cluster.deploy_model(
+        name=name,
+        instance_type=CPU_E2,
+        replicas=replicas,
+        artifact_path="m",
+        service_profile=profile_with_latency(service_seconds),
+        resident_bytes=1e6,
+        score_bytes_per_item=4e3,
+    )
+
+
+def drive_with_chaos(infra, deployment, schedule, target_rps, duration_s,
+                     retry_policy=None):
+    """Load + chaos installed at load start; returns (collector, state)."""
+    collector = MetricsCollector()
+    sim = infra.simulator
+    state = {}
+
+    def sessions():
+        while True:
+            yield np.array([1, 2, 3], dtype=np.int64)
+
+    def coordinator():
+        yield deployment.ready_signal
+        service = ClusterIPService(sim, deployment, np.random.default_rng(0))
+        LoadGenerator(
+            sim, service.submit, sessions(),
+            target_rps=target_rps, duration_s=duration_s, collector=collector,
+            retry_policy=retry_policy,
+            retry_rng=np.random.default_rng(1) if retry_policy else None,
+        ).start()
+        state["service"] = service
+        state["load_started"] = sim.now
+        if schedule is not None:
+            state["controller"] = schedule.install(
+                sim, cluster=infra.cluster, deployment=deployment,
+                service=service,
+            )
+
+    sim.spawn(coordinator())
+    sim.run()
+    return collector, state
+
+
+class TestParsing:
+    def test_every_kind_parses(self):
+        schedule = ChaosSchedule.parse(
+            "crash@150:pod=1:restart=20,"
+            "storm@200:count=3:stagger=0.5:restart=none,"
+            "slow@100:factor=3:dur=30,"
+            "netdelay@50:add=0.005:dur=30"
+        )
+        kinds = [event.kind for event in schedule.events]
+        assert kinds == ["crash", "storm", "slow", "netdelay"]
+        crash, storm, slow, netdelay = schedule.events
+        assert crash == PodCrash(at_s=150.0, pod_index=1, restart_after_s=20.0)
+        assert storm.restart_after_s is None
+        assert slow.duration_s == 30.0
+        assert netdelay.extra_s == 0.005
+
+    def test_spec_string_round_trip(self):
+        text = "crash@150:pod=1:restart=none,slow@100:pod=0:factor=3:dur=30"
+        schedule = ChaosSchedule.parse(text)
+        assert ChaosSchedule.parse(schedule.spec_string()) == schedule
+
+    def test_bad_event_kind_raises(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.parse("explode@10")
+
+    def test_missing_time_raises(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.parse("crash")
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule.parse("crash@10:sponge=3")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowNode(factor=0.0)
+        with pytest.raises(ValueError):
+            CrashStorm(count=0)
+        with pytest.raises(ValueError):
+            NetworkDelay(extra_s=-1.0)
+        with pytest.raises(ValueError):
+            ChaosSchedule(events=(PodCrash(at_s=-5.0),))
+
+
+class TestCrashEvents:
+    def test_crash_then_restart_rejoins_rotation(self):
+        """S5 path: crash → 503s while down → restarted pod serves again."""
+        infra = make_infra(seed=11)
+        deployment = deploy(infra, replicas=1)
+        schedule = ChaosSchedule(
+            events=(PodCrash(at_s=60.0, restart_after_s=15.0),)
+        )
+        collector, state = drive_with_chaos(
+            infra, deployment, schedule, target_rps=40, duration_s=180
+        )
+        # The outage produced client-visible errors...
+        assert collector.errors > 0
+        # ...including 503s served by the ClusterIP with zero ready pods.
+        assert state["service"].rejected_no_backend > 0
+        # The restarted pod rejoined and served the tail of the run.
+        assert len(deployment.ready_pods) == 1
+        restart_second = int(state["load_started"] + 60.0 + 15.0)
+        late_ok = sum(
+            bucket.ok for bucket in collector.buckets()
+            if bucket.second > restart_second + 30
+        )
+        assert late_ok > 0
+        assert collector.total == collector.ok + collector.errors
+
+    def test_crash_without_restart_stays_down(self):
+        infra = make_infra(seed=12)
+        deployment = deploy(infra, replicas=2)
+        schedule = ChaosSchedule(
+            events=(PodCrash(at_s=30.0, pod_index=0, restart_after_s=None),)
+        )
+        collector, state = drive_with_chaos(
+            infra, deployment, schedule, target_rps=60, duration_s=90
+        )
+        assert len(deployment.ready_pods) == 1
+        assert state["controller"].events_fired == 1
+        # The survivor kept the service up.
+        assert collector.ok > collector.errors
+
+    def test_storm_crashes_multiple_pods(self):
+        infra = make_infra(seed=13)
+        deployment = deploy(infra, replicas=3)
+        schedule = ChaosSchedule(
+            events=(CrashStorm(at_s=30.0, count=2, stagger_s=1.0,
+                               restart_after_s=None),)
+        )
+        _collector, _state = drive_with_chaos(
+            infra, deployment, schedule, target_rps=60, duration_s=90
+        )
+        assert len(deployment.ready_pods) == 1
+
+    def test_event_log_records_fired_events(self):
+        infra = make_infra(seed=14)
+        deployment = deploy(infra, replicas=1)
+        schedule = ChaosSchedule.parse("crash@20:restart=10,slow@50:factor=2:dur=5")
+        _collector, state = drive_with_chaos(
+            infra, deployment, schedule, target_rps=20, duration_s=90
+        )
+        fired = state["controller"].fired
+        assert [event["kind"] for event in fired] == ["crash", "slow"]
+        # Times are absolute simulator stamps at/after load start + at_s.
+        assert fired[0]["at_s"] >= state["load_started"] + 20.0
+
+
+class TestDegradationEvents:
+    def test_slow_node_degrades_then_restores(self):
+        infra = make_infra(seed=15)
+        deployment = deploy(infra, replicas=1, service_seconds=0.004)
+        schedule = ChaosSchedule(
+            events=(SlowNode(at_s=30.0, factor=10.0, duration_s=20.0),)
+        )
+        collector, state = drive_with_chaos(
+            infra, deployment, schedule, target_rps=30, duration_s=120
+        )
+        started = state["load_started"]
+        window = [b for b in collector.buckets()
+                  if started + 32 < b.second < started + 48 and b.p90_ms()]
+        nominal = [b for b in collector.buckets()
+                   if started + 60 < b.second < started + 110 and b.p90_ms()]
+        assert window and nominal
+        degraded_p90 = np.median([b.p90_ms() for b in window])
+        nominal_p90 = np.median([b.p90_ms() for b in nominal])
+        assert degraded_p90 > 3.0 * nominal_p90
+        # Slowdown factor restored after the window.
+        assert deployment.pods[0].server.slowdown == 1.0
+
+    def test_network_delay_window(self):
+        infra = make_infra(seed=16)
+        deployment = deploy(infra, replicas=1)
+        schedule = ChaosSchedule(
+            events=(NetworkDelay(at_s=30.0, extra_s=0.05, duration_s=20.0),)
+        )
+        collector, state = drive_with_chaos(
+            infra, deployment, schedule, target_rps=20, duration_s=120
+        )
+        started = state["load_started"]
+        window = [b for b in collector.buckets()
+                  if started + 32 < b.second < started + 48 and b.p90_ms()]
+        after = [b for b in collector.buckets()
+                 if started + 60 < b.second < started + 110 and b.p90_ms()]
+        # Both network legs carry the extra 50 ms during the window.
+        assert np.median([b.p90_ms() for b in window]) > 100.0
+        assert np.median([b.p90_ms() for b in after]) < 50.0
+        assert state["service"].extra_latency_s == 0.0
+
+    def test_netdelay_without_service_raises_at_fire_time(self):
+        infra = make_infra(seed=17)
+        schedule = ChaosSchedule(events=(NetworkDelay(at_s=0.0),))
+        schedule.install(infra.simulator)
+        with pytest.raises(ValueError):
+            infra.simulator.run()
+
+
+class TestRetryUnderChaos:
+    def test_retries_bridge_a_restart(self):
+        """The PR's acceptance scenario: same seed, one mid-ramp crash —
+        retries cut the terminal error rate by an order of magnitude."""
+        from repro.loadgen import RetryPolicy
+
+        rates = {}
+        for label, policy in (
+            ("off", None),
+            ("on", RetryPolicy(max_retries=8, base_backoff_s=0.5,
+                               max_backoff_s=5.0, jitter=0.5)),
+        ):
+            infra = make_infra(seed=18)
+            deployment = deploy(infra, replicas=1)
+            schedule = ChaosSchedule(
+                events=(PodCrash(at_s=15.0, restart_after_s=10.0),)
+            )
+            collector, _state = drive_with_chaos(
+                infra, deployment, schedule, target_rps=40, duration_s=60,
+                retry_policy=policy,
+            )
+            total = collector.ok + collector.errors
+            rates[label] = collector.errors / total
+        assert rates["off"] > 0.05
+        assert rates["on"] < rates["off"] / 5.0

@@ -88,3 +88,31 @@ class TestClientTimeout:
         generator.start()
         without_timeout_sim.run()
         assert with_timeout.sent > 3 * generator.sent
+
+
+class TestTimerCleanup:
+    def test_settled_requests_cancel_their_timers(self):
+        """Stale timeout timers must not extend the run: a fast server +
+        a long client timeout ends at the load deadline, not deadline +
+        timeout."""
+        sim = Simulator()
+        server = SlowServer(sim, 0.005)
+        generator = LoadGenerator(
+            sim, server.submit, sessions(), target_rps=20, duration_s=10,
+            request_timeout_s=30.0,
+        )
+        generator.start()
+        end = sim.run()
+        # Pre-fix this ended at ~40 s (last request's dead timer).
+        assert end < 11.0
+        assert generator.timeouts == 0
+
+    def test_no_pending_events_after_settled_run(self):
+        sim = Simulator()
+        server = SlowServer(sim, 0.005)
+        LoadGenerator(
+            sim, server.submit, sessions(), target_rps=10, duration_s=5,
+            request_timeout_s=60.0,
+        ).start()
+        sim.run()
+        assert sim.pending_events == 0

@@ -125,3 +125,38 @@ class TestGeneratorWithSchedules:
         collector = run_with_schedule(None)
         offered = [b.sent for b in collector.buckets()]
         assert offered[1] < offered[len(offered) // 2] < max(offered[-3:]) + 5
+
+
+class TestZeroRate:
+    """A zero target must be silence, not a one-request-per-second floor."""
+
+    def test_rampup_zero_target_sends_nothing(self):
+        from repro.loadgen import timeprop_rampup
+
+        assert timeprop_rampup(0, 30.0, 60.0) == 0
+        assert timeprop_rampup(0, 0.0, 60.0) == 0
+
+    def test_rampup_positive_target_keeps_floor_of_one(self):
+        from repro.loadgen import timeprop_rampup
+
+        assert timeprop_rampup(100, 0.0, 60.0) == 1
+        assert timeprop_rampup(0.3, 1.0, 60.0) == 1
+
+    def test_zero_rate_schedules_offer_nothing(self):
+        assert ConstantSchedule(0).rate_at(5.0, 60.0) == 0
+        assert RampSchedule(0).rate_at(5.0, 60.0) == 0
+        assert DiurnalSchedule(0, 0).rate_at(5.0, 60.0) == 0
+        assert FlashSaleSchedule(0).rate_at(5.0, 60.0) == 0
+
+    def test_step_schedule_silent_phase(self):
+        schedule = StepSchedule(((0.0, 0), (0.5, 40)))
+        assert schedule.rate_at(10.0, 100.0) == 0
+        assert schedule.rate_at(60.0, 100.0) == 40
+
+    def test_generator_stays_idle_through_a_silent_phase(self):
+        collector = run_with_schedule(StepSchedule(((0.0, 0), (0.5, 40))))
+        buckets = collector.buckets()
+        first_half = [b.sent for b in buckets if b.second < 19]
+        second_half = [b.sent for b in buckets if b.second >= 21]
+        assert sum(first_half) == 0
+        assert sum(second_half) > 0

@@ -171,3 +171,55 @@ class TestRandomStreams:
         a = base.stream("x").random(5)
         b = forked.stream("x").random(5)
         assert not (a == b).all()
+
+
+class TestEventCancellation:
+    def test_cancelled_event_never_fires(self):
+        sim = Simulator()
+        log = []
+        handle = sim.call_in(1.0, lambda: log.append("cancelled"))
+        sim.call_in(2.0, lambda: log.append("kept"))
+        handle.cancel()
+        sim.run()
+        assert log == ["kept"]
+
+    def test_cancelled_event_does_not_extend_run(self):
+        """A cancelled timer must not advance the clock to its deadline."""
+        sim = Simulator()
+        sim.call_in(1.0, lambda: None)
+        handle = sim.call_in(100.0, lambda: None)
+        handle.cancel()
+        assert sim.run() == 1.0
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.call_in(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_in(1.0, lambda: fired.append(True))
+        sim.run()
+        handle.cancel()
+        assert fired == [True]
+        # The accounting must not go negative: a later event still counts.
+        sim.call_in(1.0, lambda: None)
+        assert sim.pending_events == 1
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.call_in(1.0, lambda: None)
+        drop = sim.call_in(2.0, lambda: None)
+        assert sim.pending_events == 2
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert keep.cancelled is False
+
+    def test_cancel_releases_callback(self):
+        sim = Simulator()
+        handle = sim.call_in(1.0, lambda: None)
+        handle.cancel()
+        assert handle.fn is None
