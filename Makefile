@@ -36,8 +36,14 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 .PHONY: test
-test: docs-check bench-smoke
+test: docs-check bench-smoke overload-smoke
 	$(PYTHON) -m pytest tests/
+
+# Tiny deterministic overload run: deadline admission + fallback tier must
+# turn a 3x-capacity overload into degraded 200s (no 503s, p99 in SLO).
+.PHONY: overload-smoke
+overload-smoke:
+	$(PYTHON) tools/overload_smoke.py
 
 .PHONY: benchmarks
 benchmarks:

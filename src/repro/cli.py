@@ -48,6 +48,7 @@ def _add_infra_command(subparsers) -> None:
     parser.add_argument("--seed", type=int, default=1234)
     _add_trace_flags(parser)
     _add_resilience_flags(parser)
+    _add_overload_flags(parser, routing=False)
 
 
 def _add_micro_command(subparsers) -> None:
@@ -77,6 +78,7 @@ def _add_run_command(subparsers) -> None:
                         help="ASCII latency-vs-load chart (the Figure 4 view)")
     _add_trace_flags(parser)
     _add_resilience_flags(parser)
+    _add_overload_flags(parser, routing=True)
 
 
 def _add_plan_command(subparsers) -> None:
@@ -171,6 +173,86 @@ def _add_resilience_flags(parser) -> None:
         help="fault-injection schedule: comma-separated kind@seconds events, "
         "e.g. 'crash@60:restart=20,slow@90:factor=3:dur=30,"
         "netdelay@30:add=0.005:dur=20' (times relative to load start)",
+    )
+
+
+def _add_overload_flags(parser, routing: bool) -> None:
+    parser.add_argument(
+        "--slo-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request latency SLO; requests are stamped with "
+        "sent_at + SECONDS so --admission can shed doomed work",
+    )
+    parser.add_argument(
+        "--admission", nargs="?", const="", default=None, metavar="SPEC",
+        help="deadline-aware admission control on the Actix server; SPEC "
+        "like 'codel,slack=0.01,target=0.005,interval=0.1,depth=64' "
+        "(disciplines: fifo, lifo, codel; bare --admission = FIFO defaults)",
+    )
+    parser.add_argument(
+        "--fallback", nargs="?", const="", default=None, metavar="SPEC",
+        help="graceful degradation: shed requests answer as fast degraded "
+        "200s from a popularity top-k tier; SPEC like 'budget=0.002,topk=21'",
+    )
+    if routing:
+        parser.add_argument(
+            "--routing", default=None, metavar="SPEC",
+            help="health-aware service routing; SPEC like "
+            "'lor,eject=3,cooldown=15,lag=2' "
+            "(disciplines: rr, lor; eject enables the circuit breaker)",
+        )
+
+
+def _parse_overload(args):
+    """(slo_deadline_s, AdmissionPolicy?, RoutingPolicy?, FallbackConfig?)."""
+    from repro.cluster.routing import RoutingPolicy
+    from repro.serving.admission import AdmissionPolicy
+    from repro.serving.fallback import FallbackConfig
+
+    try:
+        slo_deadline = args.slo_deadline
+        if slo_deadline is not None and slo_deadline <= 0:
+            raise ValueError("--slo-deadline must be positive")
+        admission = (
+            AdmissionPolicy.parse(args.admission)
+            if args.admission is not None
+            else None
+        )
+        routing = (
+            RoutingPolicy.parse(args.routing)
+            if getattr(args, "routing", None) is not None
+            else None
+        )
+        fallback = (
+            FallbackConfig.parse(args.fallback)
+            if args.fallback is not None
+            else None
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    return slo_deadline, admission, routing, fallback
+
+
+def _render_overload(overload: dict) -> str:
+    """The one-line overload summary shared by run and infra-test."""
+    shed = (
+        overload["shed_deadline"]
+        + overload["shed_codel"]
+        + overload["shed_queue_full"]
+    )
+    p90_degraded = overload.get("p90_degraded_ms")
+    return (
+        f"  overload: {shed} shed "
+        f"(deadline={overload['shed_deadline']} "
+        f"codel={overload['shed_codel']} "
+        f"queue={overload['shed_queue_full']}), "
+        f"{overload['degraded_served']} degraded 200s "
+        f"({overload['degraded_fraction'] * 100:.1f}% of ok"
+        + (
+            f", p90={p90_degraded:.1f} ms"
+            if p90_degraded is not None
+            else ""
+        )
+        + ")"
     )
 
 
@@ -273,6 +355,9 @@ def _cmd_infra(args, out) -> int:
     retry, chaos = _parse_resilience(args)
     if chaos is not None and args.server != "actix":
         raise SystemExit("--chaos needs the actix server's fault hooks")
+    slo_deadline, admission, _routing, fallback = _parse_overload(args)
+    if (admission is not None or fallback is not None) and args.server != "actix":
+        raise SystemExit("--admission/--fallback are actix-server features")
     result = run_infra_test(
         args.server,
         target_rps=args.rps,
@@ -281,6 +366,9 @@ def _cmd_infra(args, out) -> int:
         telemetry=telemetry,
         retry_policy=retry,
         chaos=chaos,
+        slo_deadline_s=slo_deadline,
+        admission=admission,
+        fallback=fallback,
     )
     out.write(render_latency_series(result.series, args.server, every=20) + "\n")
     out.write(
@@ -293,6 +381,8 @@ def _cmd_infra(args, out) -> int:
             f"  resilience: {result.retries} retries, {result.hedges} hedges, "
             f"{len(result.chaos_events)} chaos events\n"
         )
+    if result.overload is not None:
+        out.write(_render_overload(result.overload) + "\n")
     if telemetry is not None:
         _emit_telemetry(telemetry, out, args.trace_out)
     return 0
@@ -319,20 +409,37 @@ def _cmd_micro(args, out) -> int:
 def _cmd_run(args, out) -> int:
     runner = ExperimentRunner()
     retry, chaos = _parse_resilience(args)
+    slo_deadline, admission, routing, fallback = _parse_overload(args)
     if args.spec:
         from dataclasses import replace
 
         from repro.core.specfile import load_spec_file
 
         jobs = load_spec_file(args.spec)
-        if retry is not None or chaos is not None:
-            # CLI flags override the spec file's resilience settings.
+        overrides_on = any(
+            value is not None
+            for value in (retry, chaos, slo_deadline, admission, routing, fallback)
+        )
+        if overrides_on:
+            # CLI flags override the spec file's settings.
             jobs = [
                 (
                     replace(
                         spec,
                         retry=retry if retry is not None else spec.retry,
                         chaos=chaos if chaos is not None else spec.chaos,
+                        slo_deadline_s=(
+                            slo_deadline
+                            if slo_deadline is not None
+                            else spec.slo_deadline_s
+                        ),
+                        admission=(
+                            admission if admission is not None else spec.admission
+                        ),
+                        routing=routing if routing is not None else spec.routing,
+                        fallback=(
+                            fallback if fallback is not None else spec.fallback
+                        ),
                     ),
                     slo,
                 )
@@ -355,6 +462,10 @@ def _cmd_run(args, out) -> int:
                     execution=args.execution,
                     retry=retry,
                     chaos=chaos,
+                    slo_deadline_s=slo_deadline,
+                    admission=admission,
+                    routing=routing,
+                    fallback=fallback,
                 ),
                 SLO(p90_latency_ms=args.p90_limit),
             )
@@ -395,6 +506,13 @@ def _cmd_run(args, out) -> int:
                 f"{res['hedges']} hedges, "
                 f"{len(res['chaos_events'])} chaos events\n"
             )
+        if result.overload is not None:
+            out.write(_render_overload(result.overload) + "\n")
+            if result.overload["ejections"]:
+                out.write(
+                    f"  routing: {result.overload['ejections']} pod ejections, "
+                    f"{result.overload['probe_recoveries']} probe recoveries\n"
+                )
         if telemetry is not None:
             trace_out = args.trace_out
             if trace_out and len(jobs) > 1:

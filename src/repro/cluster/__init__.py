@@ -17,6 +17,7 @@ from repro.cluster.kubernetes import (
     ModelDeployment,
     Pod,
 )
+from repro.cluster.routing import RoutingPolicy
 from repro.cluster.service import ClusterIPService
 from repro.cluster.chaos import (
     ChaosController,
@@ -41,6 +42,7 @@ __all__ = [
     "ModelDeployment",
     "DeploymentError",
     "ClusterIPService",
+    "RoutingPolicy",
     "ChaosSchedule",
     "ChaosController",
     "ChaosEvent",

@@ -1,21 +1,31 @@
-"""The ClusterIP service: round-robin routing plus network latency.
+"""The ClusterIP service: request routing plus network latency.
 
 "Once the model deployment is finished ... a ClusterIP service interface is
 deployed for allowing access to the serving machine. Next, the load
 generator is deployed on another machine, from which it sends the
 corresponding recommendation requests ... via the service interface."
 Intra-cluster network latency is sub-millisecond on GCP; both directions
-are charged.
+are charged — including on 503s answered by the service itself when no
+pod is in rotation (the request still crosses the network twice).
+
+Routing defaults to the paper's plain round-robin over the instantaneously
+known ready pods. An optional
+:class:`~repro.cluster.routing.RoutingPolicy` adds production behaviours
+(all default-off, see ``docs/overload.md``): endpoint-propagation lag,
+least-outstanding-requests selection, and passive outlier ejection with
+half-open probe re-entry (the circuit breaker).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
-from repro.cluster.kubernetes import ModelDeployment
+from repro.cluster.kubernetes import ModelDeployment, Pod
+from repro.cluster.routing import RoutingPolicy
 from repro.serving.request import (
+    HTTP_OK,
     HTTP_SERVICE_UNAVAILABLE,
     RecommendationRequest,
     RecommendationResponse,
@@ -26,9 +36,36 @@ from repro.simulation import Simulator
 if TYPE_CHECKING:
     from repro.obs.telemetry import Telemetry
 
+#: Trace ids for service-level spans (ejections/probes) sit in their own
+#: negative range so they can never collide with request ids (>= 0) or the
+#: chaos controller's ids (-1, -2, ...).
+_SERVICE_SPAN_ID_START = -100_000
+
+
+class _PodRoutingState:
+    """Per-pod health bookkeeping (only maintained under a RoutingPolicy)."""
+
+    __slots__ = (
+        "in_flight",
+        "consecutive_failures",
+        "ejected_until",
+        "probing",
+        "last_seen_ready",
+    )
+
+    def __init__(self):
+        self.in_flight = 0
+        self.consecutive_failures = 0
+        #: None = in rotation; a time = ejected until then (then half-open).
+        self.ejected_until: Optional[float] = None
+        #: True while the single half-open probe request is outstanding.
+        self.probing = False
+        #: Last virtual time the pod was observed ready (endpoint lag).
+        self.last_seen_ready = float("-inf")
+
 
 class ClusterIPService:
-    """Round-robin load balancing over the ready pods of a deployment."""
+    """Load balancing over the ready pods of a deployment."""
 
     #: One-way network latency between load generator and serving pod.
     NETWORK_LATENCY_S = 2.5e-4
@@ -40,6 +77,7 @@ class ClusterIPService:
         deployment: ModelDeployment,
         rng: np.random.Generator,
         telemetry: Optional["Telemetry"] = None,
+        routing: Optional[RoutingPolicy] = None,
     ):
         self.simulator = simulator
         self.deployment = deployment
@@ -47,12 +85,20 @@ class ClusterIPService:
         self._round_robin = 0
         self.routed = 0
         self.rejected_no_backend = 0
+        #: Health-aware routing (None = the paper's plain round-robin,
+        #: bit-identical to the pre-routing service).
+        self.routing = routing
+        self.ejections = 0
+        self.probe_recoveries = 0
+        self._pod_states: Dict[str, _PodRoutingState] = {}
+        self._next_span_id = _SERVICE_SPAN_ID_START
         #: Additional one-way latency injected by chaos schedules
         #: (transient degradation of the client→server leg). 0.0 = nominal
         #: and bit-exact: adding 0.0 never changes a latency.
         self.extra_latency_s = 0.0
         #: Optional telemetry handle; None = zero overhead.
         self.telemetry = telemetry
+        self._ejected_counter = None
         if telemetry is not None:
             metrics = telemetry.metrics
             self._routed_counter = metrics.counter(
@@ -69,6 +115,11 @@ class ClusterIPService:
                 unit="pods",
                 help="pods currently in the ClusterIP rotation",
             )
+            if routing is not None and routing.eject_after is not None:
+                self._ejected_counter = metrics.counter(
+                    "pod_ejected_total", unit="ejections",
+                    help="pods ejected from rotation by the outlier breaker",
+                )
 
     def _network_delay(self) -> float:
         return (
@@ -77,38 +128,187 @@ class ClusterIPService:
             + self.extra_latency_s
         )
 
+    # -- routing ------------------------------------------------------------
+
+    def _state(self, pod: Pod) -> _PodRoutingState:
+        state = self._pod_states.get(pod.name)
+        if state is None:
+            state = _PodRoutingState()
+            self._pod_states[pod.name] = state
+        return state
+
+    def _routing_view(self) -> List[Pod]:
+        """The pods the router believes are ready.
+
+        With ``endpoint_lag_s`` set, a pod that dropped out of readiness
+        (crash, scale-down) lingers in the view for that long — the
+        endpoint-propagation window in which real load balancers keep
+        sending traffic into a dead backend. Newly ready pods join
+        immediately (joining late only hurts availability).
+        """
+        now = self.simulator.now
+        lag = self.routing.endpoint_lag_s
+        view: List[Pod] = []
+        for pod in self.deployment.pods:
+            state = self._state(pod)
+            if pod.ready:
+                state.last_seen_ready = now
+                view.append(pod)
+            elif (
+                lag > 0.0
+                and pod.server is not None
+                and now - state.last_seen_ready < lag
+            ):
+                view.append(pod)
+        return view
+
+    def _select_pod(self, view: List[Pod]) -> Pod:
+        """Pick a pod from the routing view per the configured policy.
+
+        Ejection filter first (expired-cooldown pods come back as
+        half-open candidates, one probe at a time), then fail-open when
+        everything is ejected, then the discipline (round-robin cursor or
+        least-outstanding-requests with a stable tie-break).
+        """
+        policy = self.routing
+        now = self.simulator.now
+        candidates: List[Pod] = []
+        if policy.eject_after is not None:
+            for pod in view:
+                state = self._state(pod)
+                if state.ejected_until is not None:
+                    if now < state.ejected_until or state.probing:
+                        continue
+                candidates.append(pod)
+        else:
+            candidates = view
+        if not candidates:
+            # Fail-open (Envoy's max_ejection_percent guardrail): a fully
+            # ejected rotation routes as if the breaker did not exist.
+            candidates = view
+        if policy.discipline == "lor":
+            pod = min(candidates, key=lambda p: self._state(p).in_flight)
+        else:
+            pod = candidates[self._round_robin % len(candidates)]
+        self._round_robin += 1
+        state = self._state(pod)
+        if state.ejected_until is not None and now >= state.ejected_until:
+            state.probing = True  # the half-open probe is this request
+        state.in_flight += 1
+        return pod
+
+    def _observe(self, pod: Pod, response: RecommendationResponse) -> None:
+        """Passive health tracking: digest one response from ``pod``."""
+        policy = self.routing
+        state = self._state(pod)
+        state.in_flight = max(state.in_flight - 1, 0)
+        if policy.eject_after is None:
+            return
+        probe = state.probing
+        state.probing = False
+        if response.status == HTTP_OK:
+            state.consecutive_failures = 0
+            if state.ejected_until is not None:
+                # Half-open probe succeeded: back into the rotation.
+                state.ejected_until = None
+                self.probe_recoveries += 1
+                if self.telemetry is not None:
+                    self._service_span("pod_recovered", pod=pod.name)
+            return
+        if response.status != HTTP_SERVICE_UNAVAILABLE:
+            return
+        state.consecutive_failures += 1
+        if probe or state.consecutive_failures >= policy.eject_after:
+            # A failed half-open probe re-ejects immediately; otherwise
+            # ejection triggers on the consecutive-failure threshold.
+            already_out = (
+                state.ejected_until is not None
+                and self.simulator.now < state.ejected_until
+            )
+            state.ejected_until = self.simulator.now + policy.cooldown_s
+            if not already_out:
+                self.ejections += 1
+                if self.telemetry is not None:
+                    if self._ejected_counter is not None:
+                        self._ejected_counter.inc()
+                    self._service_span(
+                        "pod_ejected",
+                        pod=pod.name,
+                        failures=state.consecutive_failures,
+                        probe=probe,
+                        duration_s=policy.cooldown_s,
+                    )
+
+    def _service_span(self, name: str, **attrs) -> None:
+        duration = attrs.get("duration_s") or 0.0
+        span = self.telemetry.trace.begin(name, self._next_span_id, **attrs)
+        self._next_span_id -= 1
+        span.finish(at=self.simulator.now + duration)
+
+    def pod_ejected(self, pod: Pod) -> bool:
+        """Is ``pod`` currently sitting out an ejection cooldown?"""
+        state = self._pod_states.get(pod.name)
+        return (
+            state is not None
+            and state.ejected_until is not None
+            and self.simulator.now < state.ejected_until
+        )
+
+    # -- request path -------------------------------------------------------
+
     def submit(
         self, request: RecommendationRequest, respond: ResponseCallback
     ) -> None:
-        pods = self.deployment.ready_pods
+        if self.routing is None:
+            pods = self.deployment.ready_pods
+        else:
+            pods = self._routing_view()
         if not pods:
             if not self.deployment.ready_signal.fired:
                 raise RuntimeError(
                     "no ready pods; wait for the deployment's readiness signal"
                 )
-            # All pods down after a failure: the service answers 503.
+            # All pods down after a failure: the service answers 503. The
+            # request still crosses the network both ways ("both
+            # directions are charged"), and the rejection is traced like a
+            # routed request so it shows up in span exports.
             self.rejected_no_backend += 1
             if self.telemetry is not None:
                 self._rejected_counter.inc()
-            self.simulator.call_in(
-                self._network_delay(),
-                lambda: respond(
-                    RecommendationResponse(
-                        request_id=request.request_id,
-                        status=HTTP_SERVICE_UNAVAILABLE,
-                        completed_at=self.simulator.now,
-                        latency_s=self.simulator.now - request.sent_at,
-                    )
-                ),
-            )
+
+            def arrive() -> None:
+                if self.telemetry is not None:
+                    self.telemetry.trace.begin(
+                        "sent", request.request_id, at=request.sent_at,
+                        no_backend=True,
+                    ).finish(at=self.simulator.now)
+                self.simulator.call_in(
+                    self._network_delay(),
+                    lambda: respond(
+                        RecommendationResponse(
+                            request_id=request.request_id,
+                            status=HTTP_SERVICE_UNAVAILABLE,
+                            completed_at=self.simulator.now,
+                            latency_s=self.simulator.now - request.sent_at,
+                        )
+                    ),
+                )
+
+            self.simulator.call_in(self._network_delay(), arrive)
             return
-        pod = pods[self._round_robin % len(pods)]
-        self._round_robin += 1
+        if self.routing is None:
+            pod = pods[self._round_robin % len(pods)]
+            self._round_robin += 1
+        else:
+            pod = self._select_pod(pods)
         self.routed += 1
         if self.telemetry is not None:
             self._routed_counter.inc()
 
         def respond_via_network(response: RecommendationResponse) -> None:
+            if self.routing is not None:
+                self._observe(pod, response)
+
             def deliver() -> None:
                 now = self.simulator.now
                 response.completed_at = now

@@ -26,6 +26,7 @@ from repro.loadgen.generator import LoadGenerator
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.results import LatencySeries, RunResult
 from repro.serving.batching import BatchingConfig
+from repro.serving.profiles import ActixProfile
 from repro.tensor.serialization import save_module_state
 from repro.workload.synthetic import SyntheticWorkloadGenerator
 
@@ -94,12 +95,21 @@ class ExperimentRunner:
         if telemetry is not None:
             telemetry.bind(simulator)
 
+        # Overload protection rides on the server profile; None when no
+        # feature is enabled so the default path stays bit-identical.
+        server_profile = None
+        if spec.admission is not None or spec.fallback is not None:
+            server_profile = ActixProfile(
+                admission=spec.admission, fallback=spec.fallback
+            )
+
         deployment = cluster.deploy_model(
             name=f"{spec.model}-bench",
             instance_type=instance,
             replicas=spec.hardware.replicas,
             artifact_path=artifact,
             service_profile=assets.profile,
+            server_profile=server_profile,
             resident_bytes=assets.resident_bytes,
             score_bytes_per_item=assets.score_bytes_per_item,
             batching=BatchingConfig(),
@@ -122,6 +132,7 @@ class ExperimentRunner:
             service = ClusterIPService(
                 simulator, deployment, streams.stream("network"),
                 telemetry=telemetry,
+                routing=spec.routing,
             )
             generator = LoadGenerator(
                 simulator=simulator,
@@ -135,6 +146,7 @@ class ExperimentRunner:
                 retry_rng=(
                     streams.stream("retry") if spec.retry is not None else None
                 ),
+                slo_deadline_s=spec.slo_deadline_s,
             )
             generator.start()
             if spec.chaos is not None:
@@ -148,6 +160,8 @@ class ExperimentRunner:
                     telemetry=telemetry,
                 )
             state["generator"] = generator
+            state["service"] = service
+            state["deployment"] = deployment
             state["started_at"] = simulator.now
 
         simulator.spawn(coordinator())
@@ -210,6 +224,56 @@ class ExperimentRunner:
                     spec.chaos.spec_string() if spec.chaos is not None else None
                 ),
                 "chaos_events": chaos.fired if chaos is not None else [],
+            }
+        overload_on = (
+            spec.slo_deadline_s is not None
+            or spec.admission is not None
+            or spec.routing is not None
+            or spec.fallback is not None
+        )
+        if overload_on:
+            service = state.get("service")
+            deployment = state.get("deployment")
+            shed_deadline = shed_codel = shed_queue_full = degraded = 0
+            if deployment is not None:
+                # Current pod servers only: a restarted pod starts fresh
+                # counters, so pre-crash sheds are not included here.
+                for pod in deployment.pods:
+                    server = pod.server
+                    if server is None:
+                        continue
+                    shed_deadline += server.shed_deadline
+                    shed_codel += server.shed_codel
+                    shed_queue_full += server.shed_queue_full
+                    degraded += server.degraded_served
+            result.overload = {
+                "slo_deadline_s": spec.slo_deadline_s,
+                "admission": (
+                    spec.admission.spec_string()
+                    if spec.admission is not None
+                    else None
+                ),
+                "routing": (
+                    spec.routing.spec_string()
+                    if spec.routing is not None
+                    else None
+                ),
+                "fallback": (
+                    spec.fallback.spec_string()
+                    if spec.fallback is not None
+                    else None
+                ),
+                "shed_deadline": shed_deadline,
+                "shed_codel": shed_codel,
+                "shed_queue_full": shed_queue_full,
+                "degraded_served": degraded,
+                "degraded_fraction": collector.degraded_fraction,
+                "ejections": service.ejections if service is not None else 0,
+                "probe_recoveries": (
+                    service.probe_recoveries if service is not None else 0
+                ),
+                "p90_full_ms": collector.percentile_full_ms(90),
+                "p90_degraded_ms": collector.percentile_degraded_ms(90),
             }
         if telemetry is not None:
             from repro.obs.export import stage_breakdown

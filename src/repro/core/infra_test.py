@@ -22,7 +22,10 @@ from repro.loadgen.retry import RetryPolicy
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.results import LatencySeries
 from repro.serving.actix import EtudeInferenceServer
+from repro.serving.admission import AdmissionPolicy
 from repro.serving.batching import BatchingConfig
+from repro.serving.fallback import FallbackConfig
+from repro.serving.profiles import ActixProfile
 from repro.serving.torchserve import TorchServeServer
 from repro.simulation import RandomStreams, Simulator
 from repro.workload.statistics import WorkloadStatistics
@@ -63,6 +66,9 @@ class InfraTestResult:
     retries: int = 0
     hedges: int = 0
     chaos_events: List[Dict] = field(default_factory=list)
+    #: Overload-protection tallies, present when the run had an SLO
+    #: deadline, admission control or a fallback tier configured.
+    overload: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:
@@ -78,6 +84,9 @@ def run_infra_test(
     telemetry: Optional["Telemetry"] = None,
     retry_policy: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosSchedule] = None,
+    slo_deadline_s: Optional[float] = None,
+    admission: Optional[AdmissionPolicy] = None,
+    fallback: Optional[FallbackConfig] = None,
 ) -> InfraTestResult:
     """Run the no-inference serving test with one of the two stacks.
 
@@ -85,12 +94,19 @@ def run_infra_test(
     Actix stack is instrumented (see ``docs/observability.md``).
     ``retry_policy`` enables client retries/hedging; ``chaos`` injects
     faults against the single bare server (crashes recover in place).
+    ``slo_deadline_s`` stamps each request with a deadline; ``admission``
+    and ``fallback`` configure the Actix server's overload protection
+    (see ``docs/overload.md``).
     """
     if server_kind not in ("torchserve", "actix"):
         raise ValueError("server_kind must be 'torchserve' or 'actix'")
     if chaos is not None and server_kind != "actix":
         raise ValueError(
             "chaos injection needs the actix server's crash/slowdown hooks"
+        )
+    if (admission is not None or fallback is not None) and server_kind != "actix":
+        raise ValueError(
+            "admission control / fallback are Actix-server features"
         )
     registry = registry or GLOBAL_REGISTRY
     assets = registry.assets("noop", 1, INFRA_TEST_DEVICE, "eager", top_k=1)
@@ -108,11 +124,15 @@ def run_infra_test(
             vcpus=2.0,
         )
     else:
+        server_profile = None
+        if admission is not None or fallback is not None:
+            server_profile = ActixProfile(admission=admission, fallback=fallback)
         server = EtudeInferenceServer(
             simulator=simulator,
             device=INFRA_TEST_DEVICE,
             service_profile=assets.profile,
             rng=streams.stream("actix"),
+            profile=server_profile,
             batching=BatchingConfig(max_batch_size=1, max_delay_s=0.0),
             telemetry=telemetry,
         )
@@ -134,6 +154,7 @@ def run_infra_test(
         retry_rng=(
             streams.stream("retry") if retry_policy is not None else None
         ),
+        slo_deadline_s=slo_deadline_s,
     )
     generator.start()
     controller = None
@@ -142,6 +163,25 @@ def run_infra_test(
             simulator, servers=[server], telemetry=telemetry
         )
     simulator.run()
+
+    overload = None
+    if slo_deadline_s is not None or admission is not None or fallback is not None:
+        overload = {
+            "slo_deadline_s": slo_deadline_s,
+            "admission": (
+                admission.spec_string() if admission is not None else None
+            ),
+            "fallback": (
+                fallback.spec_string() if fallback is not None else None
+            ),
+            "shed_deadline": getattr(server, "shed_deadline", 0),
+            "shed_codel": getattr(server, "shed_codel", 0),
+            "shed_queue_full": getattr(server, "shed_queue_full", 0),
+            "degraded_served": getattr(server, "degraded_served", 0),
+            "degraded_fraction": collector.degraded_fraction,
+            "p90_full_ms": collector.percentile_full_ms(90),
+            "p90_degraded_ms": collector.percentile_degraded_ms(90),
+        }
 
     return InfraTestResult(
         server=server_kind,
@@ -157,4 +197,5 @@ def run_infra_test(
         retries=generator.retries,
         hedges=generator.hedges,
         chaos_events=controller.fired if controller is not None else [],
+        overload=overload,
     )

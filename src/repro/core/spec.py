@@ -12,7 +12,10 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple, Union
 
 from repro.cluster.chaos import ChaosSchedule
+from repro.cluster.routing import RoutingPolicy
 from repro.loadgen.retry import RetryPolicy
+from repro.serving.admission import AdmissionPolicy
+from repro.serving.fallback import FallbackConfig
 from repro.workload.statistics import WorkloadStatistics
 
 
@@ -59,6 +62,23 @@ class ExperimentSpec:
     #: Accepts a :class:`~repro.cluster.chaos.ChaosSchedule` or its compact
     #: spec string (``"crash@60:restart=20"``).
     chaos: Optional[Union[ChaosSchedule, str]] = None
+    #: Per-request latency SLO in seconds; the load generator stamps each
+    #: request with ``sent_at + slo_deadline_s`` so admission control can
+    #: shed doomed work. None = no deadlines (the paper's behaviour).
+    slo_deadline_s: Optional[float] = None
+    #: Deadline-aware admission control on the Actix server (None = queue
+    #: without shedding). Accepts an
+    #: :class:`~repro.serving.admission.AdmissionPolicy` or its compact spec
+    #: string (``"codel,slack=0.01"``; ``""`` = FIFO defaults).
+    admission: Optional[Union[AdmissionPolicy, str]] = None
+    #: Health-aware service routing (None = the paper's plain round-robin).
+    #: Accepts a :class:`~repro.cluster.routing.RoutingPolicy` or its
+    #: compact spec string (``"lor,eject=3"``; ``""`` = plain round-robin).
+    routing: Optional[Union[RoutingPolicy, str]] = None
+    #: Graceful-degradation tier (None = sheds surface as 503s). Accepts a
+    #: :class:`~repro.serving.fallback.FallbackConfig` or its compact spec
+    #: string (``"budget=0.002,topk=21"``; ``""`` = defaults).
+    fallback: Optional[Union[FallbackConfig, str]] = None
 
     def __post_init__(self):
         if self.execution not in ("jit", "eager", "onnx"):
@@ -69,6 +89,14 @@ class ExperimentSpec:
             object.__setattr__(self, "retry", RetryPolicy.parse(self.retry))
         if isinstance(self.chaos, str):
             object.__setattr__(self, "chaos", ChaosSchedule.parse(self.chaos))
+        if self.slo_deadline_s is not None and self.slo_deadline_s <= 0:
+            raise ValueError("slo_deadline_s must be positive")
+        if isinstance(self.admission, str):
+            object.__setattr__(self, "admission", AdmissionPolicy.parse(self.admission))
+        if isinstance(self.routing, str):
+            object.__setattr__(self, "routing", RoutingPolicy.parse(self.routing))
+        if isinstance(self.fallback, str):
+            object.__setattr__(self, "fallback", FallbackConfig.parse(self.fallback))
 
     def workload_statistics(self) -> WorkloadStatistics:
         """The provided statistics, or the bol.com-like defaults."""

@@ -43,6 +43,10 @@ _KNOWN_KEYS = {
     "slo",
     "retry",
     "chaos",
+    "slo_deadline_s",
+    "admission",
+    "routing",
+    "fallback",
 }
 
 
@@ -92,6 +96,12 @@ def spec_from_dict(raw: Dict[str, Any]) -> Tuple[ExperimentSpec, SLO]:
         seed=int(raw.get("seed", 1234)),
         retry=raw.get("retry"),
         chaos=raw.get("chaos"),
+        slo_deadline_s=(
+            float(raw["slo_deadline_s"]) if "slo_deadline_s" in raw else None
+        ),
+        admission=raw.get("admission"),
+        routing=raw.get("routing"),
+        fallback=raw.get("fallback"),
     )
     return spec, slo
 
@@ -127,6 +137,14 @@ def spec_to_dict(spec: ExperimentSpec, slo: SLO = SLO()) -> Dict[str, Any]:
         document["retry"] = spec.retry.spec_string()
     if spec.chaos is not None:
         document["chaos"] = spec.chaos.spec_string()
+    if spec.slo_deadline_s is not None:
+        document["slo_deadline_s"] = spec.slo_deadline_s
+    if spec.admission is not None:
+        document["admission"] = spec.admission.spec_string()
+    if spec.routing is not None:
+        document["routing"] = spec.routing.spec_string()
+    if spec.fallback is not None:
+        document["fallback"] = spec.fallback.spec_string()
     if spec.workload is not None:
         document["workload"] = {
             "catalog_size": spec.workload.catalog_size,

@@ -55,6 +55,7 @@ class LoadGenerator:
         telemetry: Optional["Telemetry"] = None,
         retry_policy: Optional[RetryPolicy] = None,
         retry_rng: Optional[np.random.Generator] = None,
+        slo_deadline_s: Optional[float] = None,
     ):
         self.simulator = simulator
         self.submit = submit
@@ -77,6 +78,11 @@ class LoadGenerator:
         #: actually fires, so a failure-free run stays bit-identical.
         self.retry_policy = retry_policy
         self.retry_rng = retry_rng
+        #: Per-request SLO: each request is stamped with an absolute
+        #: ``deadline_s = sent_at + slo_deadline_s`` so deadline-aware
+        #: admission control downstream can shed doomed work. ``None`` =
+        #: no deadline stamped (the paper's client).
+        self.slo_deadline_s = slo_deadline_s
         self.pending = 0
         self.sent = 0
         self.backpressure_stalls = 0
@@ -135,6 +141,11 @@ class LoadGenerator:
             session_id=session_id,
             session_items=prefix,
             sent_at=self.simulator.now,
+            deadline_s=(
+                None
+                if self.slo_deadline_s is None
+                else self.simulator.now + self.slo_deadline_s
+            ),
         )
         self._next_request_id += 1
         self.pending += 1
@@ -292,6 +303,8 @@ class LoadGenerator:
             session_id=request.session_id,
             session_items=request.session_items,
             sent_at=request.sent_at,
+            # The hedge races the original under the same SLO clock.
+            deadline_s=request.deadline_s,
         )
         self._next_request_id += 1
         if self.telemetry is not None:

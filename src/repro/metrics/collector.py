@@ -54,6 +54,13 @@ class MetricsCollector:
         self.inference = LatencyDigest()
         self.ok = 0
         self.errors = 0
+        #: Quality split of the OK responses: full-quality model answers vs
+        #: degraded fallback answers (``response.degraded``). ``ok`` is the
+        #: sum of both; without a fallback tier ``degraded`` stays 0 and
+        #: ``full_overall`` mirrors ``overall``.
+        self.degraded = 0
+        self.full_overall = LatencyDigest()
+        self.degraded_overall = LatencyDigest()
         self.first_sent_at: Optional[float] = None
         self.last_completed_at: float = 0.0
         self.last_ok_completed_at: float = 0.0
@@ -80,6 +87,11 @@ class MetricsCollector:
             bucket.batch_sizes.append(response.batch_size)
             self.ok += 1
             self.overall.record(response.latency_s)
+            if response.degraded:
+                self.degraded += 1
+                self.degraded_overall.record(response.latency_s)
+            else:
+                self.full_overall.record(response.latency_s)
             if response.inference_s > 0:
                 self.inference.record(response.inference_s)
         else:
@@ -97,6 +109,23 @@ class MetricsCollector:
 
     def percentile_ms(self, q: float) -> float:
         return self.overall.percentile(q) * 1000.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of OK responses answered by the degraded fallback tier."""
+        return self.degraded / self.ok if self.ok else 0.0
+
+    def percentile_full_ms(self, q: float) -> Optional[float]:
+        """Latency percentile of full-quality 200s (None if there were none)."""
+        if len(self.full_overall) == 0:
+            return None
+        return self.full_overall.percentile(q) * 1000.0
+
+    def percentile_degraded_ms(self, q: float) -> Optional[float]:
+        """Latency percentile of degraded 200s (None if there were none)."""
+        if len(self.degraded_overall) == 0:
+            return None
+        return self.degraded_overall.percentile(q) * 1000.0
 
     def achieved_throughput(self) -> float:
         """Successful responses per second over the *successful* window.

@@ -88,6 +88,10 @@ class RunResult:
     #: Retry/hedge tallies and the fired chaos events, present when the
     #: run had a retry policy or a chaos schedule configured.
     resilience: Optional[Dict] = None
+    #: Overload-protection tallies (sheds, degraded-tier traffic, pod
+    #: ejections, p90 split by quality tier), present when the run had an
+    #: SLO deadline, admission control, routing policy or fallback tier.
+    overload: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

@@ -26,16 +26,21 @@ from repro.serving.profiles import ActixProfile, TorchServeProfile
 from repro.serving.batching import BatchingConfig
 from repro.serving.access_log import AccessLog, AccessRecord
 from repro.serving.actix import EtudeInferenceServer
+from repro.serving.admission import AdmissionPolicy
+from repro.serving.fallback import FallbackConfig, PopularityFallback
 from repro.serving.torchserve import TorchServeServer
 
 __all__ = [
     "AccessLog",
     "AccessRecord",
+    "AdmissionPolicy",
     "RecommendationRequest",
     "RecommendationResponse",
     "HTTP_OK",
     "HTTP_SERVICE_UNAVAILABLE",
     "ActixProfile",
+    "FallbackConfig",
+    "PopularityFallback",
     "TorchServeProfile",
     "BatchingConfig",
     "EtudeInferenceServer",

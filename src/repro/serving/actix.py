@@ -10,9 +10,17 @@ Serving semantics reproduced from the paper's implementation:
   requests / 2 ms linger) into a single device executor;
 - the pure inference duration is reported back on each response (the
   HTTP-header metric of the paper);
-- no internal timeout: under overload, latency grows and the *load
-  generator's* backpressure logic reacts — which is exactly the behaviour
-  ETUDE was designed to observe.
+- no internal timeout *by default*: under overload, latency grows and the
+  *load generator's* backpressure logic reacts — which is exactly the
+  behaviour ETUDE was designed to observe.
+
+Beyond the paper (all default-off, see ``docs/overload.md``): the server
+profile may carry an :class:`~repro.serving.admission.AdmissionPolicy`
+(deadline-aware shedding with pluggable queue disciplines — doomed work
+never occupies a worker or a GPU batch slot) and a
+:class:`~repro.serving.fallback.FallbackConfig` (shed requests answer as
+fast quality-degraded 200s instead of 503s). With both absent every code
+path is bit-identical to the paper-faithful server.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.hardware.device import DeviceModel
 from repro.hardware.latency_model import ServiceTimeProfile
 from repro.serving.access_log import AccessLog, AccessRecord
 from repro.serving.batching import BatchingConfig
+from repro.serving.fallback import PopularityFallback
 from repro.serving.profiles import ActixProfile
 from repro.serving.request import (
     HTTP_OK,
@@ -78,6 +87,24 @@ class EtudeInferenceServer:
         self._batch_counter = 0
         #: Open ``queued`` spans by request id (tracing only).
         self._queued_spans: Dict[int, "Span"] = {}
+        #: Overload protection (both default-off; see docs/overload.md).
+        self.admission = self.profile.admission
+        self._codel = (
+            self.admission.make_state() if self.admission is not None else None
+        )
+        self._fallback_model = (
+            PopularityFallback.from_config(self.profile.fallback)
+            if self.profile.fallback is not None
+            else None
+        )
+        #: Admission-shed tallies by reason (work that never executed).
+        self.shed_deadline = 0
+        self.shed_codel = 0
+        self.shed_queue_full = 0
+        #: Degraded 200s served by the fallback tier.
+        self.degraded_served = 0
+        self._shed_counters: Dict[str, object] = {}
+        self._fallback_counter = None
         if telemetry is not None:
             labels = {"server": name}
             metrics = telemetry.metrics
@@ -132,11 +159,22 @@ class EtudeInferenceServer:
         self, request: RecommendationRequest, respond: ResponseCallback
     ) -> None:
         """Accept a request (called at its arrival time)."""
-        if not self.healthy or len(self._queue) >= self.profile.max_queue_depth:
+        if not self.healthy:
+            # Crashed pod: the connection is refused — no Actix handling
+            # runs, so the rejection is free (unlike live sheds below).
             self.rejected += 1
             if self.telemetry is not None:
                 self._rejected_counter.inc()
             self._fail(request, respond)
+            return
+        if self.admission is not None and not self.admission.viable(
+            request.deadline_s, self.simulator.now
+        ):
+            # Doomed on arrival: shed before it occupies a queue slot.
+            self._shed(request, respond, reason="deadline")
+            return
+        if len(self._queue) >= self.profile.max_queue_depth:
+            self._shed(request, respond, reason="queue_full")
             return
         if self.telemetry is not None:
             trace = self.telemetry.trace
@@ -155,8 +193,24 @@ class EtudeInferenceServer:
             self._linger_wake.fire()
 
     def _fail(
-        self, request: RecommendationRequest, respond: ResponseCallback
+        self,
+        request: RecommendationRequest,
+        respond: ResponseCallback,
+        charge_overhead: bool = False,
     ) -> None:
+        """Deliver a 503.
+
+        ``charge_overhead`` is set on *live* rejections (queue full,
+        admission shed): a real Actix server still pays request handling
+        to produce the 503, so the response arrives an ``_http_overhead()``
+        later. Crash-path 503s (dead server, drained queue) stay free —
+        those model severed connections, not handled requests.
+        """
+        if charge_overhead:
+            self.simulator.call_in(
+                self._http_overhead(), lambda: self._fail(request, respond)
+            )
+            return
         now = self.simulator.now
         respond(
             RecommendationResponse(
@@ -166,6 +220,128 @@ class EtudeInferenceServer:
                 latency_s=now - request.sent_at,
             )
         )
+
+    # -- overload protection (all default-off) ------------------------------
+
+    def _shed(
+        self,
+        request: RecommendationRequest,
+        respond: ResponseCallback,
+        reason: str,
+        queue_s: float = 0.0,
+    ) -> None:
+        """Drop one unit of work without executing it.
+
+        With a fallback tier configured the shed converts into a fast
+        degraded 200; otherwise it is a 503 that (unlike a crash) still
+        pays the server's HTTP handling overhead.
+        """
+        if reason == "deadline":
+            self.shed_deadline += 1
+        elif reason == "codel":
+            self.shed_codel += 1
+        else:
+            self.shed_queue_full += 1
+        if self.telemetry is not None:
+            counter = self._shed_counters.get(reason)
+            if counter is None:
+                counter = self.telemetry.metrics.counter(
+                    "admission_shed_total", unit="requests",
+                    labels={"server": self.name, "reason": reason},
+                    help="requests shed by overload protection, by reason",
+                )
+                self._shed_counters[reason] = counter
+            counter.inc()
+            span = self._queued_spans.pop(request.request_id, None)
+            if span is not None:
+                span.finish(shed=reason)
+        if self._fallback_model is not None:
+            self._serve_degraded(request, respond, reason, queue_s=queue_s)
+            return
+        self.rejected += 1
+        if self.telemetry is not None:
+            self._rejected_counter.inc()
+        self._fail(request, respond, charge_overhead=True)
+
+    def _serve_degraded(
+        self,
+        request: RecommendationRequest,
+        respond: ResponseCallback,
+        reason: str,
+        queue_s: float = 0.0,
+    ) -> None:
+        """Answer from the fallback tier within its fixed budget."""
+        self.degraded_served += 1
+        tier = self._fallback_model
+        budget = self.profile.fallback.budget_s
+        if self.telemetry is not None:
+            if self._fallback_counter is None:
+                self._fallback_counter = self.telemetry.metrics.counter(
+                    "fallback_served_total", unit="requests",
+                    labels={"server": self.name},
+                    help="degraded 200s answered by the fallback tier",
+                )
+            self._fallback_counter.inc()
+            now = self.simulator.now
+            self.telemetry.trace.begin(
+                "fallback_served", request.request_id, at=now, reason=reason
+            ).finish(at=now + budget)
+        items = tier.recommend(request.session_items)
+
+        def deliver() -> None:
+            if not self.healthy:
+                self._fail(request, respond)
+                return
+            now = self.simulator.now
+            respond(
+                RecommendationResponse(
+                    request_id=request.request_id,
+                    status=HTTP_OK,
+                    completed_at=now,
+                    latency_s=now - request.sent_at,
+                    inference_s=0.0,
+                    queue_s=queue_s,
+                    batch_size=1,
+                    items=items,
+                    degraded=True,
+                )
+            )
+            self.completed += 1
+            if self.telemetry is not None:
+                self._completed_counter.inc()
+
+        self.simulator.call_in(budget, deliver)
+
+    def _next_viable(
+        self,
+    ) -> Optional[Tuple[RecommendationRequest, ResponseCallback, float]]:
+        """Pop queue entries per the admission discipline, shedding the
+        non-viable ones, until a still-viable entry (or None) surfaces.
+
+        Only called when an admission policy is configured — the default
+        dequeue path stays the plain ``popleft`` of the paper's server.
+        """
+        policy = self.admission
+        while self._queue:
+            entry = policy.pop(self._queue)
+            request, respond, arrival = entry
+            now = self.simulator.now
+            if not policy.viable(request.deadline_s, now):
+                self._shed(
+                    request, respond, reason="deadline", queue_s=now - arrival
+                )
+                continue
+            if policy.codel_should_shed(self._codel, now - arrival, now):
+                self._shed(
+                    request, respond, reason="codel", queue_s=now - arrival
+                )
+                continue
+            return entry
+        return None
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_deadline + self.shed_codel + self.shed_queue_full
 
     def crash(self) -> None:
         """Simulated pod crash: stop accepting, fail everything queued.
@@ -272,7 +448,13 @@ class EtudeInferenceServer:
             if not self._queue:
                 yield self._wait_for_work()
                 continue
-            request, respond, arrival = self._queue.popleft()
+            if self.admission is None:
+                request, respond, arrival = self._queue.popleft()
+            else:
+                entry = self._next_viable()
+                if entry is None:
+                    continue  # everything queued was doomed and got shed
+                request, respond, arrival = entry
             started = self.simulator.now
             queue_s = started - arrival
             if self.telemetry is not None:
@@ -347,7 +529,20 @@ class EtudeInferenceServer:
             take = min(len(self._queue), max_batch)
             if take == 0:
                 continue
-            batch = [self._queue.popleft() for _ in range(take)]
+            if self.admission is None:
+                batch = [self._queue.popleft() for _ in range(take)]
+            else:
+                # Assemble the batch from still-viable requests only:
+                # doomed work must not occupy a GPU batch slot.
+                batch = []
+                while self._queue and len(batch) < max_batch:
+                    entry = self._next_viable()
+                    if entry is None:
+                        break
+                    batch.append(entry)
+                if not batch:
+                    continue
+                take = len(batch)
             started = self.simulator.now
             batch_time = self._gpu_batch_time(take)
             yield batch_time

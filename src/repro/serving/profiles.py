@@ -18,6 +18,10 @@ and IPC costs in the low milliseconds).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.serving.admission import AdmissionPolicy
+from repro.serving.fallback import FallbackConfig
 
 
 @dataclass(frozen=True)
@@ -30,6 +34,12 @@ class ActixProfile:
     jitter_sigma: float = 0.35
     #: Pending requests the server will hold before shedding load.
     max_queue_depth: int = 20_000
+    #: Deadline-aware admission control (None = the paper's behaviour:
+    #: queue without limit, never shed viable work).
+    admission: Optional[AdmissionPolicy] = None
+    #: Graceful-degradation tier (None = shed as 503, the paper's
+    #: behaviour; configured = sheds answer as fast degraded 200s).
+    fallback: Optional[FallbackConfig] = None
 
 
 @dataclass(frozen=True)

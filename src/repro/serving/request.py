@@ -25,6 +25,10 @@ class RecommendationRequest:
     session_id: int
     session_items: np.ndarray
     sent_at: float
+    #: Absolute virtual time by which the response must arrive (stamped by
+    #: the load generator from the run's SLO deadline; None = no deadline,
+    #: the paper's behaviour). Admission control sheds work past it.
+    deadline_s: Optional[float] = None
 
     @property
     def session_length(self) -> int:
@@ -50,6 +54,9 @@ class RecommendationResponse:
     queue_s: float = 0.0
     batch_size: int = 1
     items: Optional[np.ndarray] = None
+    #: True when the fallback tier answered (popularity top-k instead of
+    #: the session-aware model) — a 200, but quality-degraded.
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
