@@ -36,7 +36,7 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 .PHONY: test
-test: docs-check bench-smoke overload-smoke
+test: docs-check bench-smoke overload-smoke cache-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tiny deterministic overload run: deadline admission + fallback tier must
@@ -44,6 +44,12 @@ test: docs-check bench-smoke overload-smoke
 .PHONY: overload-smoke
 overload-smoke:
 	$(PYTHON) tools/overload_smoke.py
+
+# Tiny deterministic cache run against a real model: the cache-on run must
+# hit, and every response must match the cache-off run's recommendations.
+.PHONY: cache-smoke
+cache-smoke:
+	$(PYTHON) tools/cache_smoke.py
 
 .PHONY: benchmarks
 benchmarks:

@@ -1,0 +1,38 @@
+"""Serving-side recommendation caching (opt-in, default-off).
+
+Session-prefix result caching with pluggable eviction, an optional shared
+remote tier, and request coalescing (singleflight). See
+``docs/caching.md`` for the architecture and the ``--cache`` flag
+grammar. Disabled (the default), the serving stack is bit-identical to a
+build without this package.
+"""
+
+from repro.cache.keys import CacheKey, SessionKeyer, prefix_tuple
+from repro.cache.planning import estimate_hit_rate
+from repro.cache.policy import (
+    MISSING,
+    EvictionPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    POLICIES,
+    SegmentedPolicy,
+    make_policy,
+)
+from repro.cache.tier import CacheConfig, RecommendationCache, RemoteCacheTier
+
+__all__ = [
+    "CacheKey",
+    "SessionKeyer",
+    "prefix_tuple",
+    "MISSING",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "SegmentedPolicy",
+    "POLICIES",
+    "make_policy",
+    "CacheConfig",
+    "RecommendationCache",
+    "RemoteCacheTier",
+    "estimate_hit_rate",
+]

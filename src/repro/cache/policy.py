@@ -1,0 +1,297 @@
+"""Pluggable eviction policies for the recommendation cache.
+
+Each policy is a complete bounded key-value store: it owns the mapping,
+the recency/frequency bookkeeping, and the TTL stamps. All time comes in
+through the ``now`` argument of ``get``/``put`` — the policies never read
+a wall clock, so they compose with the discrete-event simulator's virtual
+clock and stay deterministic.
+
+Three families, matching what production recommendation stacks deploy:
+
+- ``lru`` — classic least-recently-used, the safe default.
+- ``lfu`` — least-frequently-used with O(1) frequency buckets and LRU
+  tie-breaking inside a bucket; better for heavy-tailed popularity where
+  a small hot set should survive scan-like churn.
+- ``segmented`` — an S3-FIFO-style design (small probation FIFO + main
+  FIFO + ghost history). One-hit-wonder keys wash out of the small
+  segment without ever displacing the protected main segment, which is
+  exactly the shape of a power-law session-prefix stream.
+
+TTL expiry is lazy: an expired entry is dropped when a ``get`` touches it
+(or when eviction reaches it), which is how real in-process caches behave
+and avoids scheduling a simulator event per entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+class _Missing:
+    """Sentinel distinguishing 'no entry' from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MISSING"
+
+
+MISSING = _Missing()
+
+
+class EvictionPolicy:
+    """Base class: a bounded, TTL-aware mapping driven by virtual time."""
+
+    name = "base"
+
+    def __init__(self, capacity: int, ttl_s: Optional[float] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None for no TTL)")
+        self.capacity = int(capacity)
+        self.ttl_s = ttl_s
+        self.evictions = 0
+        self.expirations = 0
+
+    # -- subclass surface -------------------------------------------------
+    def get(self, key: Hashable, now: float) -> Any:
+        raise NotImplementedError
+
+    def put(self, key: Hashable, value: Any, now: float) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+    def _expired(self, stamp: float, now: float) -> bool:
+        return self.ttl_s is not None and (now - stamp) >= self.ttl_s
+
+
+class LRUPolicy(EvictionPolicy):
+    """Least-recently-used over an ordered dict; O(1) per operation."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int, ttl_s: Optional[float] = None):
+        super().__init__(capacity, ttl_s)
+        self._entries: "OrderedDict[Hashable, Tuple[Any, float]]" = OrderedDict()
+
+    def get(self, key: Hashable, now: float) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            return MISSING
+        value, stamp = entry
+        if self._expired(stamp, now):
+            del self._entries[key]
+            self.expirations += 1
+            return MISSING
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any, now: float) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (value, now)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LFUPolicy(EvictionPolicy):
+    """Least-frequently-used with O(1) frequency buckets.
+
+    ``_buckets[f]`` holds the keys currently at frequency ``f`` in LRU
+    order, so eviction pops the least-recent key of the minimum frequency
+    without scanning. A re-``put`` of a live key keeps its frequency (the
+    value is refreshed, the popularity signal is not reset).
+    """
+
+    name = "lfu"
+
+    def __init__(self, capacity: int, ttl_s: Optional[float] = None):
+        super().__init__(capacity, ttl_s)
+        self._entries: Dict[Hashable, Tuple[Any, float, int]] = {}
+        self._buckets: Dict[int, "OrderedDict[Hashable, None]"] = {}
+        self._min_freq = 0
+
+    def _bucket_remove(self, key: Hashable, freq: int) -> None:
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = min(self._buckets) if self._buckets else 0
+
+    def _bucket_add(self, key: Hashable, freq: int) -> None:
+        self._buckets.setdefault(freq, OrderedDict())[key] = None
+        if self._min_freq == 0 or freq < self._min_freq:
+            self._min_freq = freq
+
+    def get(self, key: Hashable, now: float) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            return MISSING
+        value, stamp, freq = entry
+        if self._expired(stamp, now):
+            self._bucket_remove(key, freq)
+            del self._entries[key]
+            self.expirations += 1
+            return MISSING
+        self._bucket_remove(key, freq)
+        self._bucket_add(key, freq + 1)
+        self._entries[key] = (value, stamp, freq + 1)
+        return value
+
+    def put(self, key: Hashable, value: Any, now: float) -> None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            _, _, freq = entry
+            self._entries[key] = (value, now, freq)
+            return
+        while len(self._entries) >= self.capacity:
+            victim_bucket = self._buckets[self._min_freq]
+            victim, _ = victim_bucket.popitem(last=False)
+            if not victim_bucket:
+                del self._buckets[self._min_freq]
+                self._min_freq = min(self._buckets) if self._buckets else 0
+            del self._entries[victim]
+            self.evictions += 1
+        self._entries[key] = (value, now, 1)
+        self._bucket_add(key, 1)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SegmentedPolicy(EvictionPolicy):
+    """S3-FIFO-style segmented eviction.
+
+    New keys enter a small probation FIFO (~10% of capacity). Keys
+    accessed while probationary are promoted to the main FIFO on
+    eviction; untouched one-hit wonders fall out, leaving only their key
+    in a bounded ghost history. A re-inserted ghost key goes straight to
+    main — the second miss proves it recurs. Main evicts FIFO with one
+    second-chance round per access bit.
+    """
+
+    name = "segmented"
+
+    _MAX_FREQ = 3
+
+    def __init__(self, capacity: int, ttl_s: Optional[float] = None):
+        super().__init__(capacity, ttl_s)
+        self.small_capacity = max(1, capacity // 10)
+        self.main_capacity = max(1, capacity - self.small_capacity)
+        # key -> [value, stamp, freq]; segment membership via the FIFOs.
+        self._entries: Dict[Hashable, list] = {}
+        self._small: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._main: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._ghost: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def get(self, key: Hashable, now: float) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            return MISSING
+        value, stamp, freq = entry
+        if self._expired(stamp, now):
+            self._drop(key)
+            self.expirations += 1
+            return MISSING
+        entry[2] = min(freq + 1, self._MAX_FREQ)
+        return value
+
+    def put(self, key: Hashable, value: Any, now: float) -> None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry[0] = value
+            entry[1] = now
+            return
+        if key in self._ghost:
+            del self._ghost[key]
+            self._insert_main(key)
+        else:
+            self._small[key] = None
+        self._entries[key] = [value, now, 0]
+        while len(self._small) > self.small_capacity:
+            self._evict_small()
+        while len(self._entries) > self.capacity:
+            if self._main:
+                self._evict_main()
+            else:
+                self._evict_small()
+
+    def _insert_main(self, key: Hashable) -> None:
+        self._main[key] = None
+        while len(self._main) > self.main_capacity:
+            self._evict_main()
+
+    def _evict_small(self) -> None:
+        key, _ = self._small.popitem(last=False)
+        if self._entries[key][2] > 0:
+            self._entries[key][2] = 0
+            self._insert_main(key)
+            return
+        del self._entries[key]
+        self.evictions += 1
+        self._ghost[key] = None
+        while len(self._ghost) > self.capacity:
+            self._ghost.popitem(last=False)
+
+    def _evict_main(self) -> None:
+        while True:
+            key, _ = self._main.popitem(last=False)
+            entry = self._entries[key]
+            if entry[2] > 0:
+                entry[2] -= 1
+                self._main[key] = None  # second chance: back of the FIFO
+                continue
+            del self._entries[key]
+            self.evictions += 1
+            return
+
+    def _drop(self, key: Hashable) -> None:
+        del self._entries[key]
+        if key in self._small:
+            del self._small[key]
+        elif key in self._main:
+            del self._main[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+POLICIES = ("lru", "lfu", "segmented")
+
+_POLICY_CLASSES = {
+    LRUPolicy.name: LRUPolicy,
+    LFUPolicy.name: LFUPolicy,
+    SegmentedPolicy.name: SegmentedPolicy,
+}
+
+
+def make_policy(name: str, capacity: int, ttl_s: Optional[float] = None) -> EvictionPolicy:
+    """Instantiate an eviction policy by name (see ``POLICIES``)."""
+    try:
+        cls = _POLICY_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache policy {name!r}; choose from {', '.join(POLICIES)}"
+        ) from None
+    return cls(capacity, ttl_s)
+
+
+__all__ = [
+    "MISSING",
+    "EvictionPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "SegmentedPolicy",
+    "POLICIES",
+    "make_policy",
+]

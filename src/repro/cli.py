@@ -49,6 +49,7 @@ def _add_infra_command(subparsers) -> None:
     _add_trace_flags(parser)
     _add_resilience_flags(parser)
     _add_overload_flags(parser, routing=False)
+    _add_cache_flag(parser)
 
 
 def _add_micro_command(subparsers) -> None:
@@ -79,6 +80,7 @@ def _add_run_command(subparsers) -> None:
     _add_trace_flags(parser)
     _add_resilience_flags(parser)
     _add_overload_flags(parser, routing=True)
+    _add_cache_flag(parser)
 
 
 def _add_plan_command(subparsers) -> None:
@@ -95,6 +97,7 @@ def _add_plan_command(subparsers) -> None:
     parser.add_argument("--p90-limit", type=float, default=50.0)
     parser.add_argument("--duration", type=float, default=90.0)
     parser.add_argument("--max-replicas", type=int, default=8)
+    _add_cache_flag(parser)
 
 
 def _add_compare_command(subparsers) -> None:
@@ -200,6 +203,45 @@ def _add_overload_flags(parser, routing: bool) -> None:
             "'lor,eject=3,cooldown=15,lag=2' "
             "(disciplines: rr, lor; eject enables the circuit breaker)",
         )
+
+
+def _add_cache_flag(parser) -> None:
+    parser.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="SPEC",
+        help="session-prefix result cache on the Actix server; SPEC like "
+        "'lfu,capacity=8192,window=4,ttl=30,remote=65536,rttl=300' "
+        "(policies: lru, lfu, segmented; bare --cache = LRU defaults)",
+    )
+
+
+def _parse_cache(args):
+    """CacheConfig | None from the --cache flag."""
+    from repro.cache.tier import CacheConfig
+
+    if getattr(args, "cache", None) is None:
+        return None
+    try:
+        return CacheConfig.parse(args.cache)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _render_cache(cache: dict) -> str:
+    """The one-line cache summary shared by run and infra-test."""
+    p90_hit = cache.get("p90_hit_ms")
+    p90_miss = cache.get("p90_miss_ms")
+    split = ""
+    if p90_hit is not None and p90_miss is not None:
+        split = f", p90 hit/miss={p90_hit:.2f}/{p90_miss:.2f} ms"
+    return (
+        f"  cache[{cache['config']}]: "
+        f"{cache['hit_rate'] * 100:.1f}% hit rate "
+        f"(local={cache['hits_local']} remote={cache['hits_remote']} "
+        f"miss={cache['misses']}), "
+        f"{cache['coalesced']} coalesced, "
+        f"{cache['evictions']} evicted"
+        + split
+    )
 
 
 def _parse_overload(args):
@@ -358,6 +400,9 @@ def _cmd_infra(args, out) -> int:
     slo_deadline, admission, _routing, fallback = _parse_overload(args)
     if (admission is not None or fallback is not None) and args.server != "actix":
         raise SystemExit("--admission/--fallback are actix-server features")
+    cache = _parse_cache(args)
+    if cache is not None and args.server != "actix":
+        raise SystemExit("--cache is an actix-server feature")
     result = run_infra_test(
         args.server,
         target_rps=args.rps,
@@ -369,6 +414,7 @@ def _cmd_infra(args, out) -> int:
         slo_deadline_s=slo_deadline,
         admission=admission,
         fallback=fallback,
+        cache=cache,
     )
     out.write(render_latency_series(result.series, args.server, every=20) + "\n")
     out.write(
@@ -383,6 +429,8 @@ def _cmd_infra(args, out) -> int:
         )
     if result.overload is not None:
         out.write(_render_overload(result.overload) + "\n")
+    if result.cache is not None:
+        out.write(_render_cache(result.cache) + "\n")
     if telemetry is not None:
         _emit_telemetry(telemetry, out, args.trace_out)
     return 0
@@ -410,6 +458,7 @@ def _cmd_run(args, out) -> int:
     runner = ExperimentRunner()
     retry, chaos = _parse_resilience(args)
     slo_deadline, admission, routing, fallback = _parse_overload(args)
+    cache = _parse_cache(args)
     if args.spec:
         from dataclasses import replace
 
@@ -418,7 +467,9 @@ def _cmd_run(args, out) -> int:
         jobs = load_spec_file(args.spec)
         overrides_on = any(
             value is not None
-            for value in (retry, chaos, slo_deadline, admission, routing, fallback)
+            for value in (
+                retry, chaos, slo_deadline, admission, routing, fallback, cache,
+            )
         )
         if overrides_on:
             # CLI flags override the spec file's settings.
@@ -440,6 +491,7 @@ def _cmd_run(args, out) -> int:
                         fallback=(
                             fallback if fallback is not None else spec.fallback
                         ),
+                        cache=cache if cache is not None else spec.cache,
                     ),
                     slo,
                 )
@@ -466,6 +518,7 @@ def _cmd_run(args, out) -> int:
                     admission=admission,
                     routing=routing,
                     fallback=fallback,
+                    cache=cache,
                 ),
                 SLO(p90_latency_ms=args.p90_limit),
             )
@@ -513,6 +566,8 @@ def _cmd_run(args, out) -> int:
                     f"  routing: {result.overload['ejections']} pod ejections, "
                     f"{result.overload['probe_recoveries']} probe recoveries\n"
                 )
+        if result.cache is not None:
+            out.write(_render_cache(result.cache) + "\n")
         if telemetry is not None:
             trace_out = args.trace_out
             if trace_out and len(jobs) > 1:
@@ -533,6 +588,7 @@ def _cmd_plan(args, out) -> int:
         slo=SLO(p90_latency_ms=args.p90_limit),
         duration_s=args.duration,
         max_replicas=args.max_replicas,
+        cache=_parse_cache(args),
     )
     instances = cloud_catalog(args.cloud)
     plans = planner.plan(scenario, models, instances=instances)

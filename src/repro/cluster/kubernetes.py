@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
 
+from repro.cache.tier import RemoteCacheTier
 from repro.cluster.storage import StorageBucket
 from repro.hardware.instances import InstanceType
 from repro.hardware.latency_model import LatencyModel, ServiceTimeProfile
@@ -190,6 +191,16 @@ class Cluster:
         if not self.bucket.exists(artifact_path):
             raise DeploymentError(f"artifact {artifact_path!r} not in bucket")
 
+        # One shared remote cache tier per deployment (memcached-style
+        # sidecar); every pod reaches the same store over a network hop.
+        remote_cache = None
+        if (
+            server_profile is not None
+            and server_profile.cache is not None
+            and server_profile.cache.remote_capacity > 0
+        ):
+            remote_cache = RemoteCacheTier(server_profile.cache)
+
         pods: List[Pod] = []
         ready_signal = Signal(f"{name}-ready")
         remaining = {"count": replicas}
@@ -210,6 +221,7 @@ class Cluster:
                     remaining,
                     load_bytes,
                     telemetry,
+                    remote_cache,
                 )
             )
         deployment = ModelDeployment(
@@ -225,6 +237,7 @@ class Cluster:
                 "jit_warmup_s": jit_warmup_s,
                 "load_bytes": load_bytes,
                 "telemetry": telemetry,
+                "remote_cache": remote_cache,
             },
         )
         self.deployments.append(deployment)
@@ -285,6 +298,7 @@ class Cluster:
                 {"count": 1},
                 context["load_bytes"],
                 context.get("telemetry"),
+                context.get("remote_cache"),
             )
         )
         return pod
@@ -324,6 +338,8 @@ class Cluster:
             model=context["model"],
             name=f"{pod.name}-restarted",
             telemetry=context.get("telemetry"),
+            artifact_version=context["artifact_path"],
+            remote_cache=context.get("remote_cache"),
         )
         pod.ready = True
         pod.ready_at = self.simulator.now
@@ -341,6 +357,7 @@ class Cluster:
         remaining: dict,
         load_bytes: Optional[float] = None,
         telemetry: Optional["Telemetry"] = None,
+        remote_cache: Optional[RemoteCacheTier] = None,
     ):
         # 1. Autopilot provisions a node for the pod.
         yield float(self.rng.uniform(self.PROVISION_MIN_S, self.PROVISION_MAX_S))
@@ -364,6 +381,8 @@ class Cluster:
             model=model,
             name=pod.name,
             telemetry=telemetry,
+            artifact_version=artifact_path,
+            remote_cache=remote_cache,
         )
         pod.ready = True
         pod.ready_at = self.simulator.now

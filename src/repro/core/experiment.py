@@ -95,12 +95,19 @@ class ExperimentRunner:
         if telemetry is not None:
             telemetry.bind(simulator)
 
-        # Overload protection rides on the server profile; None when no
-        # feature is enabled so the default path stays bit-identical.
+        # Overload protection and the result cache ride on the server
+        # profile; None when no feature is enabled so the default path
+        # stays bit-identical.
         server_profile = None
-        if spec.admission is not None or spec.fallback is not None:
+        if (
+            spec.admission is not None
+            or spec.fallback is not None
+            or spec.cache is not None
+        ):
             server_profile = ActixProfile(
-                admission=spec.admission, fallback=spec.fallback
+                admission=spec.admission,
+                fallback=spec.fallback,
+                cache=spec.cache,
             )
 
         deployment = cluster.deploy_model(
@@ -274,6 +281,36 @@ class ExperimentRunner:
                 ),
                 "p90_full_ms": collector.percentile_full_ms(90),
                 "p90_degraded_ms": collector.percentile_degraded_ms(90),
+            }
+        if spec.cache is not None and spec.cache.enabled:
+            deployment = state.get("deployment")
+            tallies = {
+                "hits_local": 0, "hits_remote": 0, "misses": 0,
+                "fills": 0, "coalesced": 0, "evictions": 0, "expirations": 0,
+            }
+            remote_entries = None
+            if deployment is not None:
+                for pod in deployment.pods:
+                    server = pod.server
+                    if server is None or server.cache is None:
+                        continue
+                    for key, value in server.cache.stats().items():
+                        tallies[key] += value
+                    if server.cache.remote is not None:
+                        remote_entries = len(server.cache.remote)
+            lookups = tallies["hits_local"] + tallies["hits_remote"] + tallies["misses"]
+            result.cache = {
+                "config": spec.cache.spec_string(),
+                **tallies,
+                "hit_rate": (
+                    (tallies["hits_local"] + tallies["hits_remote"]) / lookups
+                    if lookups
+                    else 0.0
+                ),
+                "hit_fraction": collector.cache_hit_fraction,
+                "remote_entries": remote_entries,
+                "p90_hit_ms": collector.percentile_hit_ms(90),
+                "p90_miss_ms": collector.percentile_miss_ms(90),
             }
         if telemetry is not None:
             from repro.obs.export import stage_breakdown

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.cache.tier import CacheConfig
 from repro.cluster.chaos import ChaosSchedule
 from repro.core.registry import GLOBAL_REGISTRY, AssetRegistry
 from repro.hardware.device import DeviceModel
@@ -69,6 +70,9 @@ class InfraTestResult:
     #: Overload-protection tallies, present when the run had an SLO
     #: deadline, admission control or a fallback tier configured.
     overload: Optional[Dict] = None
+    #: Result-cache tallies, present when the run had a cache with
+    #: non-zero capacity configured.
+    cache: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:
@@ -87,6 +91,7 @@ def run_infra_test(
     slo_deadline_s: Optional[float] = None,
     admission: Optional[AdmissionPolicy] = None,
     fallback: Optional[FallbackConfig] = None,
+    cache: Optional[CacheConfig] = None,
 ) -> InfraTestResult:
     """Run the no-inference serving test with one of the two stacks.
 
@@ -96,7 +101,8 @@ def run_infra_test(
     faults against the single bare server (crashes recover in place).
     ``slo_deadline_s`` stamps each request with a deadline; ``admission``
     and ``fallback`` configure the Actix server's overload protection
-    (see ``docs/overload.md``).
+    (see ``docs/overload.md``); ``cache`` configures its session-prefix
+    result cache (see ``docs/caching.md``).
     """
     if server_kind not in ("torchserve", "actix"):
         raise ValueError("server_kind must be 'torchserve' or 'actix'")
@@ -108,6 +114,8 @@ def run_infra_test(
         raise ValueError(
             "admission control / fallback are Actix-server features"
         )
+    if cache is not None and server_kind != "actix":
+        raise ValueError("the result cache is an Actix-server feature")
     registry = registry or GLOBAL_REGISTRY
     assets = registry.assets("noop", 1, INFRA_TEST_DEVICE, "eager", top_k=1)
 
@@ -125,8 +133,10 @@ def run_infra_test(
         )
     else:
         server_profile = None
-        if admission is not None or fallback is not None:
-            server_profile = ActixProfile(admission=admission, fallback=fallback)
+        if admission is not None or fallback is not None or cache is not None:
+            server_profile = ActixProfile(
+                admission=admission, fallback=fallback, cache=cache
+            )
         server = EtudeInferenceServer(
             simulator=simulator,
             device=INFRA_TEST_DEVICE,
@@ -183,6 +193,18 @@ def run_infra_test(
             "p90_degraded_ms": collector.percentile_degraded_ms(90),
         }
 
+    cache_section = None
+    server_cache = getattr(server, "cache", None)
+    if cache is not None and cache.enabled and server_cache is not None:
+        cache_section = {
+            "config": cache.spec_string(),
+            **server_cache.stats(),
+            "hit_rate": server_cache.hit_rate(),
+            "hit_fraction": collector.cache_hit_fraction,
+            "p90_hit_ms": collector.percentile_hit_ms(90),
+            "p90_miss_ms": collector.percentile_miss_ms(90),
+        }
+
     return InfraTestResult(
         server=server_kind,
         target_rps=target_rps,
@@ -198,4 +220,5 @@ def run_infra_test(
         hedges=generator.hedges,
         chaos_events=controller.fired if controller is not None else [],
         overload=overload,
+        cache=cache_section,
     )

@@ -17,11 +17,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.planning import estimate_hit_rate
+from repro.cache.tier import CacheConfig
 from repro.cluster.kubernetes import DeploymentError
 from repro.core.experiment import ExperimentRunner
 from repro.core.spec import SLO, ExperimentSpec, HardwareSpec, Scenario
 from repro.hardware.instances import INSTANCE_TYPES, InstanceType, instance_by_name
 from repro.metrics.results import RunResult
+from repro.workload.statistics import WorkloadStatistics
 
 
 @dataclass
@@ -44,9 +47,23 @@ class ScenarioPlan:
     infeasible: Dict[str, str] = field(default_factory=dict)
 
     def cheapest(self) -> Optional[DeploymentOption]:
+        """The cheapest option, with a deterministic tie-break.
+
+        Cost ties are real (e.g. two instance types priced identically at
+        different replica counts); resolving them by list insertion order
+        made the planner's answer depend on instance-catalog ordering.
+        Ties break by fewest replicas, then instance-type name.
+        """
         if not self.options:
             return None
-        return min(self.options, key=lambda option: option.monthly_cost_usd)
+        return min(
+            self.options,
+            key=lambda option: (
+                option.monthly_cost_usd,
+                option.replicas,
+                option.instance_type,
+            ),
+        )
 
 
 class DeploymentPlanner:
@@ -59,12 +76,36 @@ class DeploymentPlanner:
         duration_s: float = 90.0,
         max_replicas: int = 8,
         repetitions: int = 1,
+        cache: Optional[CacheConfig] = None,
     ):
         self.runner = runner or ExperimentRunner()
         self.slo = slo
         self.duration_s = duration_s
         self.max_replicas = max_replicas
         self.repetitions = repetitions
+        #: Optional result cache deployed with every candidate (None =
+        #: plan the paper's cache-less serving stack).
+        self.cache = cache
+        self._hit_rate_memo: Dict[Tuple[int, int], float] = {}
+
+    def expected_hit_rate(self, scenario: Scenario) -> float:
+        """Replay-estimated cache hit rate for one scenario's workload.
+
+        0.0 without a cache. Memoized per (catalog, rps): the estimate is
+        workload- and cache-shaped, not instance-shaped, so one replay
+        serves every instance type and replica count.
+        """
+        if self.cache is None or not self.cache.enabled:
+            return 0.0
+        memo_key = (scenario.catalog_size, scenario.target_rps)
+        if memo_key not in self._hit_rate_memo:
+            statistics = WorkloadStatistics.bol_like(scenario.catalog_size)
+            self._hit_rate_memo[memo_key] = estimate_hit_rate(
+                statistics,
+                self.cache,
+                target_rps=float(scenario.target_rps),
+            )
+        return self._hit_rate_memo[memo_key]
 
     # -- capacity estimate ----------------------------------------------------
 
@@ -77,6 +118,13 @@ class DeploymentPlanner:
         ``1 / per_item_s`` (the batch absorbs the fixed cost); for CPUs it
         is the worker pool and shared-bandwidth ceiling. Headroom of 25%
         keeps the p90 plausible at the estimate.
+
+        With a result cache configured, only the expected miss fraction of
+        the offered load reaches the model — hits answer within the HTTP
+        overhead — so the load the capacity must absorb shrinks by the
+        replay-estimated hit rate. (Misses still pay the full single-
+        inference latency, so the latency feasibility guards are
+        unchanged.)
         """
         profile = self.runner.registry.profile(
             model, scenario.catalog_size, instance.device, "jit"
@@ -98,7 +146,8 @@ class DeploymentPlanner:
             if single * 1000.0 > self.slo.p90_latency_ms:
                 return self.max_replicas + 1
         usable = capacity * 0.75
-        return max(1, int(math.ceil(scenario.target_rps / max(usable, 1e-9))))
+        miss_rps = scenario.target_rps * (1.0 - self.expected_hit_rate(scenario))
+        return max(1, int(math.ceil(miss_rps / max(usable, 1e-9))))
 
     # -- search -------------------------------------------------------------------
 
@@ -150,6 +199,7 @@ class DeploymentPlanner:
             target_rps=scenario.target_rps,
             hardware=HardwareSpec(instance_type=instance.name, replicas=replicas),
             duration_s=self.duration_s,
+            cache=self.cache,
         )
         try:
             return self.runner.run_repeated(spec, repetitions=self.repetitions)

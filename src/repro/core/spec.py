@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple, Union
 
+from repro.cache.tier import CacheConfig
 from repro.cluster.chaos import ChaosSchedule
 from repro.cluster.routing import RoutingPolicy
 from repro.loadgen.retry import RetryPolicy
@@ -79,6 +80,11 @@ class ExperimentSpec:
     #: :class:`~repro.serving.fallback.FallbackConfig` or its compact spec
     #: string (``"budget=0.002,topk=21"``; ``""`` = defaults).
     fallback: Optional[Union[FallbackConfig, str]] = None
+    #: Session-prefix result cache + request coalescing (None = every
+    #: request runs the model, the paper's behaviour). Accepts a
+    #: :class:`~repro.cache.tier.CacheConfig` or its compact spec string
+    #: (``"lfu,capacity=8192,window=4"``; ``""`` = LRU defaults).
+    cache: Optional[Union[CacheConfig, str]] = None
 
     def __post_init__(self):
         if self.execution not in ("jit", "eager", "onnx"):
@@ -97,6 +103,8 @@ class ExperimentSpec:
             object.__setattr__(self, "routing", RoutingPolicy.parse(self.routing))
         if isinstance(self.fallback, str):
             object.__setattr__(self, "fallback", FallbackConfig.parse(self.fallback))
+        if isinstance(self.cache, str):
+            object.__setattr__(self, "cache", CacheConfig.parse(self.cache))
 
     def workload_statistics(self) -> WorkloadStatistics:
         """The provided statistics, or the bol.com-like defaults."""

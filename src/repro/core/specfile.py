@@ -47,6 +47,7 @@ _KNOWN_KEYS = {
     "admission",
     "routing",
     "fallback",
+    "cache",
 }
 
 
@@ -102,6 +103,7 @@ def spec_from_dict(raw: Dict[str, Any]) -> Tuple[ExperimentSpec, SLO]:
         admission=raw.get("admission"),
         routing=raw.get("routing"),
         fallback=raw.get("fallback"),
+        cache=raw.get("cache"),
     )
     return spec, slo
 
@@ -145,6 +147,8 @@ def spec_to_dict(spec: ExperimentSpec, slo: SLO = SLO()) -> Dict[str, Any]:
         document["routing"] = spec.routing.spec_string()
     if spec.fallback is not None:
         document["fallback"] = spec.fallback.spec_string()
+    if spec.cache is not None:
+        document["cache"] = spec.cache.spec_string()
     if spec.workload is not None:
         document["workload"] = {
             "catalog_size": spec.workload.catalog_size,

@@ -22,8 +22,40 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.device import DeviceModel
 from repro.tensor.ops import CostRecord, CostTrace
+
+
+@dataclass(frozen=True)
+class NetworkHop:
+    """One intra-cluster network traversal (pod → service → pod).
+
+    Defaults match the ClusterIP hop the cluster layer charges
+    (``repro.cluster.service``): a quarter-millisecond base with lognormal
+    jitter. Consumers that need a round trip (e.g. a remote cache lookup)
+    sample once per direction.
+    """
+
+    base_s: float = 2.5e-4
+    jitter_sigma: float = 0.3
+
+    def __post_init__(self):
+        if self.base_s <= 0:
+            raise ValueError("base_s must be positive")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """One-way traversal time with lognormal jitter."""
+        return self.base_s * float(
+            rng.lognormal(mean=0.0, sigma=self.jitter_sigma)
+        )
+
+    def sample_round_trip(self, rng: np.random.Generator) -> float:
+        """Request + response traversal (two independent draws)."""
+        return self.sample(rng) + self.sample(rng)
 
 
 @dataclass(frozen=True)

@@ -61,6 +61,13 @@ class MetricsCollector:
         self.degraded = 0
         self.full_overall = LatencyDigest()
         self.degraded_overall = LatencyDigest()
+        #: Cache split of the OK responses (``response.cache_hit``):
+        #: answers served from the result cache (tier hits + coalesced
+        #: followers) vs answers that ran an inference. Without a cache
+        #: ``cache_hits`` stays 0 and ``miss_overall`` mirrors ``overall``.
+        self.cache_hits = 0
+        self.hit_overall = LatencyDigest()
+        self.miss_overall = LatencyDigest()
         self.first_sent_at: Optional[float] = None
         self.last_completed_at: float = 0.0
         self.last_ok_completed_at: float = 0.0
@@ -92,6 +99,11 @@ class MetricsCollector:
                 self.degraded_overall.record(response.latency_s)
             else:
                 self.full_overall.record(response.latency_s)
+            if response.cache_hit:
+                self.cache_hits += 1
+                self.hit_overall.record(response.latency_s)
+            else:
+                self.miss_overall.record(response.latency_s)
             if response.inference_s > 0:
                 self.inference.record(response.inference_s)
         else:
@@ -126,6 +138,23 @@ class MetricsCollector:
         if len(self.degraded_overall) == 0:
             return None
         return self.degraded_overall.percentile(q) * 1000.0
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        """Share of OK responses answered by the result cache."""
+        return self.cache_hits / self.ok if self.ok else 0.0
+
+    def percentile_hit_ms(self, q: float) -> Optional[float]:
+        """Latency percentile of cache-served 200s (None if there were none)."""
+        if len(self.hit_overall) == 0:
+            return None
+        return self.hit_overall.percentile(q) * 1000.0
+
+    def percentile_miss_ms(self, q: float) -> Optional[float]:
+        """Latency percentile of inference-served 200s (None if none)."""
+        if len(self.miss_overall) == 0:
+            return None
+        return self.miss_overall.percentile(q) * 1000.0
 
     def achieved_throughput(self) -> float:
         """Successful responses per second over the *successful* window.

@@ -92,6 +92,10 @@ class RunResult:
     #: ejections, p90 split by quality tier), present when the run had an
     #: SLO deadline, admission control, routing policy or fallback tier.
     overload: Optional[Dict] = None
+    #: Result-cache tallies (hit/miss/fill/evict/coalesced counters, hit
+    #: rate, p90 split by hit-vs-miss), present when the run had a cache
+    #: configured with non-zero capacity.
+    cache: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

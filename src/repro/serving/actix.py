@@ -19,8 +19,13 @@ profile may carry an :class:`~repro.serving.admission.AdmissionPolicy`
 (deadline-aware shedding with pluggable queue disciplines — doomed work
 never occupies a worker or a GPU batch slot) and a
 :class:`~repro.serving.fallback.FallbackConfig` (shed requests answer as
-fast quality-degraded 200s instead of 503s). With both absent every code
-path is bit-identical to the paper-faithful server.
+fast quality-degraded 200s instead of 503s). It may also carry a
+:class:`~repro.cache.tier.CacheConfig` (``docs/caching.md``): a
+session-prefix result cache consulted at intake, *before* admission —
+hits answer within the HTTP overhead, concurrent misses on one key
+coalesce behind a single in-flight computation, and an optional shared
+remote tier is reached over a network hop. With all of them absent every
+code path is bit-identical to the paper-faithful server.
 """
 
 from __future__ import annotations
@@ -30,10 +35,13 @@ from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.cache.keys import CacheKey
+from repro.cache.policy import MISSING
+from repro.cache.tier import RecommendationCache, RemoteCacheTier
 from repro.hardware.device import DeviceModel
-from repro.hardware.latency_model import ServiceTimeProfile
+from repro.hardware.latency_model import NetworkHop, ServiceTimeProfile
 from repro.serving.access_log import AccessLog, AccessRecord
-from repro.serving.batching import BatchingConfig
+from repro.serving.batching import BatchingConfig, assemble_unique
 from repro.serving.fallback import PopularityFallback
 from repro.serving.profiles import ActixProfile
 from repro.serving.request import (
@@ -66,6 +74,8 @@ class EtudeInferenceServer:
         worker_threads: Optional[int] = None,
         access_log: Optional[AccessLog] = None,
         telemetry: Optional["Telemetry"] = None,
+        artifact_version: str = "v0",
+        remote_cache: Optional[RemoteCacheTier] = None,
     ):
         self.simulator = simulator
         self.device = device
@@ -105,6 +115,19 @@ class EtudeInferenceServer:
         self.degraded_served = 0
         self._shed_counters: Dict[str, object] = {}
         self._fallback_counter = None
+        #: Session-prefix result cache + singleflight (default-off;
+        #: ``docs/caching.md``). ``None`` — the contractual off state —
+        #: whenever the profile has no config or a zero-capacity one.
+        cache_config = self.profile.cache
+        self.cache: Optional[RecommendationCache] = None
+        if cache_config is not None and cache_config.enabled:
+            self.cache = RecommendationCache(
+                cache_config, version=artifact_version, remote=remote_cache
+            )
+        self._remote_hop = NetworkHop()
+        #: Singleflight leadership: request id -> the cache key whose
+        #: flight this request's inference will settle.
+        self._flight_keys: Dict[int, CacheKey] = {}
         if telemetry is not None:
             labels = {"server": name}
             metrics = telemetry.metrics
@@ -129,6 +152,32 @@ class EtudeInferenceServer:
                 unit="workers", labels=labels,
                 help="CPU worker threads currently executing an inference",
             )
+            if self.cache is not None:
+                self._cache_hit_counters = {
+                    tier: metrics.counter(
+                        "cache_hit_total", unit="requests",
+                        labels={"server": name, "tier": tier},
+                        help="requests answered from the result cache, by tier",
+                    )
+                    for tier in ("local", "remote")
+                }
+                self._cache_miss_counter = metrics.counter(
+                    "cache_miss_total", unit="requests", labels=labels,
+                    help="requests that led a fresh model computation",
+                )
+                self._cache_coalesced_counter = metrics.counter(
+                    "cache_coalesced_total", unit="requests", labels=labels,
+                    help="requests parked behind an in-flight computation",
+                )
+                metrics.gauge(
+                    "cache_entries", fn=self.cache.local_size, unit="entries",
+                    labels=labels, help="entries in the local cache tier",
+                )
+                metrics.gauge(
+                    "cache_in_flight", fn=self.cache.in_flight, unit="keys",
+                    labels=labels,
+                    help="unique keys with a computation currently in flight",
+                )
 
         # Queue entries: (request, respond, arrival_time).
         self._queue: Deque[Tuple[RecommendationRequest, ResponseCallback, float]] = (
@@ -167,6 +216,17 @@ class EtudeInferenceServer:
                 self._rejected_counter.inc()
             self._fail(request, respond)
             return
+        # The cache front runs *before* admission: a hit (or a coalesced
+        # miss) never consumes a queue slot, a worker, or a GPU batch
+        # slot, so cached work cannot be shed against a deadline.
+        if self.cache is not None and self._cache_intake(request, respond):
+            return
+        self._enqueue(request, respond)
+
+    def _enqueue(
+        self, request: RecommendationRequest, respond: ResponseCallback
+    ) -> None:
+        """The paper-faithful intake: admission, backlog cap, queue."""
         if self.admission is not None and not self.admission.viable(
             request.deadline_s, self.simulator.now
         ):
@@ -221,6 +281,205 @@ class EtudeInferenceServer:
             )
         )
 
+    # -- result cache + singleflight (default-off) ---------------------------
+
+    def _cache_intake(
+        self, request: RecommendationRequest, respond: ResponseCallback
+    ) -> bool:
+        """Consult the cache front; True = the request is fully handled.
+
+        Order: local tier (synchronous, in-process) → the singleflight
+        table (park behind an identical in-flight computation) → the
+        remote tier (asynchronous, one network round trip away). A miss
+        everywhere registers this request as the key's flight leader and
+        returns False — the caller enqueues it on the normal path.
+        """
+        cache = self.cache
+        now = self.simulator.now
+        key = cache.key_for(request.session_items)
+        value = cache.lookup_local(key, now)
+        if value is not MISSING:
+            self._serve_cache_hit(request, respond, value, tier="local")
+            return True
+        if cache.flight_exists(key):
+            cache.join_flight(key, (request, respond, now))
+            if self.telemetry is not None:
+                self._cache_coalesced_counter.inc()
+                trace = self.telemetry.trace
+                trace.begin("sent", request.request_id, at=request.sent_at).finish(
+                    at=now
+                )
+                trace.begin(
+                    "coalesced", request.request_id, server=self.name
+                )
+            return True
+        cache.begin_flight(key)
+        self._flight_keys[request.request_id] = key
+        if self.telemetry is not None:
+            self._cache_miss_counter.inc()
+        if cache.remote is not None:
+            rtt = self._remote_hop.sample_round_trip(self.rng)
+            if self.telemetry is not None:
+                self.telemetry.trace.begin(
+                    "cache_remote", request.request_id, at=now
+                ).finish(at=now + rtt)
+            self.simulator.call_in(
+                rtt, lambda: self._after_remote(request, respond, key)
+            )
+            return True
+        return False
+
+    def _after_remote(
+        self,
+        request: RecommendationRequest,
+        respond: ResponseCallback,
+        key: CacheKey,
+    ) -> None:
+        """The remote tier's answer arrived (one round trip later)."""
+        if not self.healthy:
+            self._resolve_flight_fail(request, crashed=True)
+            self._fail(request, respond)
+            return
+        cache = self.cache
+        now = self.simulator.now
+        value = cache.lookup_remote(key, now)
+        if value is not MISSING:
+            cache.fill_local(key, value, now)
+            del self._flight_keys[request.request_id]
+            self._serve_cache_hit(request, respond, value, tier="remote")
+            for waiter, waiter_respond, joined_at in cache.finish_flight(key):
+                self._serve_follower(waiter, waiter_respond, value, joined_at)
+            return
+        # Remote miss: the leader proceeds onto the normal inference path,
+        # its flight stays open for followers arriving meanwhile.
+        self._enqueue(request, respond)
+
+    def _serve_cache_hit(
+        self,
+        request: RecommendationRequest,
+        respond: ResponseCallback,
+        items,
+        tier: str,
+    ) -> None:
+        """Answer a hit within the server's HTTP handling overhead."""
+        now = self.simulator.now
+        http_s = self._http_overhead()
+        if self.telemetry is not None:
+            trace = self.telemetry.trace
+            trace.begin("sent", request.request_id, at=request.sent_at).finish(
+                at=now
+            )
+            trace.begin("cache_hit", request.request_id, at=now, tier=tier).finish(
+                at=now + http_s
+            )
+            self._cache_hit_counters[tier].inc()
+
+        def deliver() -> None:
+            if not self.healthy:
+                self._fail(request, respond)
+                return
+            completed = self.simulator.now
+            respond(
+                RecommendationResponse(
+                    request_id=request.request_id,
+                    status=HTTP_OK,
+                    completed_at=completed,
+                    latency_s=completed - request.sent_at,
+                    inference_s=0.0,
+                    batch_size=1,
+                    items=items,
+                    cache_hit=True,
+                )
+            )
+            self.completed += 1
+            if self.telemetry is not None:
+                self._completed_counter.inc()
+
+        self.simulator.call_in(http_s, deliver)
+
+    def _serve_follower(
+        self,
+        request: RecommendationRequest,
+        respond: ResponseCallback,
+        items,
+        joined_at: float,
+    ) -> None:
+        """Answer a coalesced follower from the leader's fresh result."""
+        now = self.simulator.now
+        parked_s = now - joined_at
+        http_s = self._http_overhead()
+        if self.telemetry is not None:
+            span = self.telemetry.trace.begin(
+                "cache_hit", request.request_id, at=now, tier="coalesced"
+            )
+            span.finish(at=now + http_s)
+
+        def deliver() -> None:
+            if not self.healthy:
+                self._fail(request, respond)
+                return
+            completed = self.simulator.now
+            respond(
+                RecommendationResponse(
+                    request_id=request.request_id,
+                    status=HTTP_OK,
+                    completed_at=completed,
+                    latency_s=completed - request.sent_at,
+                    inference_s=0.0,
+                    queue_s=parked_s,
+                    batch_size=1,
+                    items=items,
+                    cache_hit=True,
+                )
+            )
+            self.completed += 1
+            if self.telemetry is not None:
+                self._completed_counter.inc()
+
+        self.simulator.call_in(http_s, deliver)
+
+    def _resolve_flight_ok(self, request: RecommendationRequest, items) -> None:
+        """Leader inference finished: fill the tiers, answer followers."""
+        if self.cache is None:
+            return
+        key = self._flight_keys.pop(request.request_id, None)
+        if key is None:
+            return
+        now = self.simulator.now
+        self.cache.fill(key, items, now)
+        for waiter, waiter_respond, joined_at in self.cache.finish_flight(key):
+            self._serve_follower(waiter, waiter_respond, items, joined_at)
+
+    def _resolve_flight_fail(
+        self, request: RecommendationRequest, crashed: bool = False
+    ) -> None:
+        """Leader never produced a result (shed or crash): settle followers.
+
+        A coalesced follower's fate is tied to its leader — with a
+        fallback tier the followers degrade gracefully, otherwise they
+        503 (free on a crash, charged HTTP overhead on a live shed, same
+        as any other rejection).
+        """
+        if self.cache is None:
+            return
+        key = self._flight_keys.pop(request.request_id, None)
+        if key is None:
+            return
+        now = self.simulator.now
+        for waiter, waiter_respond, joined_at in self.cache.finish_flight(key):
+            if crashed:
+                self._fail(waiter, waiter_respond)
+            elif self._fallback_model is not None:
+                self._serve_degraded(
+                    waiter, waiter_respond, reason="leader_shed",
+                    queue_s=now - joined_at,
+                )
+            else:
+                self.rejected += 1
+                if self.telemetry is not None:
+                    self._rejected_counter.inc()
+                self._fail(waiter, waiter_respond, charge_overhead=True)
+
     # -- overload protection (all default-off) ------------------------------
 
     def _shed(
@@ -236,6 +495,7 @@ class EtudeInferenceServer:
         degraded 200; otherwise it is a 503 that (unlike a crash) still
         pays the server's HTTP handling overhead.
         """
+        self._resolve_flight_fail(request)
         if reason == "deadline":
             self.shed_deadline += 1
         elif reason == "codel":
@@ -356,6 +616,7 @@ class EtudeInferenceServer:
                 span = self._queued_spans.pop(request.request_id, None)
                 if span is not None:
                     span.finish(crashed=True)
+            self._resolve_flight_fail(request, crashed=True)
             self._fail(request, respond)
 
     def recover(self) -> None:
@@ -404,11 +665,13 @@ class EtudeInferenceServer:
         logging the exchange record the delivered status.
         """
         if not self.healthy:
+            self._resolve_flight_fail(request, crashed=True)
             self._fail(request, respond)
             return False
         items = None
         if self.model is not None:
             items = self.model.recommend(request.session_items)
+        self._resolve_flight_ok(request, items)
         now = self.simulator.now
         respond(
             RecommendationResponse(
@@ -540,6 +803,23 @@ class EtudeInferenceServer:
                     if entry is None:
                         break
                     batch.append(entry)
+                if not batch:
+                    continue
+                take = len(batch)
+            if self.cache is not None:
+                # GPU batches execute unique keys only: intake coalescing
+                # already guarantees this, assemble_unique enforces it —
+                # any same-key straggler re-parks behind the leader in the
+                # same batch instead of burning a batch slot.
+                batch, duplicates = assemble_unique(
+                    batch,
+                    lambda entry: self._flight_keys.get(entry[0].request_id),
+                )
+                for dup_request, dup_respond, dup_arrival in duplicates:
+                    key = self._flight_keys.pop(dup_request.request_id)
+                    self.cache.join_flight(
+                        key, (dup_request, dup_respond, dup_arrival)
+                    )
                 if not batch:
                     continue
                 take = len(batch)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cache.tier import CacheConfig
 from repro.serving.admission import AdmissionPolicy
 from repro.serving.fallback import FallbackConfig
 
@@ -40,6 +41,10 @@ class ActixProfile:
     #: Graceful-degradation tier (None = shed as 503, the paper's
     #: behaviour; configured = sheds answer as fast degraded 200s).
     fallback: Optional[FallbackConfig] = None
+    #: Session-prefix result cache + request coalescing (None, or a
+    #: zero-capacity config = the paper's behaviour: every request runs
+    #: the model; see docs/caching.md).
+    cache: Optional[CacheConfig] = None
 
 
 @dataclass(frozen=True)

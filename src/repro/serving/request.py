@@ -57,6 +57,9 @@ class RecommendationResponse:
     #: True when the fallback tier answered (popularity top-k instead of
     #: the session-aware model) — a 200, but quality-degraded.
     degraded: bool = False
+    #: True when the result cache answered (a tier hit or a coalesced
+    #: follower) — full quality, no inference executed for this request.
+    cache_hit: bool = False
 
     @property
     def ok(self) -> bool:

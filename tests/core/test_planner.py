@@ -60,3 +60,48 @@ class TestFeasibilitySearch:
         assert cheapest.monthly_cost_usd == min(
             option.monthly_cost_usd for option in plan.options
         )
+
+
+class TestCheapestTieBreak:
+    """Regression: cost ties used to resolve by list insertion order, so
+    the planner's answer depended on instance-catalog ordering."""
+
+    def _tied_options(self):
+        from repro.core.planner import DeploymentOption
+
+        return [
+            DeploymentOption("CPU-B", 4, 100.0, result=None),
+            DeploymentOption("CPU-A", 2, 100.0, result=None),
+            DeploymentOption("GPU-Z", 2, 100.0, result=None),
+            DeploymentOption("GPU-X", 1, 250.0, result=None),
+        ]
+
+    def test_ties_break_by_replicas_then_name(self):
+        from repro.core.planner import ScenarioPlan
+
+        scenario = Scenario("tied", 10_000, 100)
+        options = self._tied_options()
+        plan = ScenarioPlan(scenario=scenario, model="stamp", options=options)
+        winner = plan.cheapest()
+        assert (winner.instance_type, winner.replicas) == ("CPU-A", 2)
+
+    def test_order_independent(self):
+        from repro.core.planner import ScenarioPlan
+
+        scenario = Scenario("tied", 10_000, 100)
+        options = self._tied_options()
+        answers = set()
+        for rotation in range(len(options)):
+            rotated = options[rotation:] + options[:rotation]
+            plan = ScenarioPlan(
+                scenario=scenario, model="stamp", options=rotated
+            )
+            winner = plan.cheapest()
+            answers.add((winner.instance_type, winner.replicas))
+        assert answers == {("CPU-A", 2)}
+
+    def test_empty_plan_has_no_cheapest(self):
+        from repro.core.planner import ScenarioPlan
+
+        plan = ScenarioPlan(scenario=Scenario("e", 1, 1), model="stamp")
+        assert plan.cheapest() is None

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Result-cache smoke test (``make cache-smoke``).
+
+One tiny deterministic pair of runs against a bare Actix server with a
+*real* model (so recommendations exist to compare): the same click stream
+replayed cache-off and cache-on. Asserts the correctness contract of
+``docs/caching.md``:
+
+- the cache-on run hits (hit rate > 0) and coalesces nothing incorrectly,
+- every response — hit, miss or follower — carries exactly the
+  recommendations the cache-off run produced for the same request, i.e. a
+  hit is indistinguishable from recomputing,
+- hits are served strictly faster than the cache-off run served the same
+  request.
+
+Exits non-zero with a diagnostic on any violation, so ``make test`` fails
+loudly if cache correctness regresses.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+import numpy as np  # noqa: E402
+
+from repro.cache import CacheConfig  # noqa: E402
+from repro.hardware import CPU_E2, LatencyModel  # noqa: E402
+from repro.models import ModelConfig, create_model  # noqa: E402
+from repro.serving import EtudeInferenceServer  # noqa: E402
+from repro.serving.profiles import ActixProfile  # noqa: E402
+from repro.serving.request import HTTP_OK, RecommendationRequest  # noqa: E402
+from repro.simulation import Simulator  # noqa: E402
+from repro.tensor.ops import CostRecord, CostTrace  # noqa: E402
+from repro.workload.statistics import WorkloadStatistics  # noqa: E402
+from repro.workload.synthetic import SyntheticWorkloadGenerator  # noqa: E402
+
+CATALOG = 2_000
+NUM_REQUESTS = 400
+SPACING_S = 0.002
+SEED = 29
+# window=80 covers max_session_length, so every key is the model's whole
+# input and hits are lossless (see "Choosing the window" in
+# docs/caching.md; shorter windows trade exactness for hit rate).
+CACHE = CacheConfig(capacity=1024, window=80, ttl_s=0.0)
+
+
+def _profile():
+    trace = CostTrace()
+    trace.append(CostRecord(op="linear", param_bytes=1e6, write_bytes=1e5))
+    return LatencyModel(CPU_E2.device).profile(trace)
+
+
+def _click_stream():
+    """One request per click with the session prefix, as the load
+    generator issues them — deterministic across both runs."""
+    workload = SyntheticWorkloadGenerator(
+        WorkloadStatistics(
+            catalog_size=CATALOG, alpha_length=1.85, alpha_clicks=1.85
+        ),
+        seed=SEED,
+    )
+    prefixes = []
+    for session in workload.iter_sessions():
+        for click_end in range(1, len(session) + 1):
+            prefixes.append(np.asarray(session[:click_end], dtype=np.int64))
+            if len(prefixes) == NUM_REQUESTS:
+                return prefixes
+
+
+def _run(cache):
+    simulator = Simulator()
+    model = create_model("stamp", ModelConfig.for_catalog(CATALOG, top_k=5))
+    server = EtudeInferenceServer(
+        simulator, CPU_E2.device, _profile(),
+        np.random.default_rng(SEED), model=model,
+        profile=ActixProfile(cache=cache) if cache is not None else None,
+    )
+    responses = {}
+
+    def driver():
+        for request_id, prefix in enumerate(_click_stream()):
+            request = RecommendationRequest(
+                request_id=request_id,
+                session_id=request_id,
+                session_items=prefix,
+                sent_at=simulator.now,
+            )
+            server.submit(
+                request,
+                lambda response, rid=request_id: responses.__setitem__(
+                    rid, response
+                ),
+            )
+            yield SPACING_S
+
+    simulator.spawn(driver())
+    simulator.run()
+    return server, responses
+
+
+def main() -> int:
+    _, baseline = _run(None)
+    server, cached = _run(CACHE)
+    failures = []
+
+    if len(cached) != NUM_REQUESTS or len(baseline) != NUM_REQUESTS:
+        failures.append(
+            f"response counts differ: {len(baseline)} off vs {len(cached)} on"
+        )
+    not_ok = sum(1 for r in cached.values() if r.status != HTTP_OK)
+    if not_ok:
+        failures.append(f"{not_ok} non-200 responses with the cache on")
+
+    hit_rate = server.cache.hit_rate()
+    if hit_rate <= 0.0:
+        failures.append("hit rate is 0: the cache never answered")
+
+    mismatches = 0
+    hit_latencies = []
+    hit_baselines = []
+    for rid, response in cached.items():
+        expected = baseline[rid].items
+        if not np.array_equal(response.items, expected):
+            mismatches += 1
+        if response.cache_hit:
+            hit_latencies.append(response.latency_s)
+            hit_baselines.append(baseline[rid].latency_s)
+    if mismatches:
+        failures.append(
+            f"{mismatches} responses differ from the cache-off run: "
+            "hits must be indistinguishable from recomputing"
+        )
+    if hit_latencies and not (
+        np.mean(hit_latencies) < np.mean(hit_baselines)
+    ):
+        failures.append(
+            "hits were not faster on average than recomputing the "
+            "same requests"
+        )
+
+    hits = sum(1 for r in cached.values() if r.cache_hit)
+    print(
+        f"cache smoke: {NUM_REQUESTS} requests, "
+        f"{hit_rate * 100:.1f}% hit rate ({hits} hit responses, "
+        f"{server.cache.coalesced} coalesced), "
+        f"recommendations identical to cache-off on all "
+        f"{NUM_REQUESTS - mismatches}"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("cache smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
