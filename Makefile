@@ -36,7 +36,7 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 .PHONY: test
-test: docs-check bench-smoke overload-smoke cache-smoke
+test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tiny deterministic overload run: deadline admission + fallback tier must
@@ -50,6 +50,27 @@ overload-smoke:
 .PHONY: cache-smoke
 cache-smoke:
 	$(PYTHON) tools/cache_smoke.py
+
+# Tiny deterministic sharding run against a real model: S=4 scatter-gather
+# must match the unsharded server request for request, and a shard crash
+# must degrade catalog coverage instead of flooding 5xxs.
+.PHONY: shard-smoke
+shard-smoke:
+	$(PYTHON) tools/shard_smoke.py
+
+# Line coverage over the unit suite (see README "Development"). Needs
+# pytest-cov; when it is absent the target explains and skips instead of
+# failing, so environments without the plugin can still run `make test`.
+COV_FAIL_UNDER ?= 80
+.PHONY: coverage
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+	  $(PYTHON) -m pytest tests/ --cov=repro \
+	    --cov-report=term-missing --cov-fail-under=$(COV_FAIL_UNDER); \
+	else \
+	  echo "coverage: SKIPPED (pytest-cov is not installed;"; \
+	  echo "  install it with 'pip install pytest-cov' to measure coverage)"; \
+	fi
 
 .PHONY: benchmarks
 benchmarks:

@@ -50,6 +50,7 @@ def _add_infra_command(subparsers) -> None:
     _add_resilience_flags(parser)
     _add_overload_flags(parser, routing=False)
     _add_cache_flag(parser)
+    _add_shards_flag(parser)
 
 
 def _add_micro_command(subparsers) -> None:
@@ -81,6 +82,7 @@ def _add_run_command(subparsers) -> None:
     _add_resilience_flags(parser)
     _add_overload_flags(parser, routing=True)
     _add_cache_flag(parser)
+    _add_shards_flag(parser)
 
 
 def _add_plan_command(subparsers) -> None:
@@ -98,6 +100,11 @@ def _add_plan_command(subparsers) -> None:
     parser.add_argument("--duration", type=float, default=90.0)
     parser.add_argument("--max-replicas", type=int, default=8)
     _add_cache_flag(parser)
+    parser.add_argument(
+        "--shards", default="1", metavar="COUNTS",
+        help="comma-separated catalog-shard counts to evaluate per "
+        "instance type, e.g. '1,4,8' (replica counts are then per shard)",
+    )
 
 
 def _add_compare_command(subparsers) -> None:
@@ -211,6 +218,44 @@ def _add_cache_flag(parser) -> None:
         help="session-prefix result cache on the Actix server; SPEC like "
         "'lfu,capacity=8192,window=4,ttl=30,remote=65536,rttl=300' "
         "(policies: lru, lfu, segmented; bare --cache = LRU defaults)",
+    )
+
+
+def _add_shards_flag(parser) -> None:
+    parser.add_argument(
+        "--shards", default=None, metavar="SPEC",
+        help="catalog sharding with scatter-gather top-k; SPEC like "
+        "'4' or '4,partial=off' (replica counts are then per shard; "
+        "S=1 is the unsharded baseline)",
+    )
+
+
+def _parse_sharding(args):
+    """ShardingConfig | None from the --shards flag."""
+    from repro.sharding.config import ShardingConfig
+
+    if getattr(args, "shards", None) is None:
+        return None
+    try:
+        return ShardingConfig.parse(args.shards)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _render_sharding(sharding: dict) -> str:
+    """The one-line sharding summary shared by run and infra-test."""
+    partial = sharding.get("partial_responses", 0)
+    coverage = sharding.get("mean_coverage")
+    coverage_text = (
+        f", mean coverage={coverage * 100:.1f}%" if coverage is not None else ""
+    )
+    return (
+        f"  sharding[{sharding['config']}]: "
+        f"{sharding.get('fanouts', 0)} fan-outs, "
+        f"{sharding.get('merged_ok', 0)} merged 200s, "
+        f"{partial} partial, "
+        f"{sharding.get('failed_fanouts', 0)} failed"
+        + coverage_text
     )
 
 
@@ -403,6 +448,9 @@ def _cmd_infra(args, out) -> int:
     cache = _parse_cache(args)
     if cache is not None and args.server != "actix":
         raise SystemExit("--cache is an actix-server feature")
+    sharding = _parse_sharding(args)
+    if sharding is not None and sharding.enabled and args.server != "actix":
+        raise SystemExit("--shards is an actix-server feature")
     result = run_infra_test(
         args.server,
         target_rps=args.rps,
@@ -415,6 +463,7 @@ def _cmd_infra(args, out) -> int:
         admission=admission,
         fallback=fallback,
         cache=cache,
+        sharding=sharding,
     )
     out.write(render_latency_series(result.series, args.server, every=20) + "\n")
     out.write(
@@ -431,6 +480,8 @@ def _cmd_infra(args, out) -> int:
         out.write(_render_overload(result.overload) + "\n")
     if result.cache is not None:
         out.write(_render_cache(result.cache) + "\n")
+    if result.sharding is not None:
+        out.write(_render_sharding(result.sharding) + "\n")
     if telemetry is not None:
         _emit_telemetry(telemetry, out, args.trace_out)
     return 0
@@ -459,6 +510,7 @@ def _cmd_run(args, out) -> int:
     retry, chaos = _parse_resilience(args)
     slo_deadline, admission, routing, fallback = _parse_overload(args)
     cache = _parse_cache(args)
+    sharding = _parse_sharding(args)
     if args.spec:
         from dataclasses import replace
 
@@ -468,7 +520,8 @@ def _cmd_run(args, out) -> int:
         overrides_on = any(
             value is not None
             for value in (
-                retry, chaos, slo_deadline, admission, routing, fallback, cache,
+                retry, chaos, slo_deadline, admission, routing, fallback,
+                cache, sharding,
             )
         )
         if overrides_on:
@@ -492,6 +545,9 @@ def _cmd_run(args, out) -> int:
                             fallback if fallback is not None else spec.fallback
                         ),
                         cache=cache if cache is not None else spec.cache,
+                        sharding=(
+                            sharding if sharding is not None else spec.sharding
+                        ),
                     ),
                     slo,
                 )
@@ -519,6 +575,7 @@ def _cmd_run(args, out) -> int:
                     routing=routing,
                     fallback=fallback,
                     cache=cache,
+                    sharding=sharding,
                 ),
                 SLO(p90_latency_ms=args.p90_limit),
             )
@@ -568,6 +625,8 @@ def _cmd_run(args, out) -> int:
                 )
         if result.cache is not None:
             out.write(_render_cache(result.cache) + "\n")
+        if result.sharding is not None:
+            out.write(_render_sharding(result.sharding) + "\n")
         if telemetry is not None:
             trace_out = args.trace_out
             if trace_out and len(jobs) > 1:
@@ -583,12 +642,19 @@ def _cmd_run(args, out) -> int:
 def _cmd_plan(args, out) -> int:
     models = [m.strip() for m in args.models.split(",") if m.strip()]
     scenario = Scenario("custom", args.catalog, args.rps)
+    try:
+        shard_counts = tuple(
+            int(s.strip()) for s in args.shards.split(",") if s.strip()
+        )
+    except ValueError:
+        raise SystemExit(f"--shards must be comma-separated ints: {args.shards!r}")
     planner = DeploymentPlanner(
         runner=ExperimentRunner(),
         slo=SLO(p90_latency_ms=args.p90_limit),
         duration_s=args.duration,
         max_replicas=args.max_replicas,
         cache=_parse_cache(args),
+        shard_counts=shard_counts or (1,),
     )
     instances = cloud_catalog(args.cloud)
     plans = planner.plan(scenario, models, instances=instances)

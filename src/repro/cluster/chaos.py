@@ -46,6 +46,10 @@ def _parse_optional_s(value: str) -> Optional[float]:
     return None if value.lower() in ("none", "never") else float(value)
 
 
+def _parse_optional_index(value: str) -> Optional[int]:
+    return None if value.lower() == "none" else int(value)
+
+
 @dataclass(frozen=True)
 class ChaosEvent:
     """One timed fault; ``at_s`` is seconds after load start."""
@@ -69,12 +73,20 @@ class PodCrash(ChaosEvent):
 
     pod_index: int = 0
     restart_after_s: Optional[float] = 20.0
+    #: Restrict the crash to one catalog shard's replica group:
+    #: ``pod_index`` then counts within that group. On a sharded run this
+    #: is how to knock out (part of) one shard and observe partial
+    #: coverage; ``None`` on unsharded runs.
+    shard: Optional[int] = None
 
     kind = "crash"
 
     def fire(self, controller: "ChaosController") -> None:
-        controller.crash_pod(self.pod_index, self.restart_after_s)
-        controller.note(self, pod_index=self.pod_index)
+        controller.crash_pod(self.pod_index, self.restart_after_s, shard=self.shard)
+        detail = {"pod_index": self.pod_index}
+        if self.shard is not None:
+            detail["shard"] = self.shard
+        controller.note(self, **detail)
 
 
 @dataclass(frozen=True)
@@ -168,7 +180,11 @@ class NetworkDelay(ChaosEvent):
 _EVENT_KINDS = {
     "crash": (
         PodCrash,
-        {"pod": ("pod_index", int), "restart": ("restart_after_s", _parse_optional_s)},
+        {
+            "pod": ("pod_index", int),
+            "restart": ("restart_after_s", _parse_optional_s),
+            "shard": ("shard", _parse_optional_index),
+        },
     ),
     "storm": (
         CrashStorm,
@@ -283,6 +299,9 @@ class ChaosSchedule:
                 f":{key}={'none' if value is None else format(value, 'g')}"
                 for key, (name, _) in keys.items()
                 for value in (getattr(event, name),)
+                # shard=None means "not shard-scoped" — omitted so that
+                # pre-sharding schedules round-trip to the same string.
+                if not (key == "shard" and value is None)
             )
             parts.append(f"{event.kind}@{event.at_s:g}{options}")
         return ",".join(parts)
@@ -325,20 +344,36 @@ class ChaosController:
         return None
 
     def crash_pod(
-        self, pod_index: int, restart_after_s: Optional[float]
+        self,
+        pod_index: int,
+        restart_after_s: Optional[float],
+        shard: Optional[int] = None,
     ) -> None:
         if self.cluster is not None and self.deployment is not None:
             pods = self.deployment.pods
             if not pods:
                 return
+            if shard is None:
+                target = pod_index % len(pods)
+            else:
+                # Crash within one shard's replica group (partial-coverage
+                # experiments). No pods on that shard: nothing to crash.
+                group = [
+                    index for index, pod in enumerate(pods) if pod.shard == shard
+                ]
+                if not group:
+                    return
+                target = group[pod_index % len(group)]
             self.cluster.inject_pod_failure(
                 self.deployment,
-                pod_index % len(pods),
+                target,
                 at_time=self.simulator.now,
                 restart_after=restart_after_s,
             )
             return
-        server = self.server(pod_index)
+        # Bare-server runs deploy one server per shard, so a shard-scoped
+        # crash targets that server directly.
+        server = self.server(pod_index if shard is None else shard)
         if server is None:
             raise ValueError(
                 "crash chaos requires a cluster+deployment or bare servers"

@@ -23,6 +23,8 @@ from repro.hardware.latency_model import LatencyModel, ServiceTimeProfile
 from repro.serving.actix import EtudeInferenceServer
 from repro.serving.batching import BatchingConfig
 from repro.serving.profiles import ActixProfile
+from repro.sharding.config import ShardingConfig
+from repro.sharding.merge import ShardScorer
 from repro.simulation import Signal, Simulator
 
 if TYPE_CHECKING:
@@ -42,6 +44,8 @@ class Pod:
     server: Optional[EtudeInferenceServer] = None
     ready: bool = False
     ready_at: float = float("inf")
+    #: Catalog shard this replica serves (0 on unsharded deployments).
+    shard: int = 0
 
 
 class ModelDeployment:
@@ -53,12 +57,19 @@ class ModelDeployment:
         pods: List[Pod],
         ready_signal: Signal,
         restart_context: Optional[dict] = None,
+        sharding: Optional[ShardingConfig] = None,
     ):
         self.name = name
         self.pods = pods
         self.ready_signal = ready_signal
         #: Everything needed to restart a crashed pod (kept by the cluster).
         self.restart_context = restart_context or {}
+        #: Catalog-sharding config; None or S=1 means unsharded.
+        self.sharding = sharding
+
+    @property
+    def shards(self) -> int:
+        return self.sharding.shards if self.sharding is not None else 1
 
     @property
     def ready_pods(self) -> List[Pod]:
@@ -171,14 +182,22 @@ class Cluster:
         jit_warmup_s: float = 0.0,
         load_bytes: Optional[float] = None,
         telemetry: Optional["Telemetry"] = None,
+        sharding: Optional[ShardingConfig] = None,
     ) -> ModelDeployment:
         """Create a deployment; pods become ready asynchronously.
 
         Wait on ``deployment.ready_signal`` (the readiness-probe equivalent)
         before routing traffic.
+
+        With ``sharding`` enabled, ``replicas`` is *per shard*:
+        ``shards * replicas`` pods come up, grouped by shard, and the
+        caller is expected to pass the per-shard ``service_profile`` /
+        ``resident_bytes`` / ``score_bytes_per_item`` (each pod hosts one
+        catalog slice, not the whole table).
         """
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        shards = sharding.shards if sharding is not None and sharding.enabled else 1
         batching = self.fit_batching(
             instance_type, resident_bytes, score_bytes_per_item, batching
         )
@@ -203,10 +222,15 @@ class Cluster:
 
         pods: List[Pod] = []
         ready_signal = Signal(f"{name}-ready")
-        remaining = {"count": replicas}
-        for _replica in range(replicas):
+        remaining = {"count": shards * replicas}
+        for pod_index in range(shards * replicas):
+            shard = pod_index // replicas
             self._pod_counter += 1
-            pod = Pod(name=f"{name}-{self._pod_counter}", instance_type=instance_type)
+            pod = Pod(
+                name=f"{name}-{self._pod_counter}",
+                instance_type=instance_type,
+                shard=shard,
+            )
             pods.append(pod)
             self.simulator.spawn(
                 self._start_pod(
@@ -215,7 +239,7 @@ class Cluster:
                     service_profile,
                     batching,
                     server_profile,
-                    model,
+                    self._model_for_shard(model, sharding, shard),
                     jit_warmup_s,
                     ready_signal,
                     remaining,
@@ -238,10 +262,19 @@ class Cluster:
                 "load_bytes": load_bytes,
                 "telemetry": telemetry,
                 "remote_cache": remote_cache,
+                "sharding": sharding,
             },
+            sharding=sharding if shards > 1 else None,
         )
         self.deployments.append(deployment)
         return deployment
+
+    @staticmethod
+    def _model_for_shard(model, sharding: Optional[ShardingConfig], shard: int):
+        """Scope a real model object to one pod's catalog slice."""
+        if model is None or sharding is None or not sharding.enabled:
+            return model
+        return ShardScorer(model, shard, sharding.shards)
 
     # -- failure injection -------------------------------------------------------
 
@@ -280,9 +313,16 @@ class Cluster:
         context = deployment.restart_context
         instance_type = deployment.pods[0].instance_type
         self._pod_counter += 1
+        # On a sharded deployment the new replica reinforces whichever
+        # shard currently has the fewest pods (lowest index on ties).
+        shard_counts = {shard: 0 for shard in range(deployment.shards)}
+        for existing in deployment.pods:
+            shard_counts[existing.shard] = shard_counts.get(existing.shard, 0) + 1
+        shard = min(shard_counts, key=lambda s: (shard_counts[s], s))
         pod = Pod(
             name=f"{deployment.name}-{self._pod_counter}",
             instance_type=instance_type,
+            shard=shard,
         )
         deployment.pods.append(pod)
         self.simulator.spawn(
@@ -292,7 +332,9 @@ class Cluster:
                 context["service_profile"],
                 context["batching"],
                 context["server_profile"],
-                context["model"],
+                self._model_for_shard(
+                    context["model"], context.get("sharding"), shard
+                ),
                 context["jit_warmup_s"],
                 Signal(f"{pod.name}-ready"),
                 {"count": 1},
@@ -335,7 +377,9 @@ class Cluster:
             rng=np.random.default_rng(self.rng.integers(2**63)),
             profile=context["server_profile"],
             batching=context["batching"],
-            model=context["model"],
+            model=self._model_for_shard(
+                context["model"], context.get("sharding"), pod.shard
+            ),
             name=f"{pod.name}-restarted",
             telemetry=context.get("telemetry"),
             artifact_version=context["artifact_path"],

@@ -30,9 +30,24 @@ the service executes exactly the pre-routing code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 DISCIPLINES = ("rr", "lor")
+
+
+def partition_by_shard(pods: Sequence) -> Dict[int, List]:
+    """Group a pod list by shard index, preserving deployment order.
+
+    The scatter-gather service routes each shard leg within its own pod
+    group — every routing discipline (rr / lor / ejection) then applies
+    per shard, because balancing across shards would be meaningless: a
+    request must reach *every* shard exactly once. Pods without a shard
+    attribute (plain deployments) all land in group 0.
+    """
+    groups: Dict[int, List] = {}
+    for pod in pods:
+        groups.setdefault(getattr(pod, "shard", 0), []).append(pod)
+    return groups
 
 
 @dataclass(frozen=True)
@@ -118,4 +133,4 @@ class RoutingPolicy:
         )
 
 
-__all__ = ["RoutingPolicy", "DISCIPLINES"]
+__all__ = ["RoutingPolicy", "DISCIPLINES", "partition_by_shard"]

@@ -23,7 +23,10 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 import numpy as np
 
 from repro.cluster.kubernetes import ModelDeployment, Pod
-from repro.cluster.routing import RoutingPolicy
+from repro.cluster.routing import RoutingPolicy, partition_by_shard
+from repro.hardware.latency_model import ShardMergeCost
+from repro.sharding.config import shard_bounds
+from repro.sharding.gather import ScatterGatherAggregator
 from repro.serving.request import (
     HTTP_OK,
     HTTP_SERVICE_UNAVAILABLE,
@@ -78,6 +81,9 @@ class ClusterIPService:
         rng: np.random.Generator,
         telemetry: Optional["Telemetry"] = None,
         routing: Optional[RoutingPolicy] = None,
+        top_k: int = 20,
+        catalog_size: Optional[int] = None,
+        merge_cost: Optional[ShardMergeCost] = None,
     ):
         self.simulator = simulator
         self.deployment = deployment
@@ -120,6 +126,31 @@ class ClusterIPService:
                     "pod_ejected_total", unit="ejections",
                     help="pods ejected from rotation by the outlier breaker",
                 )
+        # Scatter-gather front for sharded deployments. None on S=1: the
+        # request path below is then byte-for-byte the pre-sharding one.
+        self.aggregator: Optional[ScatterGatherAggregator] = None
+        self._shard_cursors: Dict[int, int] = {}
+        if getattr(deployment, "shards", 1) > 1:
+            shards = deployment.shards
+            if catalog_size is not None and catalog_size > 0:
+                fractions = [
+                    (hi - lo) / catalog_size
+                    for lo, hi in shard_bounds(catalog_size, shards)
+                ]
+            else:
+                fractions = None
+            self.aggregator = ScatterGatherAggregator(
+                simulator=simulator,
+                config=deployment.sharding,
+                shard_submits=[
+                    self._shard_submit(shard) for shard in range(shards)
+                ],
+                network_delay=self._network_delay,
+                top_k=top_k,
+                coverage_fractions=fractions,
+                merge_cost=merge_cost,
+                telemetry=telemetry,
+            )
 
     def _network_delay(self) -> float:
         return (
@@ -254,11 +285,94 @@ class ClusterIPService:
             and self.simulator.now < state.ejected_until
         )
 
+    # -- sharded request path ------------------------------------------------
+
+    def _shard_submit(self, shard_index: int):
+        """Submit target for one shard leg: route within the shard's pods.
+
+        Every routing discipline (round-robin cursor, LOR, ejection,
+        endpoint lag) applies *within* the shard group — a request must
+        reach each shard exactly once, so there is nothing to balance
+        across shards. A shard with no pod in view answers an immediate
+        503 for its leg (connection refused; the aggregator has already
+        charged the network legs).
+        """
+
+        def submit(
+            sub_request: RecommendationRequest, respond: ResponseCallback
+        ) -> None:
+            if self.routing is None:
+                view = self.deployment.ready_pods
+            else:
+                view = self._routing_view()
+            pods = partition_by_shard(view).get(shard_index, [])
+            if not pods:
+                respond(
+                    RecommendationResponse(
+                        request_id=sub_request.request_id,
+                        status=HTTP_SERVICE_UNAVAILABLE,
+                        completed_at=self.simulator.now,
+                        latency_s=self.simulator.now - sub_request.sent_at,
+                        coverage=0.0,
+                    )
+                )
+                return
+            if self.routing is None:
+                cursor = self._shard_cursors.get(shard_index, 0)
+                pod = pods[cursor % len(pods)]
+                self._shard_cursors[shard_index] = cursor + 1
+            else:
+                pod = self._select_pod(pods)
+
+            def observe_and_respond(response: RecommendationResponse) -> None:
+                if self.routing is not None:
+                    self._observe(pod, response)
+                respond(response)
+
+            pod.server.submit(sub_request, observe_and_respond)
+
+        return submit
+
+    def _submit_sharded(
+        self, request: RecommendationRequest, respond: ResponseCallback
+    ) -> None:
+        """Fan one request out to every shard via the aggregation tier.
+
+        Legs: client -> aggregator (charged here), aggregator <-> each
+        shard pod in parallel plus the merge cost (charged by the
+        aggregator — the response waits for the slowest shard), and
+        aggregator -> client (charged on delivery below).
+        """
+        if not self.deployment.ready_signal.fired:
+            raise RuntimeError(
+                "no ready pods; wait for the deployment's readiness signal"
+            )
+        self.routed += 1
+        if self.telemetry is not None:
+            self._routed_counter.inc()
+
+        def deliver(response: RecommendationResponse) -> None:
+            def arrive() -> None:
+                now = self.simulator.now
+                response.completed_at = now
+                response.latency_s = now - request.sent_at
+                respond(response)
+
+            self.simulator.call_in(self._network_delay(), arrive)
+
+        self.simulator.call_in(
+            self._network_delay(),
+            lambda: self.aggregator.scatter(request, deliver),
+        )
+
     # -- request path -------------------------------------------------------
 
     def submit(
         self, request: RecommendationRequest, respond: ResponseCallback
     ) -> None:
+        if self.aggregator is not None:
+            self._submit_sharded(request, respond)
+            return
         if self.routing is None:
             pods = self.deployment.ready_pods
         else:

@@ -17,6 +17,7 @@ import json
 from dataclasses import asdict
 from typing import TYPE_CHECKING, List, Optional
 
+from repro.cluster.kubernetes import DeploymentError
 from repro.cluster.provisioning import Infrastructure, make_infra
 from repro.cluster.service import ClusterIPService
 from repro.core.registry import GLOBAL_REGISTRY, AssetRegistry, ServingAssets
@@ -27,6 +28,11 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.results import LatencySeries, RunResult
 from repro.serving.batching import BatchingConfig
 from repro.serving.profiles import ActixProfile
+from repro.sharding.plan import (
+    shard_resident_bytes,
+    shard_score_bytes_per_item,
+    shard_service_profile,
+)
 from repro.tensor.serialization import save_module_state
 from repro.workload.synthetic import SyntheticWorkloadGenerator
 
@@ -110,21 +116,58 @@ class ExperimentRunner:
                 cache=spec.cache,
             )
 
+        # Catalog sharding: each pod hosts one catalog slice, so the
+        # deployed profile / footprint / score traffic shrink to the
+        # largest shard's share. Disabled (None or S=1) leaves every
+        # value exactly the full-catalog one — the bit-identity contract.
+        sharding = (
+            spec.sharding
+            if spec.sharding is not None and spec.sharding.enabled
+            else None
+        )
+        service_profile = assets.profile
+        resident_bytes = assets.resident_bytes
+        score_bytes = assets.score_bytes_per_item
+        if sharding is not None:
+            if not assets.model.supports_quantized_head:
+                raise DeploymentError(
+                    f"model {spec.model!r} fuses its scoring head into "
+                    "forward(); catalog sharding needs a separable "
+                    "encode/score split"
+                )
+            resident_bytes = shard_resident_bytes(
+                assets.resident_bytes,
+                spec.catalog_size,
+                assets.model.embedding_dim,
+                sharding.shards,
+            )
+            score_bytes = shard_score_bytes_per_item(
+                assets.score_bytes_per_item, spec.catalog_size, sharding.shards
+            )
+            service_profile = shard_service_profile(
+                assets.trace,
+                instance.device,
+                spec.catalog_size,
+                sharding.shards,
+                resident_bytes=resident_bytes,
+            )
+
         deployment = cluster.deploy_model(
             name=f"{spec.model}-bench",
             instance_type=instance,
             replicas=spec.hardware.replicas,
             artifact_path=artifact,
-            service_profile=assets.profile,
+            service_profile=service_profile,
             server_profile=server_profile,
-            resident_bytes=assets.resident_bytes,
-            score_bytes_per_item=assets.score_bytes_per_item,
+            resident_bytes=resident_bytes,
+            score_bytes_per_item=score_bytes,
             batching=BatchingConfig(),
             jit_warmup_s=(
                 self.JIT_WARMUP_S if assets.execution_effective == "jit" else 0.0
             ),
-            load_bytes=assets.resident_bytes,
+            load_bytes=resident_bytes,
             telemetry=telemetry,
+            sharding=sharding,
         )
 
         workload = SyntheticWorkloadGenerator(
@@ -140,6 +183,8 @@ class ExperimentRunner:
                 simulator, deployment, streams.stream("network"),
                 telemetry=telemetry,
                 routing=spec.routing,
+                top_k=spec.top_k,
+                catalog_size=spec.catalog_size,
             )
             generator = LoadGenerator(
                 simulator=simulator,
@@ -311,6 +356,18 @@ class ExperimentRunner:
                 "remote_entries": remote_entries,
                 "p90_hit_ms": collector.percentile_hit_ms(90),
                 "p90_miss_ms": collector.percentile_miss_ms(90),
+            }
+        if spec.sharding is not None and spec.sharding.enabled:
+            service = state.get("service")
+            aggregator = service.aggregator if service is not None else None
+            result.sharding = {
+                "config": spec.sharding.spec_string(),
+                "replicas_per_shard": spec.hardware.replicas,
+                **(
+                    aggregator.stats()
+                    if aggregator is not None
+                    else {"shards": spec.sharding.shards}
+                ),
             }
         if telemetry is not None:
             from repro.obs.export import stage_breakdown

@@ -28,6 +28,9 @@ from repro.serving.batching import BatchingConfig
 from repro.serving.fallback import FallbackConfig
 from repro.serving.profiles import ActixProfile
 from repro.serving.torchserve import TorchServeServer
+from repro.sharding.config import ShardingConfig
+from repro.sharding.gather import ScatterGatherAggregator
+from repro.hardware.latency_model import NetworkHop
 from repro.simulation import RandomStreams, Simulator
 from repro.workload.statistics import WorkloadStatistics
 from repro.workload.synthetic import SyntheticWorkloadGenerator
@@ -73,6 +76,9 @@ class InfraTestResult:
     #: Result-cache tallies, present when the run had a cache with
     #: non-zero capacity configured.
     cache: Optional[Dict] = None
+    #: Catalog-sharding tallies (fan-outs, partial responses, coverage),
+    #: present when the run sharded the catalog (S > 1).
+    sharding: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:
@@ -92,6 +98,7 @@ def run_infra_test(
     admission: Optional[AdmissionPolicy] = None,
     fallback: Optional[FallbackConfig] = None,
     cache: Optional[CacheConfig] = None,
+    sharding: Optional[ShardingConfig] = None,
 ) -> InfraTestResult:
     """Run the no-inference serving test with one of the two stacks.
 
@@ -116,6 +123,8 @@ def run_infra_test(
         )
     if cache is not None and server_kind != "actix":
         raise ValueError("the result cache is an Actix-server feature")
+    if sharding is not None and sharding.enabled and server_kind != "actix":
+        raise ValueError("catalog sharding is an Actix-server feature")
     registry = registry or GLOBAL_REGISTRY
     assets = registry.assets("noop", 1, INFRA_TEST_DEVICE, "eager", top_k=1)
 
@@ -123,6 +132,7 @@ def run_infra_test(
     streams = RandomStreams(seed)
     if telemetry is not None:
         telemetry.bind(simulator)
+    aggregator = None
     if server_kind == "torchserve":
         server = TorchServeServer(
             simulator=simulator,
@@ -131,21 +141,55 @@ def run_infra_test(
             rng=streams.stream("torchserve"),
             vcpus=2.0,
         )
+        servers = [server]
+        submit_target = server.submit
     else:
         server_profile = None
         if admission is not None or fallback is not None or cache is not None:
             server_profile = ActixProfile(
                 admission=admission, fallback=fallback, cache=cache
             )
-        server = EtudeInferenceServer(
-            simulator=simulator,
-            device=INFRA_TEST_DEVICE,
-            service_profile=assets.profile,
-            rng=streams.stream("actix"),
-            profile=server_profile,
-            batching=BatchingConfig(max_batch_size=1, max_delay_s=0.0),
-            telemetry=telemetry,
-        )
+        if sharding is not None and sharding.enabled:
+            # One bare server per shard behind a scatter-gather front;
+            # the aggregator charges the fan-out network legs and the
+            # merge cost (the figure-2 single-server path has no legs).
+            servers = [
+                EtudeInferenceServer(
+                    simulator=simulator,
+                    device=INFRA_TEST_DEVICE,
+                    service_profile=assets.profile,
+                    rng=streams.stream(f"actix-shard{index}"),
+                    profile=server_profile,
+                    batching=BatchingConfig(max_batch_size=1, max_delay_s=0.0),
+                    telemetry=telemetry,
+                    name=f"etude-shard{index}",
+                )
+                for index in range(sharding.shards)
+            ]
+            server = servers[0]
+            hop = NetworkHop()
+            net_rng = streams.stream("shard-net")
+            aggregator = ScatterGatherAggregator(
+                simulator=simulator,
+                config=sharding,
+                shard_submits=[shard.submit for shard in servers],
+                network_delay=lambda: hop.sample(net_rng),
+                top_k=1,
+                telemetry=telemetry,
+            )
+            submit_target = aggregator.scatter
+        else:
+            server = EtudeInferenceServer(
+                simulator=simulator,
+                device=INFRA_TEST_DEVICE,
+                service_profile=assets.profile,
+                rng=streams.stream("actix"),
+                profile=server_profile,
+                batching=BatchingConfig(max_batch_size=1, max_delay_s=0.0),
+                telemetry=telemetry,
+            )
+            servers = [server]
+            submit_target = server.submit
 
     workload = SyntheticWorkloadGenerator(
         WorkloadStatistics(catalog_size=10_000, alpha_length=1.85, alpha_clicks=1.35),
@@ -154,7 +198,7 @@ def run_infra_test(
     collector = MetricsCollector()
     generator = LoadGenerator(
         simulator=simulator,
-        submit=server.submit,
+        submit=submit_target,
         session_source=workload.iter_sessions(),
         target_rps=target_rps,
         duration_s=duration_s,
@@ -170,7 +214,7 @@ def run_infra_test(
     controller = None
     if chaos is not None:
         controller = chaos.install(
-            simulator, servers=[server], telemetry=telemetry
+            simulator, servers=servers, telemetry=telemetry
         )
     simulator.run()
 
@@ -184,25 +228,45 @@ def run_infra_test(
             "fallback": (
                 fallback.spec_string() if fallback is not None else None
             ),
-            "shed_deadline": getattr(server, "shed_deadline", 0),
-            "shed_codel": getattr(server, "shed_codel", 0),
-            "shed_queue_full": getattr(server, "shed_queue_full", 0),
-            "degraded_served": getattr(server, "degraded_served", 0),
+            "shed_deadline": sum(getattr(s, "shed_deadline", 0) for s in servers),
+            "shed_codel": sum(getattr(s, "shed_codel", 0) for s in servers),
+            "shed_queue_full": sum(
+                getattr(s, "shed_queue_full", 0) for s in servers
+            ),
+            "degraded_served": sum(
+                getattr(s, "degraded_served", 0) for s in servers
+            ),
             "degraded_fraction": collector.degraded_fraction,
             "p90_full_ms": collector.percentile_full_ms(90),
             "p90_degraded_ms": collector.percentile_degraded_ms(90),
         }
 
     cache_section = None
-    server_cache = getattr(server, "cache", None)
-    if cache is not None and cache.enabled and server_cache is not None:
+    server_caches = [
+        c for c in (getattr(s, "cache", None) for s in servers) if c is not None
+    ]
+    if cache is not None and cache.enabled and server_caches:
+        stats: Dict[str, int] = {}
+        for server_cache in server_caches:
+            for key, value in server_cache.stats().items():
+                stats[key] = stats.get(key, 0) + value
+        hits = stats.get("hits_local", 0) + stats.get("hits_remote", 0)
+        lookups = hits + stats.get("misses", 0)
         cache_section = {
             "config": cache.spec_string(),
-            **server_cache.stats(),
-            "hit_rate": server_cache.hit_rate(),
+            **stats,
+            "hit_rate": hits / lookups if lookups else 0.0,
             "hit_fraction": collector.cache_hit_fraction,
             "p90_hit_ms": collector.percentile_hit_ms(90),
             "p90_miss_ms": collector.percentile_miss_ms(90),
+        }
+
+    sharding_section = None
+    if aggregator is not None:
+        sharding_section = {
+            "config": sharding.spec_string(),
+            **aggregator.stats(),
+            "per_shard_completed": [s.completed for s in servers],
         }
 
     return InfraTestResult(
@@ -221,4 +285,5 @@ def run_infra_test(
         chaos_events=controller.fired if controller is not None else [],
         overload=overload,
         cache=cache_section,
+        sharding=sharding_section,
     )

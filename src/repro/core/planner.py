@@ -24,17 +24,28 @@ from repro.core.experiment import ExperimentRunner
 from repro.core.spec import SLO, ExperimentSpec, HardwareSpec, Scenario
 from repro.hardware.instances import INSTANCE_TYPES, InstanceType, instance_by_name
 from repro.metrics.results import RunResult
+from repro.sharding.config import ShardingConfig
+from repro.sharding.plan import shard_resident_bytes, shard_service_profile
 from repro.workload.statistics import WorkloadStatistics
 
 
 @dataclass
 class DeploymentOption:
-    """One feasible deployment: instance type, count, cost, evidence."""
+    """One feasible deployment: instance type, count, cost, evidence.
+
+    ``replicas`` is *per shard*; a sharded option runs
+    ``replicas * shards`` machines and its cost reflects that.
+    """
 
     instance_type: str
     replicas: int
     monthly_cost_usd: float
     result: RunResult
+    shards: int = 1
+
+    @property
+    def total_machines(self) -> int:
+        return self.replicas * self.shards
 
 
 @dataclass
@@ -52,7 +63,9 @@ class ScenarioPlan:
         Cost ties are real (e.g. two instance types priced identically at
         different replica counts); resolving them by list insertion order
         made the planner's answer depend on instance-catalog ordering.
-        Ties break by fewest replicas, then instance-type name.
+        Ties break by fewest total machines, then fewest shards (less
+        fan-out), then instance-type name. With every option at S=1 this
+        is the pre-sharding ordering.
         """
         if not self.options:
             return None
@@ -60,7 +73,8 @@ class ScenarioPlan:
             self.options,
             key=lambda option: (
                 option.monthly_cost_usd,
-                option.replicas,
+                option.total_machines,
+                option.shards,
                 option.instance_type,
             ),
         )
@@ -77,6 +91,7 @@ class DeploymentPlanner:
         max_replicas: int = 8,
         repetitions: int = 1,
         cache: Optional[CacheConfig] = None,
+        shard_counts: Sequence[int] = (1,),
     ):
         self.runner = runner or ExperimentRunner()
         self.slo = slo
@@ -86,6 +101,12 @@ class DeploymentPlanner:
         #: Optional result cache deployed with every candidate (None =
         #: plan the paper's cache-less serving stack).
         self.cache = cache
+        #: Catalog-shard counts to evaluate per instance type ((1,) =
+        #: the paper's unsharded serving). Each S > 1 candidate runs
+        #: ``replicas`` pods per shard and pays for all of them.
+        self.shard_counts = tuple(shard_counts)
+        if not self.shard_counts or any(s < 1 for s in self.shard_counts):
+            raise ValueError("shard_counts must be positive integers")
         self._hit_rate_memo: Dict[Tuple[int, int], float] = {}
 
     def expected_hit_rate(self, scenario: Scenario) -> float:
@@ -109,10 +130,42 @@ class DeploymentPlanner:
 
     # -- capacity estimate ----------------------------------------------------
 
+    def _candidate_profile(
+        self, model: str, scenario: Scenario, instance: InstanceType, shards: int
+    ):
+        """Service-time profile a candidate replica would run with.
+
+        At S=1 this is the registry profile; sharded candidates fold the
+        full-catalog trace into the largest shard's slice exactly the way
+        the experiment driver does, so the analytic seed and the measured
+        run agree on what one pod costs.
+        """
+        if shards <= 1:
+            return self.runner.registry.profile(
+                model, scenario.catalog_size, instance.device, "jit"
+            )
+        trace, _effective, _jit_failed = self.runner.registry.trace(
+            model, scenario.catalog_size, "jit"
+        )
+        asset_model = self.runner.registry.model(model, scenario.catalog_size)
+        resident = shard_resident_bytes(
+            asset_model.resident_bytes(),
+            scenario.catalog_size,
+            asset_model.embedding_dim,
+            shards,
+        )
+        return shard_service_profile(
+            trace, instance.device, scenario.catalog_size, shards, resident
+        )
+
     def estimate_replicas(
-        self, model: str, scenario: Scenario, instance: InstanceType
+        self,
+        model: str,
+        scenario: Scenario,
+        instance: InstanceType,
+        shards: int = 1,
     ) -> int:
-        """Analytic lower bound on the replica count.
+        """Analytic lower bound on the (per-shard) replica count.
 
         Per-replica capacity: for batching devices the stability limit is
         ``1 / per_item_s`` (the batch absorbs the fixed cost); for CPUs it
@@ -126,9 +179,7 @@ class DeploymentPlanner:
         inference latency, so the latency feasibility guards are
         unchanged.)
         """
-        profile = self.runner.registry.profile(
-            model, scenario.catalog_size, instance.device, "jit"
-        )
+        profile = self._candidate_profile(model, scenario, instance, shards)
         device = instance.device
         if device.is_accelerator:
             capacity = 1.0 / max(profile.per_item_s, 1e-9)
@@ -152,24 +203,29 @@ class DeploymentPlanner:
     # -- search -------------------------------------------------------------------
 
     def min_feasible_replicas(
-        self, model: str, scenario: Scenario, instance: InstanceType
+        self,
+        model: str,
+        scenario: Scenario,
+        instance: InstanceType,
+        shards: int = 1,
     ) -> Optional[DeploymentOption]:
-        """Smallest verified replica count, or None if infeasible."""
-        start = self.estimate_replicas(model, scenario, instance)
+        """Smallest verified per-shard replica count, or None if infeasible."""
+        start = self.estimate_replicas(model, scenario, instance, shards)
         if start > self.max_replicas:
             return None
         best: Optional[DeploymentOption] = None
         replicas = start
         while replicas <= self.max_replicas:
-            result = self._measure(model, scenario, instance, replicas)
+            result = self._measure(model, scenario, instance, replicas, shards)
             if result is None:
-                return None  # cannot even deploy (memory)
+                return None  # cannot even deploy (memory / unshardable head)
             if result.meets_slo(self.slo.p90_latency_ms, self.slo.max_error_rate):
                 best = DeploymentOption(
                     instance_type=instance.name,
                     replicas=replicas,
-                    monthly_cost_usd=instance.cost_for(replicas),
+                    monthly_cost_usd=instance.cost_for(replicas * shards),
                     result=result,
+                    shards=shards,
                 )
                 break
             replicas += 1
@@ -177,7 +233,9 @@ class DeploymentPlanner:
             return None
         # The analytic seed can overshoot; try to shrink.
         while best.replicas > 1:
-            candidate = self._measure(model, scenario, instance, best.replicas - 1)
+            candidate = self._measure(
+                model, scenario, instance, best.replicas - 1, shards
+            )
             if candidate is None or not candidate.meets_slo(
                 self.slo.p90_latency_ms, self.slo.max_error_rate
             ):
@@ -185,13 +243,19 @@ class DeploymentPlanner:
             best = DeploymentOption(
                 instance_type=instance.name,
                 replicas=best.replicas - 1,
-                monthly_cost_usd=instance.cost_for(best.replicas - 1),
+                monthly_cost_usd=instance.cost_for((best.replicas - 1) * shards),
                 result=candidate,
+                shards=shards,
             )
         return best
 
     def _measure(
-        self, model: str, scenario: Scenario, instance: InstanceType, replicas: int
+        self,
+        model: str,
+        scenario: Scenario,
+        instance: InstanceType,
+        replicas: int,
+        shards: int = 1,
     ) -> Optional[RunResult]:
         spec = ExperimentSpec(
             model=model,
@@ -200,6 +264,7 @@ class DeploymentPlanner:
             hardware=HardwareSpec(instance_type=instance.name, replicas=replicas),
             duration_s=self.duration_s,
             cache=self.cache,
+            sharding=ShardingConfig(shards=shards) if shards > 1 else None,
         )
         try:
             return self.runner.run_repeated(spec, repetitions=self.repetitions)
@@ -220,12 +285,23 @@ class DeploymentPlanner:
         for model in models:
             plan = ScenarioPlan(scenario=scenario, model=model)
             for instance in instances:
-                option = self.min_feasible_replicas(model, scenario, instance)
-                if option is None:
-                    plan.infeasible[instance.name] = (
-                        f"no feasible deployment within {self.max_replicas} replicas"
+                for shards in self.shard_counts:
+                    option = self.min_feasible_replicas(
+                        model, scenario, instance, shards
                     )
-                else:
-                    plan.options.append(option)
+                    # S=1 keeps the pre-sharding infeasible key so existing
+                    # reports/tests read unchanged.
+                    key = (
+                        instance.name
+                        if shards == 1
+                        else f"{instance.name} (S={shards})"
+                    )
+                    if option is None:
+                        plan.infeasible[key] = (
+                            "no feasible deployment within "
+                            f"{self.max_replicas} replicas"
+                        )
+                    else:
+                        plan.options.append(option)
             plans[model] = plan
         return plans

@@ -19,6 +19,15 @@ def format_cost(cost: float) -> str:
     return f"${cost:,.0f}"
 
 
+def _option_cell(option) -> str:
+    """Per-model table cell: ``x3`` (replicas), ``x3/S4`` when sharded."""
+    if option is None:
+        return "-"
+    if option.shards > 1:
+        return f"x{option.replicas}/S{option.shards}"
+    return f"x{option.replicas}"
+
+
 def render_scenario_table(
     plans_per_scenario: Dict[str, Dict[str, ScenarioPlan]],
     models: Sequence[str],
@@ -49,15 +58,27 @@ def render_scenario_table(
                 plan = plans.get(model)
                 option = None
                 if plan is not None:
-                    for candidate in plan.options:
-                        if candidate.instance_type == instance_name:
-                            option = candidate
-                            break
+                    # With shard counts in play one instance type can carry
+                    # several options; show the cheapest (planner tie-break).
+                    candidates = [
+                        candidate
+                        for candidate in plan.options
+                        if candidate.instance_type == instance_name
+                    ]
+                    if candidates:
+                        option = min(
+                            candidates,
+                            key=lambda o: (
+                                o.monthly_cost_usd,
+                                o.total_machines,
+                                o.shards,
+                            ),
+                        )
                 per_model[model] = option
             feasible = {m: o for m, o in per_model.items() if o is not None}
             if not feasible:
                 continue
-            amount = min(option.replicas for option in feasible.values())
+            amount = min(option.total_machines for option in feasible.values())
             cost = min(option.monthly_cost_usd for option in feasible.values())
             rows.append((instance_name, amount, cost, per_model))
 
@@ -67,10 +88,7 @@ def render_scenario_table(
         cheapest_cost = min(cost for _n, _a, cost, _p in rows)
         for index, (instance_name, amount, cost, per_model) in enumerate(rows):
             marker = "*" if cost == cheapest_cost else " "
-            cells = " ".join(
-                f"{'x' + str(per_model[m].replicas) if per_model[m] else '-':>9}"
-                for m in models
-            )
+            cells = " ".join(f"{_option_cell(per_model[m]):>9}" for m in models)
             label = scenario_name if index == 0 else ""
             lines.append(
                 f"{label:<20} {marker}{instance_name:<9} {amount:>6} "

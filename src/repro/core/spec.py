@@ -17,6 +17,7 @@ from repro.cluster.routing import RoutingPolicy
 from repro.loadgen.retry import RetryPolicy
 from repro.serving.admission import AdmissionPolicy
 from repro.serving.fallback import FallbackConfig
+from repro.sharding.config import ShardingConfig
 from repro.workload.statistics import WorkloadStatistics
 
 
@@ -85,6 +86,11 @@ class ExperimentSpec:
     #: :class:`~repro.cache.tier.CacheConfig` or its compact spec string
     #: (``"lfu,capacity=8192,window=4"``; ``""`` = LRU defaults).
     cache: Optional[Union[CacheConfig, str]] = None
+    #: Catalog sharding with scatter-gather top-k (None or S=1 = the
+    #: paper's single-slice serving). ``replicas`` is then *per shard*.
+    #: Accepts a :class:`~repro.sharding.config.ShardingConfig`, its
+    #: compact spec string (``"4"`` / ``"4,partial=off"``) or a bare int.
+    sharding: Optional[Union[ShardingConfig, str, int]] = None
 
     def __post_init__(self):
         if self.execution not in ("jit", "eager", "onnx"):
@@ -105,6 +111,10 @@ class ExperimentSpec:
             object.__setattr__(self, "fallback", FallbackConfig.parse(self.fallback))
         if isinstance(self.cache, str):
             object.__setattr__(self, "cache", CacheConfig.parse(self.cache))
+        if isinstance(self.sharding, str):
+            object.__setattr__(self, "sharding", ShardingConfig.parse(self.sharding))
+        elif isinstance(self.sharding, int) and not isinstance(self.sharding, bool):
+            object.__setattr__(self, "sharding", ShardingConfig(shards=self.sharding))
 
     def workload_statistics(self) -> WorkloadStatistics:
         """The provided statistics, or the bol.com-like defaults."""

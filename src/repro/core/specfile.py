@@ -48,6 +48,7 @@ _KNOWN_KEYS = {
     "routing",
     "fallback",
     "cache",
+    "shards",
 }
 
 
@@ -104,6 +105,7 @@ def spec_from_dict(raw: Dict[str, Any]) -> Tuple[ExperimentSpec, SLO]:
         routing=raw.get("routing"),
         fallback=raw.get("fallback"),
         cache=raw.get("cache"),
+        sharding=raw.get("shards"),
     )
     return spec, slo
 
@@ -149,6 +151,8 @@ def spec_to_dict(spec: ExperimentSpec, slo: SLO = SLO()) -> Dict[str, Any]:
         document["fallback"] = spec.fallback.spec_string()
     if spec.cache is not None:
         document["cache"] = spec.cache.spec_string()
+    if spec.sharding is not None:
+        document["shards"] = spec.sharding.spec_string()
     if spec.workload is not None:
         document["workload"] = {
             "catalog_size": spec.workload.catalog_size,

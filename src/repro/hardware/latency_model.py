@@ -20,6 +20,7 @@ stream the catalog at once (modelled by the serving layer via
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,6 +57,32 @@ class NetworkHop:
     def sample_round_trip(self, rng: np.random.Generator) -> float:
         """Request + response traversal (two independent draws)."""
         return self.sample(rng) + self.sample(rng)
+
+
+@dataclass(frozen=True)
+class ShardMergeCost:
+    """Aggregator-side cost of merging per-shard top-k candidates.
+
+    The scatter-gather tier collects ``S * k`` (id, score) pairs and
+    selects the global top-k — a k-way heap merge, ``O(S·k·log S)``
+    comparisons plus fixed response-assembly overhead. This is charged
+    on the aggregator *after* the slowest shard leg lands, so it adds
+    directly to the fan-out tail.
+    """
+
+    base_s: float = 5.0e-5
+    per_candidate_s: float = 2.0e-8
+
+    def __post_init__(self):
+        if self.base_s < 0 or self.per_candidate_s < 0:
+            raise ValueError("merge cost components must be >= 0")
+
+    def cost_s(self, shards: int, k: int) -> float:
+        """Merge time for ``shards`` candidate lists of ``k`` entries."""
+        shards = max(int(shards), 1)
+        candidates = shards * max(int(k), 1)
+        comparisons = candidates * math.log2(max(shards, 2))
+        return self.base_s + comparisons * self.per_candidate_s
 
 
 @dataclass(frozen=True)

@@ -96,6 +96,10 @@ class RunResult:
     #: rate, p90 split by hit-vs-miss), present when the run had a cache
     #: configured with non-zero capacity.
     cache: Optional[Dict] = None
+    #: Catalog-sharding tallies (shard count, fan-outs, partial responses,
+    #: catalog-coverage stats, merge cost), present when the run sharded
+    #: the catalog (S > 1).
+    sharding: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

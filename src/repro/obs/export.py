@@ -26,9 +26,19 @@ from repro.obs.sampler import Sampler
 from repro.obs.trace import Trace
 
 #: Stage spans in pipeline order, with display labels.
-STAGE_ORDER = ("sent", "queued", "batch_assembled", "inference", "http_respond")
+STAGE_ORDER = (
+    "sent",
+    "shard_fanout",
+    "shard_merge",
+    "queued",
+    "batch_assembled",
+    "inference",
+    "http_respond",
+)
 STAGE_LABELS = {
     "sent": "network (send)",
+    "shard_fanout": "shard fan-out",
+    "shard_merge": "shard merge",
     "queued": "queue",
     "batch_assembled": "batch-linger",
     "inference": "inference",

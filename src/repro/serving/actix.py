@@ -58,6 +58,18 @@ if TYPE_CHECKING:
     from repro.obs.trace import Span
 
 
+def _split_payload(payload) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Unpack a cached result into ``(items, scores)``.
+
+    Plain servers cache the top-k items array; shard replicas cache an
+    ``(items, scores)`` pair so hits keep the scores the scatter-gather
+    merge needs.
+    """
+    if type(payload) is tuple:
+        return payload
+    return payload, None
+
+
 class EtudeInferenceServer:
     """One deployed model replica served by the Actix-style runtime."""
 
@@ -358,10 +370,11 @@ class EtudeInferenceServer:
         self,
         request: RecommendationRequest,
         respond: ResponseCallback,
-        items,
+        payload,
         tier: str,
     ) -> None:
         """Answer a hit within the server's HTTP handling overhead."""
+        items, scores = _split_payload(payload)
         now = self.simulator.now
         http_s = self._http_overhead()
         if self.telemetry is not None:
@@ -388,6 +401,7 @@ class EtudeInferenceServer:
                     inference_s=0.0,
                     batch_size=1,
                     items=items,
+                    scores=scores,
                     cache_hit=True,
                 )
             )
@@ -401,10 +415,11 @@ class EtudeInferenceServer:
         self,
         request: RecommendationRequest,
         respond: ResponseCallback,
-        items,
+        payload,
         joined_at: float,
     ) -> None:
         """Answer a coalesced follower from the leader's fresh result."""
+        items, scores = _split_payload(payload)
         now = self.simulator.now
         parked_s = now - joined_at
         http_s = self._http_overhead()
@@ -429,6 +444,7 @@ class EtudeInferenceServer:
                     queue_s=parked_s,
                     batch_size=1,
                     items=items,
+                    scores=scores,
                     cache_hit=True,
                 )
             )
@@ -438,17 +454,22 @@ class EtudeInferenceServer:
 
         self.simulator.call_in(http_s, deliver)
 
-    def _resolve_flight_ok(self, request: RecommendationRequest, items) -> None:
-        """Leader inference finished: fill the tiers, answer followers."""
+    def _resolve_flight_ok(self, request: RecommendationRequest, payload) -> None:
+        """Leader inference finished: fill the tiers, answer followers.
+
+        ``payload`` is the raw result — top-k items, or an
+        ``(items, scores)`` pair on shard replicas (cached as-is so hits
+        keep the scores the aggregator's merge needs).
+        """
         if self.cache is None:
             return
         key = self._flight_keys.pop(request.request_id, None)
         if key is None:
             return
         now = self.simulator.now
-        self.cache.fill(key, items, now)
+        self.cache.fill(key, payload, now)
         for waiter, waiter_respond, joined_at in self.cache.finish_flight(key):
-            self._serve_follower(waiter, waiter_respond, items, joined_at)
+            self._serve_follower(waiter, waiter_respond, payload, joined_at)
 
     def _resolve_flight_fail(
         self, request: RecommendationRequest, crashed: bool = False
@@ -669,9 +690,19 @@ class EtudeInferenceServer:
             self._fail(request, respond)
             return False
         items = None
+        scores = None
         if self.model is not None:
-            items = self.model.recommend(request.session_items)
-        self._resolve_flight_ok(request, items)
+            if hasattr(self.model, "recommend_with_scores"):
+                # Shard replica: score only this pod's catalog slice and
+                # keep the scores — the scatter-gather merge needs them.
+                items, scores = self.model.recommend_with_scores(
+                    request.session_items
+                )
+            else:
+                items = self.model.recommend(request.session_items)
+        self._resolve_flight_ok(
+            request, items if scores is None else (items, scores)
+        )
         now = self.simulator.now
         respond(
             RecommendationResponse(
@@ -683,6 +714,7 @@ class EtudeInferenceServer:
                 queue_s=queue_s,
                 batch_size=batch_size,
                 items=items,
+                scores=scores,
             )
         )
         self.completed += 1

@@ -54,9 +54,17 @@ class RecommendationResponse:
     queue_s: float = 0.0
     batch_size: int = 1
     items: Optional[np.ndarray] = None
+    #: Scores aligned with ``items`` — populated only on sharded
+    #: deployments, where the scatter-gather merge needs them to pick the
+    #: exact global top-k from the per-shard candidates.
+    scores: Optional[np.ndarray] = None
     #: True when the fallback tier answered (popularity top-k instead of
     #: the session-aware model) — a 200, but quality-degraded.
     degraded: bool = False
+    #: Fraction of the catalog that contributed candidates to this
+    #: response. 1.0 everywhere except sharded fan-outs with failed or
+    #: degraded shard legs (partial-result semantics).
+    coverage: float = 1.0
     #: True when the result cache answered (a tier hit or a coalesced
     #: follower) — full quality, no inference executed for this request.
     cache_hit: bool = False

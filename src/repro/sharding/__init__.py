@@ -1,0 +1,42 @@
+"""Catalog sharding: scatter-gather top-k serving over catalog slices.
+
+The catalog splits into S contiguous shards, each served by its own
+replica set that scores only its slice; a scatter-gather aggregator
+fans every request out to all shards and merges the per-shard top-k
+into the exact global top-k. See ``docs/sharding.md``.
+"""
+
+from repro.sharding.config import (
+    ShardingConfig,
+    largest_shard_fraction,
+    shard_bounds,
+)
+from repro.sharding.gather import SUB_REQUEST_ID_START, ScatterGatherAggregator
+from repro.sharding.merge import (
+    ShardScorer,
+    build_shard_scorers,
+    merge_topk,
+    topk_by_score,
+)
+from repro.sharding.plan import (
+    shard_cost_trace,
+    shard_resident_bytes,
+    shard_score_bytes_per_item,
+    shard_service_profile,
+)
+
+__all__ = [
+    "ShardingConfig",
+    "shard_bounds",
+    "largest_shard_fraction",
+    "ScatterGatherAggregator",
+    "SUB_REQUEST_ID_START",
+    "ShardScorer",
+    "build_shard_scorers",
+    "topk_by_score",
+    "merge_topk",
+    "shard_cost_trace",
+    "shard_service_profile",
+    "shard_resident_bytes",
+    "shard_score_bytes_per_item",
+]

@@ -1,0 +1,117 @@
+"""Exact scatter-gather top-k: shard-local scoring and global merge.
+
+Exactness argument: each item belongs to exactly one shard, so the true
+global top-k is a subset of the union of the per-shard top-k lists
+(every global winner is a local winner of its own shard, since fewer
+competitors can only improve its local rank). Merging the union under
+the same total order as the per-shard selection therefore recovers the
+exact global top-k.
+
+Ties are the only subtlety. ``F.topk`` (argpartition + argsort) is not
+id-stable under equal scores, so this module defines its own total
+order — descending score, ascending item id — and uses it on *both*
+sides (shard-local selection and global merge). The property test in
+``tests/sharding/test_merge_property.py`` exercises exactly this
+contract, adversarially including ties that straddle shard boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sharding.config import shard_bounds
+from repro.tensor.tensor import Tensor
+
+
+def topk_by_score(
+    ids: np.ndarray, scores: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` of ``(ids, scores)`` under the (-score, id) total order.
+
+    Returns ``(top_ids, top_scores)`` sorted by descending score, ties
+    broken by ascending id — a deterministic refinement of the ordering
+    ``F.topk`` produces (identical whenever scores are distinct).
+    """
+    ids = np.asarray(ids)
+    scores = np.asarray(scores)
+    if ids.shape != scores.shape:
+        raise ValueError("ids and scores must have matching shapes")
+    k = min(int(k), ids.shape[0])
+    if k <= 0:
+        return ids[:0], scores[:0]
+    # lexsort sorts by the last key first: primary descending score,
+    # secondary ascending id.
+    order = np.lexsort((ids, -scores))[:k]
+    return ids[order], scores[order]
+
+
+def merge_topk(
+    shard_results: Sequence[Tuple[np.ndarray, np.ndarray]], k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard ``(ids, scores)`` candidates into the global top-k.
+
+    Exact as long as every shard contributed its own top-``k`` under the
+    (-score, id) order (partial fan-outs merge whatever coverage they
+    have — exact over the covered slice of the catalog).
+    """
+    pairs = [pair for pair in shard_results if pair[0].shape[0] > 0]
+    if not pairs:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.astype(np.float64)
+    all_ids = np.concatenate([ids for ids, _ in pairs])
+    all_scores = np.concatenate([scores for _, scores in pairs])
+    return topk_by_score(all_ids, all_scores, k)
+
+
+class ShardScorer:
+    """A shard replica's view of a model: score only this shard's slice.
+
+    Wraps a :class:`~repro.models.base.SessionRecModel`, runs the full
+    session encoder, but restricts the maximum-inner-product search to
+    the shard's contiguous slice of the score vector and returns
+    *global* item ids. Only models with a separable scoring head can be
+    sharded this way; models that fuse scoring into ``forward``
+    (``supports_quantized_head == False``) are rejected up front.
+    """
+
+    def __init__(self, model, shard_index: int, shards: int):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not 0 <= shard_index < shards:
+            raise ValueError("shard_index must be in [0, shards)")
+        if not getattr(model, "supports_quantized_head", False):
+            raise ValueError(
+                f"model {model.name!r} fuses its scoring head into forward(); "
+                "catalog sharding needs a separable encode/score split"
+            )
+        self.model = model
+        self.shard_index = shard_index
+        self.shards = shards
+        self.top_k = model.top_k
+
+    def recommend_with_scores(
+        self, session_items: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Shard-local top-k as ``(global_ids, scores)``.
+
+        The slice is taken over the *materialized* score vector (the
+        scoring table caps at the virtualization limit), so ids line up
+        with what the unsharded model would return.
+        """
+        model = self.model
+        padded, length = model.prepare_inputs(session_items)
+        session_repr = model.encode_session(Tensor(padded), Tensor(length))
+        scores = model.score_catalog(session_repr).numpy()
+        lo, hi = shard_bounds(scores.shape[-1], self.shards)[self.shard_index]
+        local_ids = np.arange(lo, hi, dtype=np.int64)
+        return topk_by_score(local_ids, scores[lo:hi], self.top_k)
+
+    def recommend(self, session_items: Sequence[int]) -> np.ndarray:
+        return self.recommend_with_scores(session_items)[0]
+
+
+def build_shard_scorers(model, shards: int) -> List[ShardScorer]:
+    """One :class:`ShardScorer` per shard over a shared model instance."""
+    return [ShardScorer(model, index, shards) for index in range(shards)]

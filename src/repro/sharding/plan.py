@@ -1,0 +1,83 @@
+"""Per-shard cost derivation: full-catalog assets -> one shard's assets.
+
+The registry profiles every model against the *full* catalog. A shard
+replica only scans its slice, so its service time, memory footprint and
+score traffic shrink — that is the whole point of capacity-driven
+scale-out. These helpers derive the per-shard view from the full-catalog
+cost trace instead of re-tracing, by rescaling exactly the records the
+tensor layer tagged as catalog-proportional (``catalog_scale != 1``).
+
+Honesty caveats, both conservative (never flatter sharding):
+
+- Every derived profile uses the *largest* shard's slice
+  (``ceil(C/S)/C``), because the scatter-gather tail is set by the
+  slowest shard.
+- For catalogs at or below the virtualization limit the scoring scan is
+  materialized 1:1 (``catalog_scale == 1``) and cannot be told apart
+  from encoder work, so each shard is charged the **full** scan cost.
+  Sharding only pays off in the latency model for catalogs above the
+  limit — which is exactly the regime the planner targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.hardware.device import DeviceModel
+from repro.hardware.latency_model import LatencyModel, ServiceTimeProfile
+from repro.sharding.config import largest_shard_fraction
+from repro.tensor.ops import CostTrace
+
+
+def shard_cost_trace(trace: CostTrace, fraction: float) -> CostTrace:
+    """Rescale the catalog-proportional records of a trace to one shard.
+
+    Records with ``catalog_scale == 1`` (encoder work, and the scan
+    itself for small catalogs) pass through untouched.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    records = [
+        record
+        if record.catalog_scale == 1.0
+        else replace(record, catalog_scale=record.catalog_scale * fraction)
+        for record in trace
+    ]
+    return CostTrace(records=records)
+
+
+def shard_service_profile(
+    trace: CostTrace,
+    device: DeviceModel,
+    catalog_size: int,
+    shards: int,
+    resident_bytes: float,
+) -> ServiceTimeProfile:
+    """Fold a full-catalog trace into the largest shard's profile."""
+    fraction = largest_shard_fraction(catalog_size, shards)
+    sharded = shard_cost_trace(trace, fraction)
+    return LatencyModel(device).profile(sharded, resident_bytes=resident_bytes)
+
+
+def shard_resident_bytes(
+    resident_bytes: float,
+    catalog_size: int,
+    embedding_dim: int,
+    shards: int,
+) -> float:
+    """Largest shard's deployed footprint.
+
+    The logical item table splits across shards; every other parameter
+    (encoder weights) is replicated on each shard replica.
+    """
+    fraction = largest_shard_fraction(catalog_size, shards)
+    table_virtual = catalog_size * embedding_dim * 4.0
+    other = max(resident_bytes - table_virtual, 0.0)
+    return table_virtual * fraction + other
+
+
+def shard_score_bytes_per_item(
+    score_bytes_per_item: float, catalog_size: int, shards: int
+) -> float:
+    """Largest shard's per-request score-buffer traffic."""
+    return score_bytes_per_item * largest_shard_fraction(catalog_size, shards)

@@ -1,0 +1,108 @@
+"""The ordered-replay contract of the paper's load generator: never two
+in-flight clicks for one session, round-robin fairness across ready
+sessions, empty sessions skipped at open, retire-on-exhaustion counters."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.loadgen import SessionReplayQueue
+
+
+def make_queue(sessions):
+    return SessionReplayQueue(iter([np.asarray(s, dtype=np.int64) for s in sessions]))
+
+
+def endless(sessions):
+    return SessionReplayQueue(
+        itertools.cycle([np.asarray(s, dtype=np.int64) for s in sessions])
+    )
+
+
+class TestOrderedReplay:
+    def test_prefix_grows_click_by_click(self):
+        queue = make_queue([[10, 20, 30]])
+        for expected in ([10], [10, 20], [10, 20, 30]):
+            session_id, prefix = queue.next_click()
+            assert session_id == 0
+            np.testing.assert_array_equal(prefix, expected)
+            queue.complete(session_id)
+
+    def test_never_two_in_flight_clicks_per_session(self):
+        """Until complete() lands, the same session is never handed out
+        again — next_click() opens a fresh session instead."""
+        queue = endless([[1, 2, 3]])
+        first_id, _ = queue.next_click()
+        second_id, second_prefix = queue.next_click()
+        assert second_id != first_id
+        np.testing.assert_array_equal(second_prefix, [1])  # a new session
+        # Once the first session's response lands it becomes ready again.
+        queue.complete(first_id)
+        third_id, third_prefix = queue.next_click()
+        assert third_id == first_id
+        np.testing.assert_array_equal(third_prefix, [1, 2])
+
+    def test_round_robin_across_ready_sessions(self):
+        """Completed sessions re-queue at the back: an interleaved stream,
+        not one session drained to exhaustion first."""
+        queue = endless([[1, 1, 1, 1]])
+        a, _ = queue.next_click()
+        b, _ = queue.next_click()
+        queue.complete(a)
+        queue.complete(b)
+        order = []
+        for _ in range(4):
+            session_id, _ = queue.next_click()
+            order.append(session_id)
+            queue.complete(session_id)
+        assert order == [a, b, a, b]
+
+    def test_completing_unknown_session_raises(self):
+        queue = endless([[1]])
+        with pytest.raises(KeyError):
+            queue.complete(999)
+
+
+class TestSessionLifecycle:
+    def test_empty_sessions_are_skipped(self):
+        queue = make_queue([[], [], [7, 8]])
+        session_id, prefix = queue.next_click()
+        np.testing.assert_array_equal(prefix, [7])
+        # The two empty sessions never became sessions at all.
+        assert queue.opened_sessions == 1
+
+    def test_exhausted_sessions_retire(self):
+        queue = endless([[5, 6]])
+        session_id, _ = queue.next_click()
+        queue.complete(session_id)
+        _, second = queue.next_click()
+        np.testing.assert_array_equal(second, [5, 6])
+        queue.complete(session_id)
+        assert queue.finished_sessions == 1
+        # Retired for good: completing it again is an error.
+        with pytest.raises(KeyError):
+            queue.complete(session_id)
+        # The next click opens a fresh session.
+        next_id, prefix = queue.next_click()
+        assert next_id != session_id
+        np.testing.assert_array_equal(prefix, [5])
+
+    def test_open_and_finish_counters_balance(self):
+        queue = endless([[1, 2], [3], [4, 5, 6]])
+        for _ in range(60):
+            session_id, _ = queue.next_click()
+            queue.complete(session_id)
+        assert queue.opened_sessions - queue.finished_sessions <= 1
+        assert queue.finished_sessions > 0
+
+    def test_in_flight_count_tracks_outstanding_clicks(self):
+        queue = endless([[1, 2, 3]])
+        assert queue.in_flight_sessions == 0
+        a, _ = queue.next_click()
+        b, _ = queue.next_click()
+        assert queue.in_flight_sessions == 2
+        queue.complete(a)
+        assert queue.in_flight_sessions == 1
+        queue.complete(b)
+        assert queue.in_flight_sessions == 0

@@ -1,0 +1,158 @@
+"""The telemetry exporters on hand-built inputs: JSON round-trip of the
+span trace, stage attribution arithmetic on known spans, and renderer
+smoke on the empty / single-sample edge cases."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import MetricRegistry
+from repro.obs.export import (
+    STAGE_ORDER,
+    render_breakdown,
+    render_timeline,
+    stage_breakdown,
+    trace_to_json,
+)
+from repro.obs.sampler import Sampler
+from repro.obs.trace import Trace
+from repro.simulation import Simulator
+
+
+def build_request_trace(trace, trace_id, start, stages, status=200):
+    """One finished request trace: root + named stage spans.
+
+    ``stages`` is a list of ``(name, offset_s, duration_s)`` tuples;
+    the root covers start .. start + max stage end + 0.001 (respond hop).
+    """
+    last = max((offset + duration for _, offset, duration in stages), default=0.0)
+    root = trace.begin("request", trace_id, at=start, status=status)
+    for name, offset, duration in stages:
+        trace.begin(name, trace_id, at=start + offset).finish(
+            at=start + offset + duration
+        )
+    root.finish(at=start + last + 0.001)
+    return root
+
+
+class TestTraceToJson:
+    def test_round_trip_preserves_spans(self):
+        trace = Trace()
+        build_request_trace(
+            trace, 1, 0.0, [("queued", 0.0, 0.002), ("inference", 0.002, 0.010)]
+        )
+        open_span = trace.begin("queued", 2, at=5.0)  # deliberately open
+        payload = json.loads(trace_to_json(trace))
+        assert payload["span_count"] == len(trace.spans) == 4
+        assert payload["trace_count"] == 2
+        by_name = {span["name"]: span for span in payload["spans"]}
+        assert by_name["request"]["trace_id"] == 1
+        assert by_name["inference"]["start"] == 0.002
+        assert by_name["inference"]["end"] == 0.012
+        # Open spans serialize with end: null instead of blowing up.
+        open_dicts = [s for s in payload["spans"] if s["trace_id"] == 2]
+        assert open_dicts[0]["end"] is None
+        assert not open_span.finished
+
+    def test_attrs_survive_and_numpy_coerces(self):
+        import numpy as np
+
+        trace = Trace()
+        trace.begin("request", 1, at=0.0, status=np.int64(200)).finish(at=0.5)
+        payload = json.loads(trace_to_json(trace, indent=2))
+        assert payload["spans"][0]["attrs"]["status"] == 200
+
+
+class TestStageBreakdown:
+    def test_attribution_on_hand_built_spans(self):
+        trace = Trace()
+        # Two identical requests: 1 ms send, 2 ms queue, 10 ms inference,
+        # 1 ms uncovered respond hop -> 14 ms end to end.
+        for trace_id in (1, 2):
+            build_request_trace(
+                trace,
+                trace_id,
+                float(trace_id),
+                [
+                    ("sent", 0.0, 0.001),
+                    ("queued", 0.001, 0.002),
+                    ("inference", 0.003, 0.010),
+                ],
+            )
+        report = stage_breakdown(trace)
+        assert report is not None
+        assert report.requests == 2
+        assert report.end_to_end.mean_ms == pytest.approx(14.0)
+        assert report.stage("inference").count == 2
+        assert report.stage("inference").mean_ms == pytest.approx(10.0)
+        assert report.stage("queued").mean_ms == pytest.approx(2.0)
+        # Uncovered time lands in "other"; shares sum to 1.
+        assert report.stage("other").mean_ms == pytest.approx(1.0)
+        assert sum(s.share for s in report.stages) == pytest.approx(1.0)
+
+    def test_failed_and_unfinished_requests_are_excluded(self):
+        trace = Trace()
+        build_request_trace(trace, 1, 0.0, [("inference", 0.0, 0.010)])
+        build_request_trace(
+            trace, 2, 1.0, [("inference", 0.0, 0.500)], status=503
+        )
+        trace.begin("request", 3, at=2.0)  # never finished
+        report = stage_breakdown(trace)
+        assert report.requests == 1
+        assert report.stage("inference").mean_ms == pytest.approx(10.0)
+
+    def test_non_request_roots_are_ignored(self):
+        """Sub-request traces root at 'sent' (scatter-gather legs) and
+        housekeeping spans must not pollute the attribution."""
+        trace = Trace()
+        build_request_trace(trace, 1, 0.0, [("inference", 0.0, 0.010)])
+        trace.begin("sent", -1_000_000, at=0.0).finish(at=0.004)
+        trace.begin("chaos", -1, at=0.0).finish(at=9.9)
+        report = stage_breakdown(trace)
+        assert report.requests == 1
+
+    def test_shard_stages_are_recognized(self):
+        assert "shard_fanout" in STAGE_ORDER and "shard_merge" in STAGE_ORDER
+        trace = Trace()
+        build_request_trace(
+            trace,
+            1,
+            0.0,
+            [("shard_fanout", 0.0, 0.004), ("shard_merge", 0.004, 0.001)],
+        )
+        report = stage_breakdown(trace)
+        assert report.stage("shard_fanout").mean_ms == pytest.approx(4.0)
+        assert report.stage("shard_merge").mean_ms == pytest.approx(1.0)
+
+    def test_empty_trace_yields_none(self):
+        assert stage_breakdown(Trace()) is None
+
+
+class TestRendererSmoke:
+    def test_render_breakdown_none(self):
+        assert render_breakdown(None) == "(no finished request traces)"
+
+    def test_render_breakdown_single_request(self):
+        trace = Trace()
+        build_request_trace(trace, 1, 0.0, [("inference", 0.0, 0.010)])
+        text = render_breakdown(stage_breakdown(trace))
+        assert "1 ok requests" in text
+        assert "inference" in text and "end-to-end" in text
+
+    def test_render_timeline_empty(self):
+        assert render_timeline(None) == "(no sampled series)"
+        sampler = Sampler(Simulator(), MetricRegistry())
+        assert render_timeline(sampler) == "(no sampled series)"
+
+    def test_render_timeline_single_sample(self):
+        simulator = Simulator()
+        registry = MetricRegistry()
+        registry.gauge("queue_depth", fn=lambda: 3.0)
+        sampler = Sampler(simulator, registry)
+        sampler.start()
+        simulator.run()  # one immediate snapshot, then the run ends
+        sampler.stop()
+        assert sampler.ticks >= 1
+        text = render_timeline(sampler)
+        assert "queue_depth" in text
+        assert "min=3 max=3" in text

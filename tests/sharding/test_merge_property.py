@@ -1,0 +1,96 @@
+"""Property-based proof of scatter-gather exactness.
+
+The sharding contract: partition the catalog any way you like, take each
+shard's local top-k under the deterministic (-score, id) order, merge —
+and you must get exactly the unsharded top-k, same ids in the same order,
+with ties broken identically. Hypothesis hunts for score matrices (ties
+included deliberately), shard counts and k values that break it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sharding import merge_topk, shard_bounds, topk_by_score
+
+# Scores from a coarse grid so ties across shard boundaries are common —
+# tie-breaking is exactly what this property has to pin down.
+tied_scores = st.lists(
+    st.integers(0, 7).map(lambda v: v / 4.0), min_size=1, max_size=120
+)
+distinct_scores = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6,
+        allow_nan=False, allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=120,
+    unique=True,
+)
+shard_counts = st.integers(1, 9)
+k_values = st.integers(1, 40)
+
+
+def reference_topk(scores, k):
+    """Ground truth: sort the full catalog by (-score, id), take k."""
+    scores = np.asarray(scores, dtype=np.float64)
+    ids = np.arange(scores.size, dtype=np.int64)
+    order = np.lexsort((ids, -scores))[:k]
+    return ids[order], scores[order]
+
+
+def sharded_topk(scores, shards, k):
+    """What the serving path computes: local top-k per slice, then merge."""
+    scores = np.asarray(scores, dtype=np.float64)
+    parts = []
+    for lo, hi in shard_bounds(scores.size, shards):
+        local_ids = np.arange(lo, hi, dtype=np.int64)
+        parts.append(topk_by_score(local_ids, scores[lo:hi], k))
+    return merge_topk(parts, k)
+
+
+class TestMergeExactness:
+    @given(tied_scores, shard_counts, k_values)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_equals_unsharded_with_ties(self, scores, shards, k):
+        expected_ids, expected_scores = reference_topk(scores, k)
+        got_ids, got_scores = sharded_topk(scores, shards, k)
+        np.testing.assert_array_equal(got_ids, expected_ids)
+        np.testing.assert_array_equal(got_scores, expected_scores)
+
+    @given(distinct_scores, shard_counts, k_values)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_equals_unsharded_distinct(self, scores, shards, k):
+        expected_ids, expected_scores = reference_topk(scores, k)
+        got_ids, got_scores = sharded_topk(scores, shards, k)
+        np.testing.assert_array_equal(got_ids, expected_ids)
+        np.testing.assert_array_equal(got_scores, expected_scores)
+
+    @given(tied_scores, shard_counts, k_values)
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_sorted_and_within_k(self, scores, shards, k):
+        ids, out = sharded_topk(scores, shards, k)
+        assert ids.size == out.size == min(k, len(scores))
+        # Non-increasing scores; ties in ascending-id order.
+        for i in range(1, out.size):
+            assert out[i] <= out[i - 1]
+            if out[i] == out[i - 1]:
+                assert ids[i] > ids[i - 1]
+
+    @given(tied_scores, shard_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_partition_the_catalog(self, scores, shards):
+        bounds = shard_bounds(len(scores), shards)
+        assert bounds[0][0] == 0 and bounds[-1][1] == len(scores)
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo  # contiguous, no gap, no overlap
+        sizes = [hi - lo for lo, hi in bounds]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+    @given(tied_scores, shard_counts, k_values)
+    @settings(max_examples=100, deadline=None)
+    def test_single_shard_is_identity(self, scores, shards, k):
+        one_ids, one_scores = sharded_topk(scores, 1, k)
+        expected_ids, expected_scores = reference_topk(scores, k)
+        np.testing.assert_array_equal(one_ids, expected_ids)
+        np.testing.assert_array_equal(one_scores, expected_scores)

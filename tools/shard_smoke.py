@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Catalog-sharding smoke test (``make shard-smoke``).
+
+Two tiny deterministic checks against bare Actix servers with a *real*
+model, asserting the correctness contract of ``docs/sharding.md``:
+
+1. **Exactness.** The same click stream served by an S=4 scatter-gather
+   deployment (one shard-scoped scorer per server) and by one unsharded
+   server must produce identical recommendations request for request —
+   sharding is a latency/capacity trade, never a quality change.
+
+2. **Partial results.** Crash one shard mid-run: every fan-out that
+   loses the shard still answers 200 with ``coverage == 3/4`` and
+   ``degraded=True`` — a shard outage degrades catalog coverage, it does
+   not become a 5xx flood.
+
+Exits non-zero with a diagnostic on any violation, so ``make test``
+fails loudly if scatter-gather exactness regresses.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+import numpy as np  # noqa: E402
+
+from repro.hardware import CPU_E2, LatencyModel  # noqa: E402
+from repro.models import ModelConfig, create_model  # noqa: E402
+from repro.serving import EtudeInferenceServer  # noqa: E402
+from repro.serving.request import HTTP_OK, RecommendationRequest  # noqa: E402
+from repro.sharding import ScatterGatherAggregator, ShardingConfig  # noqa: E402
+from repro.sharding.merge import build_shard_scorers  # noqa: E402
+from repro.simulation import Simulator  # noqa: E402
+from repro.tensor.ops import CostRecord, CostTrace  # noqa: E402
+from repro.workload.statistics import WorkloadStatistics  # noqa: E402
+from repro.workload.synthetic import SyntheticWorkloadGenerator  # noqa: E402
+
+CATALOG = 2_000
+SHARDS = 4
+TOP_K = 5
+NUM_REQUESTS = 200
+SPACING_S = 0.002
+SEED = 29
+#: The crash lands after this many requests of the partial-result run.
+CRASH_AFTER = 100
+
+
+def _profile():
+    trace = CostTrace()
+    trace.append(CostRecord(op="linear", param_bytes=1e6, write_bytes=1e5))
+    return LatencyModel(CPU_E2.device).profile(trace)
+
+
+def _click_stream():
+    workload = SyntheticWorkloadGenerator(
+        WorkloadStatistics(
+            catalog_size=CATALOG, alpha_length=1.85, alpha_clicks=1.35
+        ),
+        seed=SEED,
+    )
+    prefixes = []
+    for session in workload.iter_sessions():
+        for click_end in range(1, len(session) + 1):
+            prefixes.append(np.asarray(session[:click_end], dtype=np.int64))
+            if len(prefixes) == NUM_REQUESTS:
+                return prefixes
+
+
+def _run_unsharded(model):
+    simulator = Simulator()
+    server = EtudeInferenceServer(
+        simulator, CPU_E2.device, _profile(),
+        np.random.default_rng(SEED), model=model,
+    )
+    responses = {}
+
+    def driver():
+        for request_id, prefix in enumerate(_click_stream()):
+            request = RecommendationRequest(
+                request_id=request_id, session_id=request_id,
+                session_items=prefix, sent_at=simulator.now,
+            )
+            server.submit(
+                request,
+                lambda r, rid=request_id: responses.__setitem__(rid, r),
+            )
+            yield SPACING_S
+
+    simulator.spawn(driver())
+    simulator.run()
+    return responses
+
+
+def _run_sharded(model, crash_shard=None):
+    simulator = Simulator()
+    servers = [
+        EtudeInferenceServer(
+            simulator, CPU_E2.device, _profile(),
+            np.random.default_rng(SEED + index), model=scorer,
+            name=f"shard{index}",
+        )
+        for index, scorer in enumerate(build_shard_scorers(model, SHARDS))
+    ]
+    aggregator = ScatterGatherAggregator(
+        simulator=simulator,
+        config=ShardingConfig(shards=SHARDS),
+        shard_submits=[server.submit for server in servers],
+        network_delay=lambda: 0.0005,
+        top_k=TOP_K,
+    )
+    responses = {}
+
+    def driver():
+        for request_id, prefix in enumerate(_click_stream()):
+            if crash_shard is not None and request_id == CRASH_AFTER:
+                servers[crash_shard].crash()
+            request = RecommendationRequest(
+                request_id=request_id, session_id=request_id,
+                session_items=prefix, sent_at=simulator.now,
+            )
+            aggregator.scatter(
+                request,
+                lambda r, rid=request_id: responses.__setitem__(rid, r),
+            )
+            yield SPACING_S
+
+    simulator.spawn(driver())
+    simulator.run()
+    return aggregator, responses
+
+
+def main() -> int:
+    model = create_model("stamp", ModelConfig.for_catalog(CATALOG, top_k=TOP_K))
+    failures = []
+
+    # -- 1. exactness: S=4 must match S=1 request for request ------------
+    baseline = _run_unsharded(model)
+    aggregator, sharded = _run_sharded(model)
+    if len(sharded) != NUM_REQUESTS or len(baseline) != NUM_REQUESTS:
+        failures.append(
+            f"response counts differ: {len(baseline)} unsharded vs "
+            f"{len(sharded)} sharded"
+        )
+    not_ok = sum(1 for r in sharded.values() if r.status != HTTP_OK)
+    if not_ok:
+        failures.append(f"{not_ok} non-200 responses in the healthy S=4 run")
+    mismatches = sum(
+        1
+        for rid, response in sharded.items()
+        if not np.array_equal(response.items, baseline[rid].items)
+    )
+    if mismatches:
+        failures.append(
+            f"{mismatches}/{NUM_REQUESTS} sharded responses differ from the "
+            "unsharded run: scatter-gather must be exact"
+        )
+    if aggregator.mean_coverage() != 1.0:
+        failures.append(
+            f"healthy run reported coverage {aggregator.mean_coverage()}"
+        )
+    print(
+        f"shard smoke: {NUM_REQUESTS} requests over S={SHARDS}, "
+        f"recommendations identical to S=1 on all "
+        f"{NUM_REQUESTS - mismatches}"
+    )
+
+    # -- 2. shard crash: partial coverage, not a 5xx flood ---------------
+    aggregator, crashed = _run_sharded(model, crash_shard=1)
+    errors = sum(1 for r in crashed.values() if r.status != HTTP_OK)
+    partial = [r for r in crashed.values() if r.ok and r.coverage < 1.0]
+    if errors > SHARDS:  # in-flight legs at crash time may legitimately die
+        failures.append(
+            f"shard crash produced {errors} 5xx responses (flood)"
+        )
+    if not partial:
+        failures.append("shard crash produced no partial-coverage responses")
+    expected_coverage = (SHARDS - 1) / SHARDS
+    off_target = sum(
+        1 for r in partial if abs(r.coverage - expected_coverage) > 1e-9
+    )
+    if off_target:
+        failures.append(
+            f"{off_target} partial responses reported coverage != "
+            f"{expected_coverage}"
+        )
+    if any(not r.degraded for r in partial):
+        failures.append("partial responses must be flagged degraded")
+    print(
+        f"shard smoke: crash of shard 1 -> {len(partial)} partial 200s at "
+        f"coverage {expected_coverage:.2f}, {errors} errors"
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("shard smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
