@@ -36,7 +36,7 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 .PHONY: test
-test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke
+test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke retrieval-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tiny deterministic overload run: deadline admission + fallback tier must
@@ -57,6 +57,13 @@ cache-smoke:
 .PHONY: shard-smoke
 shard-smoke:
 	$(PYTHON) tools/shard_smoke.py
+
+# Tiny deterministic ANN run against a real model: IVF probing half its
+# lists must reach recall@20 >= 0.9 vs the exact scan, and a disabled
+# retrieval run must stay byte-identical to the baseline.
+.PHONY: retrieval-smoke
+retrieval-smoke:
+	$(PYTHON) tools/retrieval_smoke.py
 
 # Line coverage over the unit suite (see README "Development"). Needs
 # pytest-cov; when it is absent the target explains and skips instead of

@@ -10,9 +10,32 @@ top-k recall for latency.
   lists, with cost accounting through the standard op machinery;
 - :class:`~repro.ann.ivf.AnnSessionRecModel` — a SessionRecModel wrapper
   whose scoring head queries the index;
-- :func:`~repro.ann.ivf.recall_at_k` — overlap against the exact top-k.
+- :func:`~repro.ann.ivf.recall_at_k` — overlap against the exact top-k;
+- :class:`~repro.ann.config.RetrievalConfig` — the opt-in ``--retrieval``
+  spec that wires the index into serving and planning;
+- :mod:`~repro.ann.recall` — the measured recall@k harness
+  (:func:`~repro.ann.recall.measure_recall`,
+  :func:`~repro.ann.recall.recall_frontier`).
+
+``docs/retrieval.md`` tells the full latency–recall story.
 """
 
+from repro.ann.config import RetrievalConfig
 from repro.ann.ivf import AnnSessionRecModel, IVFFlatIndex, recall_at_k
+from repro.ann.recall import (
+    RecallReport,
+    measure_recall,
+    recall_frontier,
+    sample_sessions,
+)
 
-__all__ = ["IVFFlatIndex", "AnnSessionRecModel", "recall_at_k"]
+__all__ = [
+    "IVFFlatIndex",
+    "AnnSessionRecModel",
+    "recall_at_k",
+    "RetrievalConfig",
+    "RecallReport",
+    "measure_recall",
+    "recall_frontier",
+    "sample_sessions",
+]

@@ -56,10 +56,20 @@ def _ivf_search_kernel(arrays, attrs):
 
     Accounting: parameter traffic is the centroid table plus the average
     probed share of the catalog; one launch, like a fused ANN kernel.
+
+    The catalog may be virtualized (``catalog_scale = C / materialized``
+    when ``C`` exceeds the materialized cap). The scoring table rides along
+    as the second input, so the trace machinery stamps the record with that
+    scale; the kernel therefore books *member* traffic raw (it represents a
+    probed slice of the full virtual catalog and should scale up) and
+    divides the per-query constants — centroid table, query and output
+    bytes — by the scale so they stay scale-invariant in the totals. At
+    ``catalog_scale == 1`` this is exactly the unscaled accounting.
     """
     query = arrays[0]
     index: "IVFFlatIndex" = attrs["index"]
     k = attrs["k"]
+    data = arrays[1] if len(arrays) > 1 else index.data
 
     centroid_scores = index.centroids @ query
     order = np.argsort(-centroid_scores)
@@ -67,28 +77,44 @@ def _ivf_search_kernel(arrays, attrs):
 
     member_ids = np.concatenate([index.lists[p] for p in probes])
     if member_ids.size == 0:
-        member_ids = np.arange(min(k, index.data.shape[0]), dtype=np.int64)
-    member_scores = index.data[member_ids] @ query
+        member_ids = np.arange(min(k, data.shape[0]), dtype=np.int64)
+    member_scores = data[member_ids] @ query
     take = min(k, member_ids.shape[0])
     best = np.argpartition(-member_scores, take - 1)[:take]
     best = best[np.argsort(-member_scores[best])]
     out = member_ids[best].astype(np.int64)
 
-    d = index.data.shape[1]
+    d = data.shape[1]
     probed_rows = member_ids.shape[0]
+    scale = max(float(index.catalog_scale), 1.0)
+    centroid_rows = float(index.logical_nlist)
     record = CostRecord(
         op="ivf_search",
         launches=1,
-        flops=2.0 * (index.nlist + probed_rows) * d,
-        write_bytes=float(out.nbytes),
+        flops=2.0 * (centroid_rows / scale + probed_rows) * d,
+        write_bytes=float(out.nbytes) / scale,
     )
-    record.param_bytes = float(index.centroids.nbytes + probed_rows * d * 4)
-    record.read_bytes = float(query.nbytes)
+    record.param_bytes = centroid_rows * d * 4.0 / scale + probed_rows * d * 4.0
+    record.read_bytes = float(query.nbytes) / scale
     return out, record
 
 
 class IVFFlatIndex:
-    """An inverted-file index over a (possibly virtualized) catalog."""
+    """An inverted-file index over a (possibly virtualized) catalog.
+
+    Training happens in ``__init__``: k-means over the materialized
+    embedding rows (deterministic for a fixed ``seed``), then one exact
+    assignment pass filling the inverted lists, so every item lands in
+    exactly one list. When the catalog is virtualized (``C`` above the
+    materialized cap) the index structure covers the materialized rows
+    while ``logical_nlist`` and ``catalog_scale`` keep the *cost* accounting
+    at full catalog scale — the same split the exact scan uses.
+
+    ``nlist`` is validated against the logical catalog size and clamped to
+    the materialized row count structurally; ``None`` picks the faiss rule
+    of thumb ``sqrt(materialized)``. ``nprobe`` clamps into
+    ``[1, nlist]``.
+    """
 
     def __init__(
         self,
@@ -103,9 +129,14 @@ class IVFFlatIndex:
         materialized = self.data.shape[0]
         if nlist is None:
             nlist = max(int(np.sqrt(materialized)), 1)
-        self.nlist = int(nlist)
-        if not 1 <= self.nlist <= materialized:
-            raise ValueError("need 1 <= nlist <= materialized catalog rows")
+        requested = int(nlist)
+        if not 1 <= requested <= embedding.num_items:
+            raise ValueError("need 1 <= nlist <= catalog items")
+        # The logical list count drives cost and memory accounting at full
+        # catalog scale; the structural count is capped by the rows that
+        # actually exist to cluster.
+        self.logical_nlist = requested
+        self.nlist = min(requested, materialized)
         self.nprobe = int(np.clip(nprobe, 1, self.nlist))
         self.catalog_scale = embedding.catalog_scale
 
@@ -139,10 +170,20 @@ class IVFFlatIndex:
         return clone
 
     def search(self, query: Tensor, k: int) -> Tensor:
-        """Approximate top-k catalog row ids for a (d,) query tensor."""
+        """Approximate top-k catalog row ids for a ``(d,)`` query tensor.
+
+        Runs the fused ``ivf_search`` kernel through the standard op
+        machinery, so cost traces, graph capture and telemetry all see it.
+        The scoring table is passed as a second input purely so the trace
+        inherits its ``catalog_scale`` tag; numerics only read the query.
+        """
         if k < 1:
             raise ValueError("k must be positive")
-        result = ops.run_op("ivf_search", (query,), {"index": self, "k": int(k)})
+        result = ops.run_op(
+            "ivf_search",
+            (query, self.embedding.scoring_weight()),
+            {"index": self, "k": int(k)},
+        )
         result.catalog_scale = self.catalog_scale
         return result
 
@@ -157,7 +198,20 @@ def recall_at_k(exact_ids: np.ndarray, approx_ids: np.ndarray) -> float:
 
 
 class AnnSessionRecModel(Module):
-    """A SessionRecModel whose top-k search runs on an IVF index."""
+    """A SessionRecModel whose top-k search runs on an IVF index.
+
+    Wraps any model that exposes a separable scoring head (encoder repr
+    dotted against the item table — ``supports_quantized_head``): the
+    session encoder is untouched and the final exact scan is replaced by an
+    :class:`IVFFlatIndex` probe. The wrapper keeps the full SessionRecModel
+    contract (``recommend`` / ``example_inputs`` / ``prepare_inputs`` /
+    resident and score-byte accounting), so serving, sharding and the
+    planner treat it like any other model.
+    """
+
+    #: The ANN head itself is a quantized/swappable scoring head, so the
+    #: sharding path can split the catalog under it.
+    supports_quantized_head = True
 
     def __init__(self, source, nlist: Optional[int] = None, nprobe: int = 8):
         super().__init__()
@@ -172,6 +226,12 @@ class AnnSessionRecModel(Module):
         self.top_k = source.top_k
         self.num_items = source.num_items
         self.max_session_length = source.max_session_length
+        self.embedding_dim = source.embedding_dim
+
+    @property
+    def item_embedding(self):
+        """The source model's catalog table (aliased, not re-registered)."""
+        return self.source.item_embedding
 
     def set_nprobe(self, nprobe: int) -> None:
         self.index = self.index.with_nprobe(nprobe)
@@ -194,7 +254,7 @@ class AnnSessionRecModel(Module):
         """Table + inverted lists (ids) + centroids, logical scale."""
         base = self.source.resident_bytes()
         list_ids = self.num_items * 8.0  # one int64 id per item
-        centroids = self.index.nlist * self.source.embedding_dim * 4.0
+        centroids = self.index.logical_nlist * self.embedding_dim * 4.0
         return base + list_ids + centroids
 
     def score_bytes_per_item(self) -> float:
@@ -206,7 +266,7 @@ class AnnSessionRecModel(Module):
         metadata = self.source.artifact_metadata()
         metadata["ann"] = {
             "kind": "ivf-flat",
-            "nlist": self.index.nlist,
+            "nlist": self.index.logical_nlist,
             "nprobe": self.index.nprobe,
         }
         return metadata

@@ -1,0 +1,110 @@
+"""Recall harness: measured, not assumed, ANN quality.
+
+The MLPerf recommendation-benchmark argument (PAPERS.md) is that a
+quality/latency trade-off only counts when the quality side is measured on
+the real model. This module measures recall@k of an
+:class:`~repro.ann.ivf.AnnSessionRecModel` against the exact catalog scan of
+its source model, on deterministic synthetic sessions, and sweeps ``nprobe``
+to chart the recall frontier the planner and ``docs/retrieval.md`` use.
+
+All functions are deterministic for a fixed seed and draw nothing from the
+global RNG, so running them never perturbs a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ann.ivf import AnnSessionRecModel, recall_at_k
+
+
+@dataclass(frozen=True)
+class RecallReport:
+    """Measured recall of one (nlist, nprobe) operating point."""
+
+    k: int
+    nlist: int
+    nprobe: int
+    num_sessions: int
+    recall: float
+    probed_fraction: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def sample_sessions(
+    num_items: int,
+    num_sessions: int = 32,
+    seed: int = 1913,
+    max_length: int = 8,
+) -> List[List[int]]:
+    """Deterministic evaluation sessions: uniform item draws, lengths 2..max.
+
+    Uniform sampling is intentionally harder than the popularity-skewed
+    production workload — popular-item queries land in dense, well-probed
+    clusters, so uniform recall is a conservative lower bound.
+    """
+    rng = np.random.default_rng(seed)
+    sessions = []
+    for _ in range(num_sessions):
+        length = int(rng.integers(2, max_length + 1))
+        sessions.append(rng.integers(0, num_items, size=length).tolist())
+    return sessions
+
+
+def measure_recall(
+    model: AnnSessionRecModel,
+    sessions: Optional[Sequence[Sequence[int]]] = None,
+    num_sessions: int = 32,
+    seed: int = 1913,
+) -> RecallReport:
+    """Recall@k of ``model`` against its source's exact scan.
+
+    For each session the source model's exact top-k is the ground truth and
+    the ANN model's top-k is the candidate; the report carries the mean
+    recall over all sessions plus the index operating point.
+    """
+    if sessions is None:
+        sessions = sample_sessions(model.num_items, num_sessions, seed)
+    recalls = []
+    for session in sessions:
+        exact = model.source.recommend(session)
+        approx = model.recommend(session)
+        recalls.append(recall_at_k(exact, approx))
+    return RecallReport(
+        k=model.top_k,
+        nlist=model.index.logical_nlist,
+        nprobe=model.index.nprobe,
+        num_sessions=len(sessions),
+        recall=float(np.mean(recalls)),
+        probed_fraction=model.index.probed_fraction(),
+    )
+
+
+def recall_frontier(
+    model: AnnSessionRecModel,
+    nprobes: Iterable[int],
+    sessions: Optional[Sequence[Sequence[int]]] = None,
+    num_sessions: int = 32,
+    seed: int = 1913,
+) -> List[RecallReport]:
+    """Sweep ``nprobe`` over the same index and sessions.
+
+    ``with_nprobe`` views share the trained index, so the sweep costs one
+    k-means build total; the model's own probe setting is restored on exit.
+    """
+    if sessions is None:
+        sessions = sample_sessions(model.num_items, num_sessions, seed)
+    original = model.index
+    reports = []
+    try:
+        for nprobe in nprobes:
+            model.index = original.with_nprobe(nprobe)
+            reports.append(measure_recall(model, sessions=sessions))
+    finally:
+        model.index = original
+    return reports

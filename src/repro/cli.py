@@ -51,6 +51,7 @@ def _add_infra_command(subparsers) -> None:
     _add_overload_flags(parser, routing=False)
     _add_cache_flag(parser)
     _add_shards_flag(parser)
+    _add_retrieval_flag(parser)
 
 
 def _add_micro_command(subparsers) -> None:
@@ -83,6 +84,7 @@ def _add_run_command(subparsers) -> None:
     _add_overload_flags(parser, routing=True)
     _add_cache_flag(parser)
     _add_shards_flag(parser)
+    _add_retrieval_flag(parser)
 
 
 def _add_plan_command(subparsers) -> None:
@@ -104,6 +106,13 @@ def _add_plan_command(subparsers) -> None:
         "--shards", default="1", metavar="COUNTS",
         help="comma-separated catalog-shard counts to evaluate per "
         "instance type, e.g. '1,4,8' (replica counts are then per shard)",
+    )
+    _add_retrieval_flag(parser)
+    parser.add_argument(
+        "--min-recall", type=float, default=0.95, metavar="FLOAT",
+        help="recall@k floor for ANN candidates; IVF options whose "
+        "measured recall falls below this are reported infeasible "
+        "(default 0.95)",
     )
 
 
@@ -227,6 +236,44 @@ def _add_shards_flag(parser) -> None:
         help="catalog sharding with scatter-gather top-k; SPEC like "
         "'4' or '4,partial=off' (replica counts are then per shard; "
         "S=1 is the unsharded baseline)",
+    )
+
+
+def _add_retrieval_flag(parser) -> None:
+    parser.add_argument(
+        "--retrieval", nargs="?", const="ivf", default=None, metavar="SPEC",
+        help="ANN candidate retrieval instead of the exact catalog scan; "
+        "SPEC like 'ivf:nlist=1024,nprobe=32' or 'exact' "
+        "(bare --retrieval = IVF defaults; default is the exact scan)",
+    )
+
+
+def _parse_retrieval(args):
+    """RetrievalConfig | None from the --retrieval flag."""
+    from repro.ann.config import RetrievalConfig
+
+    if getattr(args, "retrieval", None) is None:
+        return None
+    try:
+        return RetrievalConfig.parse(args.retrieval)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _render_retrieval(retrieval: dict) -> str:
+    """The one-line retrieval summary shared by run and infra-test."""
+    recall = retrieval.get("recall_at_k")
+    build = retrieval.get("index_build_s")
+    extras = ""
+    if recall is not None:
+        extras += f", recall@k={recall:.3f}"
+    if build is not None:
+        extras += f", index build={build:.2f} s/pod"
+    return (
+        f"  retrieval[{retrieval['config']}]: "
+        f"{retrieval.get('ann_queries', 0)} ANN queries, "
+        f"{retrieval.get('ann_probed_lists', 0)} lists probed"
+        + extras
     )
 
 
@@ -451,6 +498,9 @@ def _cmd_infra(args, out) -> int:
     sharding = _parse_sharding(args)
     if sharding is not None and sharding.enabled and args.server != "actix":
         raise SystemExit("--shards is an actix-server feature")
+    retrieval = _parse_retrieval(args)
+    if retrieval is not None and retrieval.enabled and args.server != "actix":
+        raise SystemExit("--retrieval is an actix-server feature")
     result = run_infra_test(
         args.server,
         target_rps=args.rps,
@@ -464,6 +514,7 @@ def _cmd_infra(args, out) -> int:
         fallback=fallback,
         cache=cache,
         sharding=sharding,
+        retrieval=retrieval,
     )
     out.write(render_latency_series(result.series, args.server, every=20) + "\n")
     out.write(
@@ -482,6 +533,8 @@ def _cmd_infra(args, out) -> int:
         out.write(_render_cache(result.cache) + "\n")
     if result.sharding is not None:
         out.write(_render_sharding(result.sharding) + "\n")
+    if result.retrieval is not None:
+        out.write(_render_retrieval(result.retrieval) + "\n")
     if telemetry is not None:
         _emit_telemetry(telemetry, out, args.trace_out)
     return 0
@@ -511,6 +564,7 @@ def _cmd_run(args, out) -> int:
     slo_deadline, admission, routing, fallback = _parse_overload(args)
     cache = _parse_cache(args)
     sharding = _parse_sharding(args)
+    retrieval = _parse_retrieval(args)
     if args.spec:
         from dataclasses import replace
 
@@ -521,7 +575,7 @@ def _cmd_run(args, out) -> int:
             value is not None
             for value in (
                 retry, chaos, slo_deadline, admission, routing, fallback,
-                cache, sharding,
+                cache, sharding, retrieval,
             )
         )
         if overrides_on:
@@ -547,6 +601,11 @@ def _cmd_run(args, out) -> int:
                         cache=cache if cache is not None else spec.cache,
                         sharding=(
                             sharding if sharding is not None else spec.sharding
+                        ),
+                        retrieval=(
+                            retrieval
+                            if retrieval is not None
+                            else spec.retrieval
                         ),
                     ),
                     slo,
@@ -576,6 +635,7 @@ def _cmd_run(args, out) -> int:
                     fallback=fallback,
                     cache=cache,
                     sharding=sharding,
+                    retrieval=retrieval,
                 ),
                 SLO(p90_latency_ms=args.p90_limit),
             )
@@ -627,6 +687,8 @@ def _cmd_run(args, out) -> int:
             out.write(_render_cache(result.cache) + "\n")
         if result.sharding is not None:
             out.write(_render_sharding(result.sharding) + "\n")
+        if result.retrieval is not None:
+            out.write(_render_retrieval(result.retrieval) + "\n")
         if telemetry is not None:
             trace_out = args.trace_out
             if trace_out and len(jobs) > 1:
@@ -648,6 +710,12 @@ def _cmd_plan(args, out) -> int:
         )
     except ValueError:
         raise SystemExit(f"--shards must be comma-separated ints: {args.shards!r}")
+    retrieval = _parse_retrieval(args)
+    retrieval_options = (
+        (None,)
+        if retrieval is None or not retrieval.enabled
+        else (None, retrieval)
+    )
     planner = DeploymentPlanner(
         runner=ExperimentRunner(),
         slo=SLO(p90_latency_ms=args.p90_limit),
@@ -655,6 +723,8 @@ def _cmd_plan(args, out) -> int:
         max_replicas=args.max_replicas,
         cache=_parse_cache(args),
         shard_counts=shard_counts or (1,),
+        retrieval_options=retrieval_options,
+        min_recall=args.min_recall,
     )
     instances = cloud_catalog(args.cloud)
     plans = planner.plan(scenario, models, instances=instances)

@@ -183,6 +183,7 @@ class Cluster:
         load_bytes: Optional[float] = None,
         telemetry: Optional["Telemetry"] = None,
         sharding: Optional[ShardingConfig] = None,
+        index_build_s: float = 0.0,
     ) -> ModelDeployment:
         """Create a deployment; pods become ready asynchronously.
 
@@ -194,6 +195,11 @@ class Cluster:
         caller is expected to pass the per-shard ``service_profile`` /
         ``resident_bytes`` / ``score_bytes_per_item`` (each pod hosts one
         catalog slice, not the whole table).
+
+        ``index_build_s`` charges ANN index construction (k-means training
+        + list assignment) on every pod before its readiness probe flips —
+        also on restarts, since the artifact stores embeddings, not the
+        trained index.
         """
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -246,6 +252,7 @@ class Cluster:
                     load_bytes,
                     telemetry,
                     remote_cache,
+                    index_build_s,
                 )
             )
         deployment = ModelDeployment(
@@ -263,6 +270,7 @@ class Cluster:
                 "telemetry": telemetry,
                 "remote_cache": remote_cache,
                 "sharding": sharding,
+                "index_build_s": index_build_s,
             },
             sharding=sharding if shards > 1 else None,
         )
@@ -341,6 +349,7 @@ class Cluster:
                 context["load_bytes"],
                 context.get("telemetry"),
                 context.get("remote_cache"),
+                context.get("index_build_s", 0.0),
             )
         )
         return pod
@@ -369,6 +378,7 @@ class Cluster:
             + transfer_s
             + load_bytes / self.MODEL_LOAD_BANDWIDTH
             + context["jit_warmup_s"]
+            + context.get("index_build_s", 0.0)
         )
         pod.server = EtudeInferenceServer(
             simulator=self.simulator,
@@ -402,18 +412,21 @@ class Cluster:
         load_bytes: Optional[float] = None,
         telemetry: Optional["Telemetry"] = None,
         remote_cache: Optional[RemoteCacheTier] = None,
+        index_build_s: float = 0.0,
     ):
         # 1. Autopilot provisions a node for the pod.
         yield float(self.rng.uniform(self.PROVISION_MIN_S, self.PROVISION_MAX_S))
         # 2. Container boot + artifact download + model load. The virtual
         # catalog means the stored artifact can be smaller than the logical
-        # model; ``load_bytes`` charges the logical footprint.
+        # model; ``load_bytes`` charges the logical footprint. ANN index
+        # construction (``index_build_s``) happens here too: the artifact
+        # ships embeddings, each pod trains its own inverted file.
         _payload, transfer_s = self.bucket.download(artifact_path)
         effective_bytes = (
             load_bytes if load_bytes is not None else self.bucket.blob_size(artifact_path)
         )
         load_s = effective_bytes / self.MODEL_LOAD_BANDWIDTH
-        yield self.POD_BOOT_S + transfer_s + load_s + jit_warmup_s
+        yield self.POD_BOOT_S + transfer_s + load_s + jit_warmup_s + index_build_s
         # 3. Server comes up; the readiness probe flips.
         pod.server = EtudeInferenceServer(
             simulator=self.simulator,

@@ -14,7 +14,7 @@ with the lowest and highest latencies."
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.cluster.kubernetes import DeploymentError
@@ -28,6 +28,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.metrics.results import LatencySeries, RunResult
 from repro.serving.batching import BatchingConfig
 from repro.serving.profiles import ActixProfile
+from repro.sharding.config import largest_shard_fraction
 from repro.sharding.plan import (
     shard_resident_bytes,
     shard_score_bytes_per_item,
@@ -59,9 +60,16 @@ class ExperimentRunner:
     # -- artifacts ------------------------------------------------------------
 
     def _artifact_path(self, assets: ServingAssets) -> str:
+        # The ANN suffix makes the artifact version — and therefore every
+        # cache key derived from it — change when index parameters change,
+        # so a redeploy with a different nlist/nprobe never serves stale
+        # cached recommendations.
+        index = getattr(assets.model, "index", None)
+        nlist = getattr(index, "logical_nlist", None)
+        suffix = f"-ivf{nlist}x{index.nprobe}" if nlist is not None else ""
         return (
             f"models/{assets.model_name}"
-            f"-c{assets.catalog_size}-{assets.execution_effective}.pt"
+            f"-c{assets.catalog_size}-{assets.execution_effective}{suffix}.pt"
         )
 
     def _ensure_artifact(self, assets: ServingAssets) -> str:
@@ -85,12 +93,21 @@ class ExperimentRunner:
         with the default ``None`` the run carries zero instrumentation.
         """
         instance = instance_by_name(spec.hardware.instance_type)
+        # ANN retrieval swaps the scoring head behind the same assets
+        # pipeline; None (or an "exact" config) leaves every asset exactly
+        # the config-less one — the bit-identity contract.
+        retrieval = (
+            spec.retrieval
+            if spec.retrieval is not None and spec.retrieval.enabled
+            else None
+        )
         assets = self.registry.assets(
             spec.model,
             spec.catalog_size,
             instance.device,
             spec.execution,
             top_k=spec.top_k,
+            retrieval=retrieval,
         )
         artifact = self._ensure_artifact(assets)
 
@@ -109,11 +126,20 @@ class ExperimentRunner:
             spec.admission is not None
             or spec.fallback is not None
             or spec.cache is not None
+            or retrieval is not None
         ):
+            retrieval_descriptor = None
+            if retrieval is not None:
+                # Resolve the auto nlist so server telemetry reports the
+                # index actually built, not the unexpanded spec.
+                retrieval_descriptor = replace(
+                    retrieval, nlist=assets.model.index.logical_nlist
+                )
             server_profile = ActixProfile(
                 admission=spec.admission,
                 fallback=spec.fallback,
                 cache=spec.cache,
+                retrieval=retrieval_descriptor,
             )
 
         # Catalog sharding: each pod hosts one catalog slice, so the
@@ -152,6 +178,21 @@ class ExperimentRunner:
                 resident_bytes=resident_bytes,
             )
 
+        # Index construction happens on every pod between model load and
+        # readiness (the artifact ships embeddings, not the trained index);
+        # under sharding each pod clusters only its catalog slice.
+        index_build_s = 0.0
+        if retrieval is not None:
+            build_catalog = spec.catalog_size
+            if sharding is not None:
+                build_catalog = int(
+                    spec.catalog_size
+                    * largest_shard_fraction(spec.catalog_size, sharding.shards)
+                )
+            index_build_s = retrieval.index_build_seconds(
+                build_catalog, assets.model.embedding_dim, instance.device
+            )
+
         deployment = cluster.deploy_model(
             name=f"{spec.model}-bench",
             instance_type=instance,
@@ -168,6 +209,7 @@ class ExperimentRunner:
             load_bytes=resident_bytes,
             telemetry=telemetry,
             sharding=sharding,
+            index_build_s=index_build_s,
         )
 
         workload = SyntheticWorkloadGenerator(
@@ -176,6 +218,22 @@ class ExperimentRunner:
         )
         collector = MetricsCollector()
         state = {}
+        if retrieval is not None:
+            index = assets.model.index
+            state["retrieval"] = {
+                "config": retrieval.spec_string(),
+                "kind": retrieval.kind,
+                "nlist": index.logical_nlist,
+                "nprobe": index.nprobe,
+                "probed_fraction": index.probed_fraction(),
+                "index_build_s": index_build_s,
+                # Measured on the materialized embedding rows (the
+                # i.i.d.-rows proxy of docs/retrieval.md), memoized per
+                # (model, catalog, index parameters).
+                "recall_at_k": self.registry.measured_recall(
+                    spec.model, spec.catalog_size, retrieval, top_k=spec.top_k
+                ),
+            }
 
         def coordinator():
             yield deployment.ready_signal
@@ -369,6 +427,20 @@ class ExperimentRunner:
                     else {"shards": spec.sharding.shards}
                 ),
             }
+        if spec.retrieval is not None and spec.retrieval.enabled:
+            info = dict(state.get("retrieval") or {})
+            deployment = state.get("deployment")
+            ann_queries = ann_probed = 0
+            if deployment is not None:
+                for pod in deployment.pods:
+                    server = pod.server
+                    if server is None:
+                        continue
+                    ann_queries += getattr(server, "ann_queries", 0)
+                    ann_probed += getattr(server, "ann_probed_lists", 0)
+            info["ann_queries"] = ann_queries
+            info["ann_probed_lists"] = ann_probed
+            result.retrieval = info
         if telemetry is not None:
             from repro.obs.export import stage_breakdown
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.ann.config import RetrievalConfig
 from repro.cache.tier import CacheConfig
 from repro.cluster.chaos import ChaosSchedule
 from repro.core.registry import GLOBAL_REGISTRY, AssetRegistry
@@ -79,6 +80,9 @@ class InfraTestResult:
     #: Catalog-sharding tallies (fan-outs, partial responses, coverage),
     #: present when the run sharded the catalog (S > 1).
     sharding: Optional[Dict] = None
+    #: ANN retrieval tallies (queries, probed lists), present when the run
+    #: served with an enabled IVF retrieval mode.
+    retrieval: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:
@@ -99,6 +103,7 @@ def run_infra_test(
     fallback: Optional[FallbackConfig] = None,
     cache: Optional[CacheConfig] = None,
     sharding: Optional[ShardingConfig] = None,
+    retrieval: Optional[RetrievalConfig] = None,
 ) -> InfraTestResult:
     """Run the no-inference serving test with one of the two stacks.
 
@@ -109,7 +114,9 @@ def run_infra_test(
     ``slo_deadline_s`` stamps each request with a deadline; ``admission``
     and ``fallback`` configure the Actix server's overload protection
     (see ``docs/overload.md``); ``cache`` configures its session-prefix
-    result cache (see ``docs/caching.md``).
+    result cache (see ``docs/caching.md``); ``retrieval`` stamps the ANN
+    retrieval descriptor on it (the no-op model does no scoring, so this
+    exercises only the per-request bookkeeping — see ``docs/retrieval.md``).
     """
     if server_kind not in ("torchserve", "actix"):
         raise ValueError("server_kind must be 'torchserve' or 'actix'")
@@ -125,6 +132,10 @@ def run_infra_test(
         raise ValueError("the result cache is an Actix-server feature")
     if sharding is not None and sharding.enabled and server_kind != "actix":
         raise ValueError("catalog sharding is an Actix-server feature")
+    if retrieval is not None and retrieval.enabled and server_kind != "actix":
+        raise ValueError("ANN retrieval is an Actix-server feature")
+    if retrieval is not None and not retrieval.enabled:
+        retrieval = None
     registry = registry or GLOBAL_REGISTRY
     assets = registry.assets("noop", 1, INFRA_TEST_DEVICE, "eager", top_k=1)
 
@@ -145,9 +156,17 @@ def run_infra_test(
         submit_target = server.submit
     else:
         server_profile = None
-        if admission is not None or fallback is not None or cache is not None:
+        if (
+            admission is not None
+            or fallback is not None
+            or cache is not None
+            or retrieval is not None
+        ):
             server_profile = ActixProfile(
-                admission=admission, fallback=fallback, cache=cache
+                admission=admission,
+                fallback=fallback,
+                cache=cache,
+                retrieval=retrieval,
             )
         if sharding is not None and sharding.enabled:
             # One bare server per shard behind a scatter-gather front;
@@ -269,6 +288,19 @@ def run_infra_test(
             "per_shard_completed": [s.completed for s in servers],
         }
 
+    retrieval_section = None
+    if retrieval is not None:
+        retrieval_section = {
+            "config": retrieval.spec_string(),
+            "nprobe": retrieval.nprobe,
+            "ann_queries": sum(
+                getattr(s, "ann_queries", 0) for s in servers
+            ),
+            "ann_probed_lists": sum(
+                getattr(s, "ann_probed_lists", 0) for s in servers
+            ),
+        }
+
     return InfraTestResult(
         server=server_kind,
         target_rps=target_rps,
@@ -286,4 +318,5 @@ def run_infra_test(
         overload=overload,
         cache=cache_section,
         sharding=sharding_section,
+        retrieval=retrieval_section,
     )

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.ann.config import RetrievalConfig
 from repro.cache.planning import estimate_hit_rate
 from repro.cache.tier import CacheConfig
 from repro.cluster.kubernetes import DeploymentError
@@ -42,6 +43,10 @@ class DeploymentOption:
     monthly_cost_usd: float
     result: RunResult
     shards: int = 1
+    #: ANN retrieval spec string (None = the exact catalog scan).
+    retrieval: Optional[str] = None
+    #: Measured recall@k of the ANN option (None on exact options).
+    recall: Optional[float] = None
 
     @property
     def total_machines(self) -> int:
@@ -64,8 +69,10 @@ class ScenarioPlan:
         different replica counts); resolving them by list insertion order
         made the planner's answer depend on instance-catalog ordering.
         Ties break by fewest total machines, then fewest shards (less
-        fan-out), then instance-type name. With every option at S=1 this
-        is the pre-sharding ordering.
+        fan-out), then instance-type name, then exact retrieval before any
+        ANN variant ("" sorts first) — approximation must *win* on cost,
+        never tie its way in. With every option at S=1 and exact retrieval
+        this is the pre-sharding ordering.
         """
         if not self.options:
             return None
@@ -76,6 +83,7 @@ class ScenarioPlan:
                 option.total_machines,
                 option.shards,
                 option.instance_type,
+                option.retrieval or "",
             ),
         )
 
@@ -92,6 +100,8 @@ class DeploymentPlanner:
         repetitions: int = 1,
         cache: Optional[CacheConfig] = None,
         shard_counts: Sequence[int] = (1,),
+        retrieval_options: Sequence[Optional[RetrievalConfig]] = (None,),
+        min_recall: float = 0.95,
     ):
         self.runner = runner or ExperimentRunner()
         self.slo = slo
@@ -107,6 +117,19 @@ class DeploymentPlanner:
         self.shard_counts = tuple(shard_counts)
         if not self.shard_counts or any(s < 1 for s in self.shard_counts):
             raise ValueError("shard_counts must be positive integers")
+        #: Retrieval modes to evaluate per (instance, shards) candidate.
+        #: None (or a disabled config, normalized to None) is the exact
+        #: scan; enabled IVF configs are admitted only when their measured
+        #: recall@k clears ``min_recall`` — the planner answers "cheapest
+        #: deployment with recall >= R and p90 <= SLO", never trading
+        #: unbounded quality for cost.
+        self.retrieval_options = tuple(
+            option if option is not None and option.enabled else None
+            for option in retrieval_options
+        )
+        if not self.retrieval_options:
+            raise ValueError("retrieval_options must not be empty")
+        self.min_recall = min_recall
         self._hit_rate_memo: Dict[Tuple[int, int], float] = {}
 
     def expected_hit_rate(self, scenario: Scenario) -> float:
@@ -131,23 +154,32 @@ class DeploymentPlanner:
     # -- capacity estimate ----------------------------------------------------
 
     def _candidate_profile(
-        self, model: str, scenario: Scenario, instance: InstanceType, shards: int
+        self,
+        model: str,
+        scenario: Scenario,
+        instance: InstanceType,
+        shards: int,
+        retrieval: Optional[RetrievalConfig] = None,
     ):
         """Service-time profile a candidate replica would run with.
 
         At S=1 this is the registry profile; sharded candidates fold the
         full-catalog trace into the largest shard's slice exactly the way
         the experiment driver does, so the analytic seed and the measured
-        run agree on what one pod costs.
+        run agree on what one pod costs. An IVF ``retrieval`` swaps in the
+        ANN model's trace for both paths.
         """
         if shards <= 1:
             return self.runner.registry.profile(
-                model, scenario.catalog_size, instance.device, "jit"
+                model, scenario.catalog_size, instance.device, "jit",
+                retrieval=retrieval,
             )
         trace, _effective, _jit_failed = self.runner.registry.trace(
-            model, scenario.catalog_size, "jit"
+            model, scenario.catalog_size, "jit", retrieval=retrieval
         )
-        asset_model = self.runner.registry.model(model, scenario.catalog_size)
+        asset_model = self.runner.registry.model(
+            model, scenario.catalog_size, retrieval=retrieval
+        )
         resident = shard_resident_bytes(
             asset_model.resident_bytes(),
             scenario.catalog_size,
@@ -164,6 +196,7 @@ class DeploymentPlanner:
         scenario: Scenario,
         instance: InstanceType,
         shards: int = 1,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> int:
         """Analytic lower bound on the (per-shard) replica count.
 
@@ -179,7 +212,7 @@ class DeploymentPlanner:
         inference latency, so the latency feasibility guards are
         unchanged.)
         """
-        profile = self._candidate_profile(model, scenario, instance, shards)
+        profile = self._candidate_profile(model, scenario, instance, shards, retrieval)
         device = instance.device
         if device.is_accelerator:
             capacity = 1.0 / max(profile.per_item_s, 1e-9)
@@ -208,15 +241,21 @@ class DeploymentPlanner:
         scenario: Scenario,
         instance: InstanceType,
         shards: int = 1,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> Optional[DeploymentOption]:
         """Smallest verified per-shard replica count, or None if infeasible."""
-        start = self.estimate_replicas(model, scenario, instance, shards)
+        start = self.estimate_replicas(model, scenario, instance, shards, retrieval)
         if start > self.max_replicas:
             return None
+        retrieval_spec = (
+            retrieval.spec_string() if retrieval is not None else None
+        )
         best: Optional[DeploymentOption] = None
         replicas = start
         while replicas <= self.max_replicas:
-            result = self._measure(model, scenario, instance, replicas, shards)
+            result = self._measure(
+                model, scenario, instance, replicas, shards, retrieval
+            )
             if result is None:
                 return None  # cannot even deploy (memory / unshardable head)
             if result.meets_slo(self.slo.p90_latency_ms, self.slo.max_error_rate):
@@ -226,6 +265,7 @@ class DeploymentPlanner:
                     monthly_cost_usd=instance.cost_for(replicas * shards),
                     result=result,
                     shards=shards,
+                    retrieval=retrieval_spec,
                 )
                 break
             replicas += 1
@@ -234,7 +274,7 @@ class DeploymentPlanner:
         # The analytic seed can overshoot; try to shrink.
         while best.replicas > 1:
             candidate = self._measure(
-                model, scenario, instance, best.replicas - 1, shards
+                model, scenario, instance, best.replicas - 1, shards, retrieval
             )
             if candidate is None or not candidate.meets_slo(
                 self.slo.p90_latency_ms, self.slo.max_error_rate
@@ -246,6 +286,7 @@ class DeploymentPlanner:
                 monthly_cost_usd=instance.cost_for((best.replicas - 1) * shards),
                 result=candidate,
                 shards=shards,
+                retrieval=retrieval_spec,
             )
         return best
 
@@ -256,6 +297,7 @@ class DeploymentPlanner:
         instance: InstanceType,
         replicas: int,
         shards: int = 1,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> Optional[RunResult]:
         spec = ExperimentSpec(
             model=model,
@@ -265,6 +307,7 @@ class DeploymentPlanner:
             duration_s=self.duration_s,
             cache=self.cache,
             sharding=ShardingConfig(shards=shards) if shards > 1 else None,
+            retrieval=retrieval,
         )
         try:
             return self.runner.run_repeated(spec, repetitions=self.repetitions)
@@ -286,22 +329,36 @@ class DeploymentPlanner:
             plan = ScenarioPlan(scenario=scenario, model=model)
             for instance in instances:
                 for shards in self.shard_counts:
-                    option = self.min_feasible_replicas(
-                        model, scenario, instance, shards
-                    )
-                    # S=1 keeps the pre-sharding infeasible key so existing
-                    # reports/tests read unchanged.
-                    key = (
-                        instance.name
-                        if shards == 1
-                        else f"{instance.name} (S={shards})"
-                    )
-                    if option is None:
-                        plan.infeasible[key] = (
-                            "no feasible deployment within "
-                            f"{self.max_replicas} replicas"
+                    for retrieval in self.retrieval_options:
+                        # S=1 exact keeps the pre-sharding infeasible key so
+                        # existing reports/tests read unchanged.
+                        key = (
+                            instance.name
+                            if shards == 1
+                            else f"{instance.name} (S={shards})"
                         )
-                    else:
-                        plan.options.append(option)
+                        recall: Optional[float] = None
+                        if retrieval is not None:
+                            key = f"{key} [{retrieval.spec_string()}]"
+                            recall = self.runner.registry.measured_recall(
+                                model, scenario.catalog_size, retrieval
+                            )
+                            if recall < self.min_recall:
+                                plan.infeasible[key] = (
+                                    f"recall {recall:.3f} below the "
+                                    f"{self.min_recall:.2f} floor"
+                                )
+                                continue
+                        option = self.min_feasible_replicas(
+                            model, scenario, instance, shards, retrieval
+                        )
+                        if option is None:
+                            plan.infeasible[key] = (
+                                "no feasible deployment within "
+                                f"{self.max_replicas} replicas"
+                            )
+                        else:
+                            option.recall = recall
+                            plan.options.append(option)
             plans[model] = plan
         return plans

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.ann.config import RetrievalConfig
 from repro.hardware.device import DeviceModel
 from repro.hardware.latency_model import LatencyModel, ServiceTimeProfile
 from repro.models import ModelConfig, SessionRecModel, create_model
@@ -44,6 +45,13 @@ class ServingAssets:
         return self.execution_requested in ("jit", "onnx") and self.jit_failed
 
 
+def _retrieval_token(retrieval: Optional[RetrievalConfig]) -> Optional[str]:
+    """Memo-key token for a retrieval mode; None when exact (disabled)."""
+    if retrieval is None or not retrieval.enabled:
+        return None
+    return retrieval.spec_string()
+
+
 class AssetRegistry:
     """Memoized construction of models, traces and profiles."""
 
@@ -52,26 +60,76 @@ class AssetRegistry:
         self._runners: Dict[Tuple, Tuple[object, str, bool]] = {}
         self._traces: Dict[Tuple, CostTrace] = {}
         self._profiles: Dict[Tuple, ServiceTimeProfile] = {}
+        self._recalls: Dict[Tuple, float] = {}
 
     def model(
-        self, name: str, catalog_size: int, top_k: int = 21, seed: int = 42
+        self,
+        name: str,
+        catalog_size: int,
+        top_k: int = 21,
+        seed: int = 42,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> SessionRecModel:
-        key = (name, catalog_size, top_k, seed)
+        token = _retrieval_token(retrieval)
+        key = (name, catalog_size, top_k, seed, token)
         if key not in self._models:
-            config = ModelConfig.for_catalog(
-                catalog_size, top_k=top_k, seed=seed
-            )
-            self._models[key] = create_model(name, config)
+            if token is not None:
+                from repro.ann import AnnSessionRecModel
+
+                base = self.model(name, catalog_size, top_k, seed)
+                self._models[key] = AnnSessionRecModel(
+                    base, nlist=retrieval.nlist, nprobe=retrieval.nprobe
+                )
+            else:
+                config = ModelConfig.for_catalog(
+                    catalog_size, top_k=top_k, seed=seed
+                )
+                self._models[key] = create_model(name, config)
         return self._models[key]
 
+    def measured_recall(
+        self,
+        name: str,
+        catalog_size: int,
+        retrieval: RetrievalConfig,
+        top_k: int = 21,
+        seed: int = 42,
+        num_sessions: int = 32,
+    ) -> float:
+        """Memoized recall@k of the ANN model against the exact scan.
+
+        Measured on the materialized embedding rows with the deterministic
+        sessions of :func:`repro.ann.recall.sample_sessions`; for
+        virtualized catalogs this is the i.i.d.-rows proxy documented in
+        docs/retrieval.md.
+        """
+        token = _retrieval_token(retrieval)
+        if token is None:
+            return 1.0
+        key = (name, catalog_size, token, top_k, seed, num_sessions)
+        if key not in self._recalls:
+            from repro.ann.recall import measure_recall
+
+            model = self.model(name, catalog_size, top_k, seed, retrieval)
+            self._recalls[key] = measure_recall(
+                model, num_sessions=num_sessions
+            ).recall
+        return self._recalls[key]
+
     def _runner(
-        self, name: str, catalog_size: int, execution: str, top_k: int, seed: int
+        self,
+        name: str,
+        catalog_size: int,
+        execution: str,
+        top_k: int,
+        seed: int,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> Tuple[object, str, bool]:
         """(callable(items, length) -> Tensor, effective_mode, jit_failed)."""
-        key = (name, catalog_size, execution, top_k, seed)
+        key = (name, catalog_size, execution, top_k, seed, _retrieval_token(retrieval))
         if key in self._runners:
             return self._runners[key]
-        model = self.model(name, catalog_size, top_k, seed)
+        model = self.model(name, catalog_size, top_k, seed, retrieval)
         if execution in ("jit", "onnx"):
             try:
                 scripted = optimize_for_inference(model, model.example_inputs())
@@ -94,15 +152,21 @@ class AssetRegistry:
         return run
 
     def trace(
-        self, name: str, catalog_size: int, execution: str, top_k: int = 21, seed: int = 42
+        self,
+        name: str,
+        catalog_size: int,
+        execution: str,
+        top_k: int = 21,
+        seed: int = 42,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> Tuple[CostTrace, str, bool]:
         """One representative forward-pass cost trace."""
-        key = (name, catalog_size, execution, top_k, seed)
+        key = (name, catalog_size, execution, top_k, seed, _retrieval_token(retrieval))
         if key not in self._traces:
             runner, effective, jit_failed = self._runner(
-                name, catalog_size, execution, top_k, seed
+                name, catalog_size, execution, top_k, seed, retrieval
             )
-            model = self.model(name, catalog_size, top_k, seed)
+            model = self.model(name, catalog_size, top_k, seed, retrieval)
             items, length = model.example_inputs()
             with cost_trace() as trace:
                 runner(items, length)
@@ -121,13 +185,22 @@ class AssetRegistry:
         execution: str,
         top_k: int = 21,
         seed: int = 42,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> ServiceTimeProfile:
-        key = (name, catalog_size, device.name, execution, top_k, seed)
+        key = (
+            name,
+            catalog_size,
+            device.name,
+            execution,
+            top_k,
+            seed,
+            _retrieval_token(retrieval),
+        )
         if key not in self._profiles:
             trace, _effective, _failed = self.trace(
-                name, catalog_size, execution, top_k, seed
+                name, catalog_size, execution, top_k, seed, retrieval
             )
-            model = self.model(name, catalog_size, top_k, seed)
+            model = self.model(name, catalog_size, top_k, seed, retrieval)
             self._profiles[key] = LatencyModel(device).profile(
                 trace, resident_bytes=model.resident_bytes()
             )
@@ -141,11 +214,12 @@ class AssetRegistry:
         execution: str,
         top_k: int = 21,
         seed: int = 42,
+        retrieval: Optional[RetrievalConfig] = None,
     ) -> ServingAssets:
         trace, effective, jit_failed = self.trace(
-            name, catalog_size, execution, top_k, seed
+            name, catalog_size, execution, top_k, seed, retrieval
         )
-        model = self.model(name, catalog_size, top_k, seed)
+        model = self.model(name, catalog_size, top_k, seed, retrieval)
         return ServingAssets(
             model_name=name,
             catalog_size=catalog_size,
@@ -153,7 +227,9 @@ class AssetRegistry:
             execution_effective=effective,
             model=model,
             trace=trace,
-            profile=self.profile(name, catalog_size, device, execution, top_k, seed),
+            profile=self.profile(
+                name, catalog_size, device, execution, top_k, seed, retrieval
+            ),
             resident_bytes=model.resident_bytes(),
             score_bytes_per_item=model.score_bytes_per_item(),
             jit_failed=jit_failed,

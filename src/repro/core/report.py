@@ -20,12 +20,16 @@ def format_cost(cost: float) -> str:
 
 
 def _option_cell(option) -> str:
-    """Per-model table cell: ``x3`` (replicas), ``x3/S4`` when sharded."""
+    """Per-model table cell: ``x3`` (replicas), ``x3/S4`` when sharded,
+    a ``~`` suffix when the option serves approximate (ANN) retrieval."""
     if option is None:
         return "-"
+    cell = f"x{option.replicas}"
     if option.shards > 1:
-        return f"x{option.replicas}/S{option.shards}"
-    return f"x{option.replicas}"
+        cell += f"/S{option.shards}"
+    if option.retrieval is not None:
+        cell += "~"
+    return cell
 
 
 def render_scenario_table(
@@ -72,6 +76,7 @@ def render_scenario_table(
                                 o.monthly_cost_usd,
                                 o.total_machines,
                                 o.shards,
+                                o.retrieval or "",
                             ),
                         )
                 per_model[model] = option
@@ -86,6 +91,7 @@ def render_scenario_table(
             lines.append(f"{scenario_name:<20} (no feasible deployment)")
             continue
         cheapest_cost = min(cost for _n, _a, cost, _p in rows)
+        any_ann = False
         for index, (instance_name, amount, cost, per_model) in enumerate(rows):
             marker = "*" if cost == cheapest_cost else " "
             cells = " ".join(f"{_option_cell(per_model[m]):>9}" for m in models)
@@ -93,6 +99,14 @@ def render_scenario_table(
             lines.append(
                 f"{label:<20} {marker}{instance_name:<9} {amount:>6} "
                 f"{format_cost(cost):>11} | {cells}"
+            )
+            any_ann = any_ann or any(
+                o is not None and o.retrieval is not None
+                for o in per_model.values()
+            )
+        if any_ann:
+            lines.append(
+                "('~' = ANN retrieval; recall floor enforced by the planner)"
             )
         lines.append("")
     return "\n".join(lines)

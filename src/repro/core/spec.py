@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple, Union
 
+from repro.ann.config import RetrievalConfig
 from repro.cache.tier import CacheConfig
 from repro.cluster.chaos import ChaosSchedule
 from repro.cluster.routing import RoutingPolicy
@@ -91,6 +92,11 @@ class ExperimentSpec:
     #: Accepts a :class:`~repro.sharding.config.ShardingConfig`, its
     #: compact spec string (``"4"`` / ``"4,partial=off"``) or a bare int.
     sharding: Optional[Union[ShardingConfig, str, int]] = None
+    #: ANN retrieval mode (None or ``kind="exact"`` = the paper's exact
+    #: catalog scan, bit-identical to a config-less run). Accepts a
+    #: :class:`~repro.ann.config.RetrievalConfig` or its compact spec
+    #: string (``"ivf:nlist=1024,nprobe=32"``; ``""`` = IVF defaults).
+    retrieval: Optional[Union[RetrievalConfig, str]] = None
 
     def __post_init__(self):
         if self.execution not in ("jit", "eager", "onnx"):
@@ -115,6 +121,8 @@ class ExperimentSpec:
             object.__setattr__(self, "sharding", ShardingConfig.parse(self.sharding))
         elif isinstance(self.sharding, int) and not isinstance(self.sharding, bool):
             object.__setattr__(self, "sharding", ShardingConfig(shards=self.sharding))
+        if isinstance(self.retrieval, str):
+            object.__setattr__(self, "retrieval", RetrievalConfig.parse(self.retrieval))
 
     def workload_statistics(self) -> WorkloadStatistics:
         """The provided statistics, or the bol.com-like defaults."""

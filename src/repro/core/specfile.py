@@ -49,6 +49,7 @@ _KNOWN_KEYS = {
     "fallback",
     "cache",
     "shards",
+    "retrieval",
 }
 
 
@@ -106,6 +107,7 @@ def spec_from_dict(raw: Dict[str, Any]) -> Tuple[ExperimentSpec, SLO]:
         fallback=raw.get("fallback"),
         cache=raw.get("cache"),
         sharding=raw.get("shards"),
+        retrieval=raw.get("retrieval"),
     )
     return spec, slo
 
@@ -153,6 +155,8 @@ def spec_to_dict(spec: ExperimentSpec, slo: SLO = SLO()) -> Dict[str, Any]:
         document["cache"] = spec.cache.spec_string()
     if spec.sharding is not None:
         document["shards"] = spec.sharding.spec_string()
+    if spec.retrieval is not None:
+        document["retrieval"] = spec.retrieval.spec_string()
     if spec.workload is not None:
         document["workload"] = {
             "catalog_size": spec.workload.catalog_size,

@@ -100,6 +100,10 @@ class RunResult:
     #: catalog-coverage stats, merge cost), present when the run sharded
     #: the catalog (S > 1).
     sharding: Optional[Dict] = None
+    #: ANN retrieval report (index parameters, measured recall@k, probed
+    #: catalog fraction, per-pod index build seconds, ``ann_*`` tallies),
+    #: present when the run used an enabled ``--retrieval`` mode.
+    retrieval: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

@@ -140,6 +140,21 @@ class EtudeInferenceServer:
         #: Singleflight leadership: request id -> the cache key whose
         #: flight this request's inference will settle.
         self._flight_keys: Dict[int, CacheKey] = {}
+        #: ANN retrieval descriptor (default-off; ``docs/retrieval.md``).
+        #: ``None`` — the contractual off state — whenever the profile has
+        #: no config or an "exact" one; enabled, the server tallies probes
+        #: and emits ``retrieval_probe`` spans. The probe cost itself is
+        #: already folded into ``service_profile`` by the latency model.
+        retrieval_config = self.profile.retrieval
+        self.retrieval = (
+            retrieval_config
+            if retrieval_config is not None and retrieval_config.enabled
+            else None
+        )
+        self.ann_queries = 0
+        self.ann_probed_lists = 0
+        self._ann_query_counter = None
+        self._ann_probe_counter = None
         if telemetry is not None:
             labels = {"server": name}
             metrics = telemetry.metrics
@@ -189,6 +204,15 @@ class EtudeInferenceServer:
                     "cache_in_flight", fn=self.cache.in_flight, unit="keys",
                     labels=labels,
                     help="unique keys with a computation currently in flight",
+                )
+            if self.retrieval is not None:
+                self._ann_query_counter = metrics.counter(
+                    "ann_query_total", unit="queries", labels=labels,
+                    help="inferences answered through the ANN index probe",
+                )
+                self._ann_probe_counter = metrics.counter(
+                    "ann_probed_lists_total", unit="lists", labels=labels,
+                    help="inverted lists visited across all ANN queries",
                 )
 
         # Queue entries: (request, respond, arrival_time).
@@ -786,6 +810,8 @@ class EtudeInferenceServer:
                     at=started + inference_s + http_s
                 )
                 self._batch_size_hist.observe(1)
+            if self.retrieval is not None:
+                self._note_retrieval(request.request_id, started, inference_s)
             self._respond_ok(
                 request, respond, inference_s, batch_size=1, queue_s=queue_s
             )
@@ -862,6 +888,8 @@ class EtudeInferenceServer:
             if self.telemetry is not None:
                 self._trace_batch(batch, started, batch_time, take, linger_started)
             for request, respond, arrival in batch:
+                if self.retrieval is not None:
+                    self._note_retrieval(request.request_id, started, batch_time)
                 # HTTP handling happens concurrently on the event loop; it
                 # adds latency but does not occupy the device.
                 http_s = self._http_overhead()
@@ -902,6 +930,29 @@ class EtudeInferenceServer:
                 batch_id=self._batch_counter,
                 batch_size=take,
             )
+
+    def _note_retrieval(
+        self, request_id: int, started: float, duration_s: float
+    ) -> None:
+        """Tally one ANN probe; emit the ``retrieval_probe`` span if traced.
+
+        The probe is part of the inference the service profile already
+        prices, so the span shares the inference window rather than adding
+        time — it annotates *what* the device spent the window on.
+        """
+        self.ann_queries += 1
+        nprobe = self.retrieval.nprobe
+        self.ann_probed_lists += nprobe
+        if self.telemetry is not None:
+            self._ann_query_counter.inc()
+            self._ann_probe_counter.inc(nprobe)
+            self.telemetry.trace.begin(
+                "retrieval_probe",
+                request_id,
+                at=started,
+                nlist=self.retrieval.nlist or 0,
+                nprobe=nprobe,
+            ).finish(at=started + duration_s)
 
     def _make_responder(
         self, request, respond, batch_time, take, started, arrival, batch_id

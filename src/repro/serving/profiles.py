@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.ann.config import RetrievalConfig
 from repro.cache.tier import CacheConfig
 from repro.serving.admission import AdmissionPolicy
 from repro.serving.fallback import FallbackConfig
@@ -45,6 +46,11 @@ class ActixProfile:
     #: zero-capacity config = the paper's behaviour: every request runs
     #: the model; see docs/caching.md).
     cache: Optional[CacheConfig] = None
+    #: ANN retrieval descriptor (None or disabled = the paper's exact
+    #: catalog scan; an enabled config makes the server emit
+    #: ``retrieval_probe`` spans and ``ann_*`` counters for the IVF probe
+    #: its service profile already prices; see docs/retrieval.md).
+    retrieval: Optional[RetrievalConfig] = None
 
 
 @dataclass(frozen=True)

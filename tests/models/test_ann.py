@@ -107,6 +107,54 @@ class TestSearch:
             index.search(Tensor(np.ones(CONFIG.embedding_dim)), 0)
 
 
+class TestBuildAndAccounting:
+    def test_build_determinism(self, model):
+        first = IVFFlatIndex(
+            model.item_embedding, nlist=32, nprobe=4, kmeans_iterations=4
+        )
+        second = IVFFlatIndex(
+            model.item_embedding, nlist=32, nprobe=4, kmeans_iterations=4
+        )
+        np.testing.assert_array_equal(first.centroids, second.centroids)
+        for list_a, list_b in zip(first.lists, second.lists):
+            np.testing.assert_array_equal(list_a, list_b)
+
+    def test_logical_nlist_clamped_to_materialized_rows(self):
+        from repro.tensor.layers import CatalogEmbedding
+
+        virtual = CatalogEmbedding(5_000, 8, materialized_cap=100)
+        index = IVFFlatIndex(virtual, nlist=500, nprobe=8, kmeans_iterations=2)
+        assert index.logical_nlist == 500
+        assert index.nlist == 100  # only 100 rows exist to cluster
+        assert index.catalog_scale == pytest.approx(50.0)
+
+    def test_nlist_above_catalog_rejected(self, model):
+        with pytest.raises(ValueError):
+            IVFFlatIndex(model.item_embedding, nlist=CONFIG.num_items + 1)
+
+    def test_virtualized_full_probe_matches_exact_plus_centroids(self):
+        """Above the materialized cap, a full probe's booked traffic must be
+        the exact scan's plus the (logical) centroid table — the scale
+        handling cannot leak into the totals."""
+        config = ModelConfig.for_catalog(100_000, top_k=10)
+        big = create_model("gru4rec", config)
+        assert big.item_embedding.catalog_scale > 1.0
+        index = IVFFlatIndex(
+            big.item_embedding, nlist=64, nprobe=64, kmeans_iterations=2
+        )
+        from repro.tensor import functional as F
+
+        query = Tensor(np.ones(config.embedding_dim, dtype=np.float32))
+        with cost_trace() as exact:
+            F.linear(query, big.item_embedding.scoring_weight())
+        with cost_trace() as full_probe:
+            index.search(query, 10)
+        centroid_bytes = index.logical_nlist * config.embedding_dim * 4.0
+        assert full_probe.total_param_bytes == pytest.approx(
+            exact.total_param_bytes + centroid_bytes, rel=1e-6
+        )
+
+
 class TestAnnModel:
     def test_recommend_contract(self, model):
         ann = AnnSessionRecModel(model, nlist=64, nprobe=8)

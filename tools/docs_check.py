@@ -13,7 +13,14 @@
   removed or misspelled flags fail). Lines containing placeholders
   (``...`` or ``<``) are skipped.
 
-Run directly:  ``PYTHONPATH=src python tools/docs_check.py``
+Additionally, markdown *flag tables* (rows whose first cell is a backticked
+``--flag`` and whose second cell backticks subcommand names, like the
+README's opt-in feature table) are cross-checked against the argparse
+definitions in ``repro.cli``: every listed (flag, command) pair must be an
+option the real subparser accepts.
+
+Run directly:  ``python tools/docs_check.py`` (``src/`` is added to the
+import path automatically, like the other ``tools/`` scripts).
 """
 
 from __future__ import annotations
@@ -29,8 +36,12 @@ from pathlib import Path
 from typing import Iterator, List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+#: A flag-table row: ``| `--flag ...` | <commands cell> | ...``.
+FLAG_ROW_RE = re.compile(r"^\|\s*`(--[\w-]+)[^`]*`\s*\|([^|]*)\|")
 
 
 def fenced_blocks(text: str) -> Iterator[Tuple[str, int, str]]:
@@ -124,6 +135,58 @@ def check_bash_block(body: str, where: str) -> List[str]:
     return problems
 
 
+def _subcommand_parsers():
+    """Map of subcommand name -> its argparse parser, from the real CLI."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    action = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return action.choices
+
+
+def check_flag_table_rows(text: str, display) -> Tuple[List[str], int]:
+    """Cross-check flag-table rows against the CLI's argparse definitions.
+
+    A row participates when its first cell is a backticked ``--flag`` and
+    its second cell backticks at least one known subcommand name; every
+    backticked known command in the cell must then accept the flag. Rows
+    whose second cell names no known command (other tables that happen to
+    start with a flag) are left alone.
+    """
+    subparsers = _subcommand_parsers()
+    problems: List[str] = []
+    rows = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = FLAG_ROW_RE.match(line.strip())
+        if not match:
+            continue
+        flag, commands_cell = match.group(1), match.group(2)
+        commands = [
+            name
+            for name in re.findall(r"`([\w-]+)`", commands_cell)
+            if name in subparsers
+        ]
+        if not commands:
+            continue
+        rows += 1
+        for command in commands:
+            options = {
+                option
+                for action in subparsers[command]._actions
+                for option in action.option_strings
+            }
+            if flag not in options:
+                problems.append(
+                    f"{display}:{number}: table says `{command}` takes "
+                    f"{flag}, but the CLI does not accept it"
+                )
+    return problems, rows
+
+
 def check_file(path: Path) -> Tuple[List[str], int]:
     problems: List[str] = []
     blocks = 0
@@ -131,7 +194,8 @@ def check_file(path: Path) -> Tuple[List[str], int]:
         display = path.relative_to(REPO_ROOT)
     except ValueError:
         display = path
-    for language, line, body in fenced_blocks(path.read_text()):
+    text = path.read_text()
+    for language, line, body in fenced_blocks(text):
         where = f"{display}:{line}"
         if language == "python":
             blocks += 1
@@ -139,6 +203,9 @@ def check_file(path: Path) -> Tuple[List[str], int]:
         elif language in ("bash", "sh", "shell"):
             blocks += 1
             problems.extend(check_bash_block(body, where))
+    table_problems, rows = check_flag_table_rows(text, display)
+    problems.extend(table_problems)
+    blocks += rows
     return problems, blocks
 
 

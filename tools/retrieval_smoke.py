@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""ANN-retrieval smoke test (``make retrieval-smoke``).
+
+Two tiny deterministic checks asserting the correctness contract of
+``docs/retrieval.md``:
+
+1. **Quality.** On a real model over a small catalog, an IVF index probing
+   half its inverted lists must reach recall@20 >= 0.9 against the exact
+   scan, and an end-to-end IVF run must serve every request (real ANN
+   queries, index build charged at deploy).
+
+2. **Bit-identity when off.** A run without ``retrieval`` and a run with
+   ``retrieval="exact"`` must produce byte-identical ``RunResult`` JSON —
+   the opt-in contract shared with overload protection, the cache and
+   sharding.
+
+Exits non-zero with a diagnostic on any violation, so ``make test`` fails
+loudly if ANN quality or the disabled-mode contract regresses.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.ann import AnnSessionRecModel, measure_recall  # noqa: E402
+from repro.core import ExperimentRunner, ExperimentSpec, HardwareSpec  # noqa: E402
+from repro.models import ModelConfig, create_model  # noqa: E402
+
+CATALOG = 2_000
+TOP_K = 20
+NLIST = 32
+NPROBE = 16
+SEED = 23
+
+
+def _spec(retrieval):
+    return ExperimentSpec(
+        model="gru4rec",
+        catalog_size=CATALOG,
+        target_rps=40,
+        hardware=HardwareSpec("CPU", 1),
+        duration_s=15.0,
+        retrieval=retrieval,
+    )
+
+
+def main() -> int:
+    failures = []
+
+    # -- 1. quality: recall@20 on a real model, then a served run --------
+    model = create_model(
+        "gru4rec", ModelConfig.for_catalog(CATALOG, top_k=TOP_K, seed=SEED)
+    )
+    ann = AnnSessionRecModel(model, nlist=NLIST, nprobe=NPROBE)
+    report = measure_recall(ann, num_sessions=48)
+    if report.recall < 0.9:
+        failures.append(
+            f"recall@{TOP_K} = {report.recall:.3f} < 0.9 at "
+            f"nlist={NLIST}, nprobe={NPROBE}"
+        )
+    print(
+        f"retrieval smoke: recall@{TOP_K}={report.recall:.3f} probing "
+        f"{report.probed_fraction * 100:.0f}% of {NLIST} lists "
+        f"({report.num_sessions} sessions)"
+    )
+
+    ivf_result = ExperimentRunner(seed=SEED).run(
+        _spec(f"ivf:nlist={NLIST},nprobe={NPROBE}")
+    )
+    section = ivf_result.retrieval
+    if ivf_result.error_requests:
+        failures.append(
+            f"IVF run answered {ivf_result.error_requests} errors"
+        )
+    if section is None:
+        failures.append("IVF run reported no retrieval section")
+    else:
+        if section["ann_queries"] != ivf_result.ok_requests:
+            failures.append(
+                f"served {ivf_result.ok_requests} 200s but counted "
+                f"{section['ann_queries']} ANN queries"
+            )
+        if section["index_build_s"] <= 0.0:
+            failures.append("index build time was not charged at deploy")
+    print(
+        f"retrieval smoke: IVF run ok={ivf_result.ok_requests}, "
+        f"ANN queries={section['ann_queries'] if section else '-'}, "
+        f"index build={section['index_build_s'] * 1e3:.2f} ms/pod"
+        if section
+        else "retrieval smoke: IVF run missing section"
+    )
+
+    # -- 2. disabled mode must be byte-identical -------------------------
+    baseline = ExperimentRunner(seed=SEED).run(_spec(None))
+    disabled = ExperimentRunner(seed=SEED).run(_spec("exact"))
+    if baseline.to_json() != disabled.to_json():
+        failures.append(
+            "retrieval='exact' run is not byte-identical to the "
+            "no-retrieval baseline"
+        )
+    else:
+        print(
+            "retrieval smoke: disabled mode byte-identical to baseline "
+            f"({baseline.ok_requests} requests)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("retrieval smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
