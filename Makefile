@@ -36,7 +36,7 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 .PHONY: test
-test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke retrieval-smoke
+test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke retrieval-smoke scheduler-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tiny deterministic overload run: deadline admission + fallback tier must
@@ -64,6 +64,12 @@ shard-smoke:
 .PHONY: retrieval-smoke
 retrieval-smoke:
 	$(PYTHON) tools/retrieval_smoke.py
+
+# Deterministic heterogeneous-scheduler checks: split-fleet exactness,
+# mixed-vs-homogeneous tail under load, disabled-mode bit-identity.
+.PHONY: scheduler-smoke
+scheduler-smoke:
+	$(PYTHON) tools/scheduler_smoke.py
 
 # Line coverage over the unit suite (see README "Development"). Needs
 # pytest-cov; when it is absent the target explains and skips instead of

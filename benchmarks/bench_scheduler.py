@@ -1,0 +1,169 @@
+"""SCHED — heterogeneous CPU/GPU serving as a deployment-planner dimension.
+
+Runs the Table I planner over the Groceries (large) scenario (100k items,
+250 req/s) under a latency budget tighter than the paper's 50 ms — a
+3.1 ms p90 limit of the kind an ad-ranking sidecar would impose — with a
+heterogeneous scheduler config in the search space (``scheduler_options``).
+Findings to reproduce:
+
+(i)   under the tight budget every *homogeneous* fleet is infeasible, at
+      any replica count: CPU pods are latency-bound (single inference
+      ~3.16 ms > budget with no batching to amortize), and both GPU
+      fleets are linger-bound — the paper's hardcoded 1,024-request /
+      2 ms batching window alone eats two thirds of the budget (T4
+      p90 ~3.47 ms, A100 ~3.31 ms), and replicas cannot shrink it;
+(ii)  the mixed fleets are feasible — the tuner hill-climbs the linger
+      down from the 2 ms default until the watched p90 sits inside the
+      target band — so the heterogeneous plan wins the scenario outright
+      on cost: one T4 plus one auxiliary CPU pod at $376/month, where no
+      homogeneous option exists at all (the A100+CPU pair also passes,
+      at 5.6x the price);
+(iii) the win is honest: the winning option's measured run split real
+      traffic across both pod classes (short sessions offloaded to the
+      CPU pod), answered every request, and its tuner *converged* —
+      knobs at rest inside the band, not still thrashing;
+(iv)  the planner charged the mixed fleet for both classes: its monthly
+      cost is exactly the T4 price plus the CPU-pod price.
+
+Wall-clock for the full regeneration is recorded in
+``BENCH_scheduler.json`` (skipped in ``ETUDE_BENCH_SMOKE=1`` runs, which
+shrink the load tests).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import DURATION_S, REPETITIONS, SMOKE, experiment_runner, run_once
+
+from repro.core import DeploymentPlanner
+from repro.core.spec import SLO, Scenario
+from repro.hardware import CPU_E2, GPU_A100, GPU_T4
+from repro.scheduler import SchedulerConfig
+
+SCENARIO = Scenario("Groceries (large)", 100_000, 250)
+MODEL = "gru4rec"
+P90_LIMIT_MS = 3.1
+#: The mixed candidate: one CPU pod beside the GPU fleet, tuner targeting
+#: just under the budget (band 2.61-3.19 ms) from the 1,024/2 ms defaults.
+MIXED = "cpu=1,target=2.9,tol=0.1"
+#: Latency-bound scenario: extra replicas cannot shrink a linger- or
+#: single-inference-bound p90, so a deep replica search is wasted runs.
+MAX_REPLICAS = 2
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+
+def test_scheduler_planning(benchmark, experiment_runner):
+    config = SchedulerConfig.parse(MIXED)
+    planner = DeploymentPlanner(
+        runner=experiment_runner,
+        slo=SLO(p90_latency_ms=P90_LIMIT_MS),
+        duration_s=DURATION_S,
+        max_replicas=MAX_REPLICAS,
+        repetitions=REPETITIONS,
+        scheduler_options=(None, config),
+    )
+
+    started = time.perf_counter()
+
+    def plan_groceries():
+        return planner.plan(
+            SCENARIO, [MODEL], instances=[CPU_E2, GPU_T4, GPU_A100]
+        )[MODEL]
+
+    plan = run_once(benchmark, plan_groceries)
+    wall_clock_s = time.perf_counter() - started
+
+    homogeneous = [o for o in plan.options if o.cpu_replicas == 0]
+    mixed = [o for o in plan.options if o.cpu_replicas > 0]
+
+    print()
+    print(
+        f"--- {SCENARIO.name} (C={SCENARIO.catalog_size:,}, "
+        f"{SCENARIO.target_rps} req/s, p90 <= {P90_LIMIT_MS} ms, {MODEL})"
+    )
+    for option in sorted(plan.options, key=lambda o: o.monthly_cost_usd):
+        suffix = f"+{option.cpu_replicas}c" if option.cpu_replicas else ""
+        print(
+            f"  {option.instance_type:<10} x{option.replicas}{suffix} "
+            f"[{option.scheduler or 'homogeneous'}] "
+            f"${option.monthly_cost_usd:,.0f}/month "
+            f"p90={option.result.p90_at_target_ms:.2f} ms"
+        )
+    for key, reason in plan.infeasible.items():
+        print(f"  {key}: {reason}")
+
+    # (i) No homogeneous fleet fits the budget — CPU is latency-bound,
+    # both GPUs are bound by the hardcoded 2 ms batching linger.
+    assert not homogeneous
+    for name in ("CPU", "GPU-T4", "GPU-A100"):
+        assert name in plan.infeasible
+
+    # (ii) Only mixed fleets are feasible (the A100+CPU pair passes too,
+    # at 5.6x the price); the cheapest plan is the T4 plus one CPU pod.
+    assert mixed
+    winner = plan.cheapest()
+    assert winner.instance_type == "GPU-T4" and winner.cpu_replicas == 1
+    assert winner.result.p90_at_target_ms is not None
+    assert winner.result.p90_at_target_ms <= P90_LIMIT_MS
+
+    # (iii) Honest traffic split and a converged tuner: the linger moved
+    # off the paper's 2 ms default and then came to rest inside the band.
+    section = winner.result.scheduler
+    assert section is not None
+    assert section["routed_cpu"] > 0 and section["routed_gpu"] > 0
+    assert section["offload_short_session"] > 0
+    assert winner.result.error_requests == 0
+    tuner = section["tuner"]
+    assert tuner["moves"] >= 1
+    assert tuner["converged"]
+    assert tuner["linger_s"] < SchedulerConfig().linger_s
+
+    # (iv) The plan pays for both pod classes.
+    expected_cost = GPU_T4.cost_for(winner.replicas) + CPU_E2.cost_for(1)
+    assert abs(winner.monthly_cost_usd - expected_cost) < 1e-6
+
+    benchmark.extra_info["mixed_cost_usd"] = round(winner.monthly_cost_usd)
+    benchmark.extra_info["mixed_p90_ms"] = round(
+        winner.result.p90_at_target_ms, 2
+    )
+
+    if not SMOKE:
+        RESULTS_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "scheduler",
+                    "scenario": {
+                        "name": SCENARIO.name,
+                        "catalog_size": SCENARIO.catalog_size,
+                        "target_rps": SCENARIO.target_rps,
+                    },
+                    "model": MODEL,
+                    "duration_s": DURATION_S,
+                    "repetitions": REPETITIONS,
+                    "p90_limit_ms": P90_LIMIT_MS,
+                    "homogeneous_infeasible": {
+                        key: reason
+                        for key, reason in plan.infeasible.items()
+                        if "{" not in key
+                    },
+                    "winner": {
+                        "instance_type": winner.instance_type,
+                        "replicas": winner.replicas,
+                        "cpu_replicas": winner.cpu_replicas,
+                        "scheduler": winner.scheduler,
+                        "monthly_cost_usd": round(winner.monthly_cost_usd, 2),
+                        "p90_at_target_ms": round(
+                            winner.result.p90_at_target_ms, 3
+                        ),
+                        "routed_cpu": section["routed_cpu"],
+                        "routed_gpu": section["routed_gpu"],
+                        "tuner": tuner,
+                    },
+                    "wall_clock_s": round(wall_clock_s, 2),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {RESULTS_PATH.name} (wall clock {wall_clock_s:.1f} s)")

@@ -85,6 +85,7 @@ def _add_run_command(subparsers) -> None:
     _add_cache_flag(parser)
     _add_shards_flag(parser)
     _add_retrieval_flag(parser)
+    _add_scheduler_flag(parser)
 
 
 def _add_plan_command(subparsers) -> None:
@@ -114,6 +115,7 @@ def _add_plan_command(subparsers) -> None:
         "measured recall falls below this are reported infeasible "
         "(default 0.95)",
     )
+    _add_scheduler_flag(parser, append=True)
 
 
 def _add_compare_command(subparsers) -> None:
@@ -258,6 +260,69 @@ def _parse_retrieval(args):
         return RetrievalConfig.parse(args.retrieval)
     except ValueError as error:
         raise SystemExit(str(error))
+
+
+def _add_scheduler_flag(parser, append: bool = False) -> None:
+    kwargs = dict(
+        nargs="?", const="", default=None, metavar="SPEC",
+        help="heterogeneous CPU/GPU scheduler: a CPU pod pool for "
+        "short-session/tight-slack requests beside the GPU batch path, "
+        "with online hill-climbed batching; SPEC like "
+        "'cpu=1,short=4,target=50' (bare --scheduler = one CPU pod, "
+        "tuner on; 'off' disables)",
+    )
+    if append:
+        kwargs["action"] = "append"
+        kwargs["help"] += "; repeat to sweep CPU:GPU mix ratios"
+    parser.add_argument("--scheduler", **kwargs)
+
+
+def _parse_scheduler(args):
+    """SchedulerConfig | None from the run command's --scheduler flag."""
+    from repro.scheduler import SchedulerConfig
+
+    if getattr(args, "scheduler", None) is None:
+        return None
+    try:
+        return SchedulerConfig.parse(args.scheduler)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _parse_scheduler_options(args):
+    """Tuple of SchedulerConfig from the plan command's repeatable flag."""
+    from repro.scheduler import SchedulerConfig
+
+    specs = getattr(args, "scheduler", None) or []
+    options = []
+    for text in specs:
+        try:
+            config = SchedulerConfig.parse(text)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        if config.enabled:
+            options.append(config)
+    return tuple(options)
+
+
+def _render_scheduler(scheduler: dict) -> str:
+    """The one-line scheduler summary for run output."""
+    tuner = scheduler.get("tuner")
+    extras = ""
+    if tuner is not None:
+        extras = (
+            f"; tuner {tuner['moves']} moves/{tuner['epochs']} epochs -> "
+            f"batch {tuner['max_batch']}/"
+            f"{tuner['linger_s'] * 1e3:g} ms"
+            f"{' (converged)' if tuner['converged'] else ''}"
+        )
+    return (
+        f"  scheduler[{scheduler['config']}]: "
+        f"{scheduler['routed_cpu']} cpu / {scheduler['routed_gpu']} gpu "
+        f"({scheduler['offload_short_session']} short, "
+        f"{scheduler['offload_tight_slack']} tight-slack)"
+        + extras
+    )
 
 
 def _render_retrieval(retrieval: dict) -> str:
@@ -565,6 +630,7 @@ def _cmd_run(args, out) -> int:
     cache = _parse_cache(args)
     sharding = _parse_sharding(args)
     retrieval = _parse_retrieval(args)
+    scheduler = _parse_scheduler(args)
     if args.spec:
         from dataclasses import replace
 
@@ -575,7 +641,7 @@ def _cmd_run(args, out) -> int:
             value is not None
             for value in (
                 retry, chaos, slo_deadline, admission, routing, fallback,
-                cache, sharding, retrieval,
+                cache, sharding, retrieval, scheduler,
             )
         )
         if overrides_on:
@@ -607,6 +673,11 @@ def _cmd_run(args, out) -> int:
                             if retrieval is not None
                             else spec.retrieval
                         ),
+                        scheduler=(
+                            scheduler
+                            if scheduler is not None
+                            else spec.scheduler
+                        ),
                     ),
                     slo,
                 )
@@ -636,6 +707,7 @@ def _cmd_run(args, out) -> int:
                     cache=cache,
                     sharding=sharding,
                     retrieval=retrieval,
+                    scheduler=scheduler,
                 ),
                 SLO(p90_latency_ms=args.p90_limit),
             )
@@ -689,6 +761,8 @@ def _cmd_run(args, out) -> int:
             out.write(_render_sharding(result.sharding) + "\n")
         if result.retrieval is not None:
             out.write(_render_retrieval(result.retrieval) + "\n")
+        if result.scheduler is not None:
+            out.write(_render_scheduler(result.scheduler) + "\n")
         if telemetry is not None:
             trace_out = args.trace_out
             if trace_out and len(jobs) > 1:
@@ -725,6 +799,7 @@ def _cmd_plan(args, out) -> int:
         shard_counts=shard_counts or (1,),
         retrieval_options=retrieval_options,
         min_recall=args.min_recall,
+        scheduler_options=(None,) + _parse_scheduler_options(args),
     )
     instances = cloud_catalog(args.cloud)
     plans = planner.plan(scenario, models, instances=instances)

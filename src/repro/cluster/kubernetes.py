@@ -48,6 +48,32 @@ class Pod:
     shard: int = 0
 
 
+@dataclass(frozen=True)
+class AuxiliaryFleet:
+    """A CPU pod pool riding beside a GPU primary fleet.
+
+    The heterogeneous scheduler's deployment shape: the same model and
+    artifact, served from non-batching CPU pods with their own (CPU)
+    service-time profile. The pool shares the deployment's readiness
+    signal, restart path and ClusterIP service; the dispatcher decides
+    which class answers which request.
+    """
+
+    instance_type: InstanceType
+    replicas: int
+    service_profile: ServiceTimeProfile
+    resident_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("auxiliary replicas must be >= 1")
+        if self.instance_type.device.is_accelerator:
+            raise ValueError(
+                "the auxiliary fleet is the CPU side of a heterogeneous "
+                f"deployment; {self.instance_type.name} is an accelerator"
+            )
+
+
 class ModelDeployment:
     """A replicated model-serving deployment."""
 
@@ -70,6 +96,14 @@ class ModelDeployment:
     @property
     def shards(self) -> int:
         return self.sharding.shards if self.sharding is not None else 1
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when the fleet mixes accelerator and CPU pods."""
+        classes = {
+            pod.instance_type.device.is_accelerator for pod in self.pods
+        }
+        return len(classes) > 1
 
     @property
     def ready_pods(self) -> List[Pod]:
@@ -184,6 +218,7 @@ class Cluster:
         telemetry: Optional["Telemetry"] = None,
         sharding: Optional[ShardingConfig] = None,
         index_build_s: float = 0.0,
+        auxiliary: Optional[AuxiliaryFleet] = None,
     ) -> ModelDeployment:
         """Create a deployment; pods become ready asynchronously.
 
@@ -200,10 +235,32 @@ class Cluster:
         + list assignment) on every pod before its readiness probe flips —
         also on restarts, since the artifact stores embeddings, not the
         trained index.
+
+        ``auxiliary`` adds a CPU pod pool beside an accelerator primary
+        fleet (the heterogeneous scheduler's shape): same artifact and
+        model, the pool's own CPU service profile, shared readiness
+        signal. Mutually exclusive with ``sharding`` — every pod must hold
+        the full catalog so either class can answer any request.
         """
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         shards = sharding.shards if sharding is not None and sharding.enabled else 1
+        if auxiliary is not None:
+            if shards > 1:
+                raise DeploymentError(
+                    "a heterogeneous fleet does not compose with catalog "
+                    "sharding: CPU pods must hold the full catalog to "
+                    "answer any request the dispatcher sends them"
+                )
+            if not instance_type.device.is_accelerator:
+                raise DeploymentError(
+                    "an auxiliary CPU pool requires an accelerator primary "
+                    f"fleet; the primary is {instance_type.name}"
+                )
+            self.check_fit(
+                auxiliary.instance_type, auxiliary.resident_bytes, 1,
+                score_bytes_per_item,
+            )
         batching = self.fit_batching(
             instance_type, resident_bytes, score_bytes_per_item, batching
         )
@@ -228,7 +285,8 @@ class Cluster:
 
         pods: List[Pod] = []
         ready_signal = Signal(f"{name}-ready")
-        remaining = {"count": shards * replicas}
+        aux_replicas = auxiliary.replicas if auxiliary is not None else 0
+        remaining = {"count": shards * replicas + aux_replicas}
         for pod_index in range(shards * replicas):
             shard = pod_index // replicas
             self._pod_counter += 1
@@ -255,6 +313,30 @@ class Cluster:
                     index_build_s,
                 )
             )
+        for _ in range(aux_replicas):
+            self._pod_counter += 1
+            pod = Pod(
+                name=f"{name}-cpu-{self._pod_counter}",
+                instance_type=auxiliary.instance_type,
+            )
+            pods.append(pod)
+            self.simulator.spawn(
+                self._start_pod(
+                    pod,
+                    artifact_path,
+                    auxiliary.service_profile,
+                    batching,
+                    server_profile,
+                    model,
+                    jit_warmup_s,
+                    ready_signal,
+                    remaining,
+                    load_bytes,
+                    telemetry,
+                    remote_cache,
+                    index_build_s,
+                )
+            )
         deployment = ModelDeployment(
             name=name,
             pods=pods,
@@ -271,6 +353,7 @@ class Cluster:
                 "remote_cache": remote_cache,
                 "sharding": sharding,
                 "index_build_s": index_build_s,
+                "auxiliary": auxiliary,
             },
             sharding=sharding if shards > 1 else None,
         )
@@ -383,7 +466,7 @@ class Cluster:
         pod.server = EtudeInferenceServer(
             simulator=self.simulator,
             device=pod.instance_type.device,
-            service_profile=context["service_profile"],
+            service_profile=self._profile_for_pod(context, pod),
             rng=np.random.default_rng(self.rng.integers(2**63)),
             profile=context["server_profile"],
             batching=context["batching"],
@@ -397,6 +480,19 @@ class Cluster:
         )
         pod.ready = True
         pod.ready_at = self.simulator.now
+
+    @staticmethod
+    def _profile_for_pod(context: dict, pod: Pod) -> ServiceTimeProfile:
+        """The service profile matching a pod's device class.
+
+        On a heterogeneous deployment the CPU pool runs the auxiliary
+        fleet's (CPU-calibrated) profile; everything else uses the primary
+        one.
+        """
+        auxiliary = context.get("auxiliary")
+        if auxiliary is not None and not pod.instance_type.device.is_accelerator:
+            return auxiliary.service_profile
+        return context["service_profile"]
 
     def _start_pod(
         self,

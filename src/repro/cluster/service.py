@@ -38,6 +38,7 @@ from repro.simulation import Simulator
 
 if TYPE_CHECKING:
     from repro.obs.telemetry import Telemetry
+    from repro.scheduler.dispatch import QueryDispatcher
 
 #: Trace ids for service-level spans (ejections/probes) sit in their own
 #: negative range so they can never collide with request ids (>= 0) or the
@@ -84,11 +85,18 @@ class ClusterIPService:
         top_k: int = 20,
         catalog_size: Optional[int] = None,
         merge_cost: Optional[ShardMergeCost] = None,
+        dispatcher: Optional["QueryDispatcher"] = None,
     ):
         self.simulator = simulator
         self.deployment = deployment
         self.rng = rng
         self._round_robin = 0
+        #: Heterogeneous scheduler front (None = the paper's single-class
+        #: routing, bit-identical to the pre-scheduler service). When set,
+        #: the dispatcher picks the pod *class* per request and the
+        #: configured discipline balances within that class.
+        self.dispatcher = dispatcher
+        self._class_cursors: Dict[str, int] = {"cpu": 0, "gpu": 0}
         self.routed = 0
         self.rejected_no_backend = 0
         #: Health-aware routing (None = the paper's plain round-robin,
@@ -410,7 +418,25 @@ class ClusterIPService:
 
             self.simulator.call_in(self._network_delay(), arrive)
             return
-        if self.routing is None:
+        route: Optional[str] = None
+        if self.dispatcher is not None:
+            gpu_pods = [
+                p for p in pods if p.instance_type.device.is_accelerator
+            ]
+            cpu_pods = [
+                p for p in pods if not p.instance_type.device.is_accelerator
+            ]
+            route = self.dispatcher.route(
+                request, self.simulator.now, bool(cpu_pods), bool(gpu_pods)
+            )
+            group = cpu_pods if route == "cpu" else gpu_pods
+            if self.routing is None:
+                cursor = self._class_cursors[route]
+                pod = group[cursor % len(group)]
+                self._class_cursors[route] = cursor + 1
+            else:
+                pod = self._select_pod(group)
+        elif self.routing is None:
             pod = pods[self._round_robin % len(pods)]
             self._round_robin += 1
         else:
@@ -427,6 +453,8 @@ class ClusterIPService:
                 now = self.simulator.now
                 response.completed_at = now
                 response.latency_s = now - request.sent_at
+                if self.dispatcher is not None and route is not None:
+                    self.dispatcher.observe(route, response)
                 respond(response)
 
             self.simulator.call_in(self._network_delay(), deliver)

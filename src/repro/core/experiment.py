@@ -17,7 +17,7 @@ import json
 from dataclasses import asdict, replace
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.cluster.kubernetes import DeploymentError
+from repro.cluster.kubernetes import AuxiliaryFleet, DeploymentError
 from repro.cluster.provisioning import Infrastructure, make_infra
 from repro.cluster.service import ClusterIPService
 from repro.core.registry import GLOBAL_REGISTRY, AssetRegistry, ServingAssets
@@ -26,6 +26,7 @@ from repro.hardware.instances import instance_by_name
 from repro.loadgen.generator import LoadGenerator
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.results import LatencySeries, RunResult
+from repro.scheduler import HillClimbTuner, QueryDispatcher, SchedulerRuntime
 from repro.serving.batching import BatchingConfig
 from repro.serving.profiles import ActixProfile
 from repro.sharding.config import largest_shard_fraction
@@ -193,6 +194,47 @@ class ExperimentRunner:
                 build_catalog, assets.model.embedding_dim, instance.device
             )
 
+        # Heterogeneous scheduler: a CPU pod pool beside the (GPU) primary
+        # fleet plus self-tuning batching. Disabled (None or "off") leaves
+        # the deployment call byte-for-byte the single-class one.
+        scheduler = (
+            spec.scheduler
+            if spec.scheduler is not None and spec.scheduler.enabled
+            else None
+        )
+        auxiliary = None
+        batching = BatchingConfig()
+        if scheduler is not None:
+            if sharding is not None:
+                raise DeploymentError(
+                    "the heterogeneous scheduler does not compose with "
+                    "catalog sharding: CPU pods must hold the full catalog "
+                    "to answer any request the dispatcher sends them"
+                )
+            batching = BatchingConfig(
+                max_batch_size=scheduler.max_batch,
+                max_delay_s=scheduler.linger_s,
+            )
+            if scheduler.cpu_replicas > 0:
+                cpu_instance = instance_by_name(scheduler.cpu_instance)
+                # Same model object, CPU-calibrated service times: both
+                # classes produce identical recommendations, only the
+                # latency profile differs.
+                cpu_profile = self.registry.profile(
+                    spec.model,
+                    spec.catalog_size,
+                    cpu_instance.device,
+                    spec.execution,
+                    top_k=spec.top_k,
+                    retrieval=retrieval,
+                )
+                auxiliary = AuxiliaryFleet(
+                    instance_type=cpu_instance,
+                    replicas=scheduler.cpu_replicas,
+                    service_profile=cpu_profile,
+                    resident_bytes=assets.resident_bytes,
+                )
+
         deployment = cluster.deploy_model(
             name=f"{spec.model}-bench",
             instance_type=instance,
@@ -202,7 +244,7 @@ class ExperimentRunner:
             server_profile=server_profile,
             resident_bytes=resident_bytes,
             score_bytes_per_item=score_bytes,
-            batching=BatchingConfig(),
+            batching=batching,
             jit_warmup_s=(
                 self.JIT_WARMUP_S if assets.execution_effective == "jit" else 0.0
             ),
@@ -210,6 +252,7 @@ class ExperimentRunner:
             telemetry=telemetry,
             sharding=sharding,
             index_build_s=index_build_s,
+            auxiliary=auxiliary,
         )
 
         workload = SyntheticWorkloadGenerator(
@@ -237,12 +280,16 @@ class ExperimentRunner:
 
         def coordinator():
             yield deployment.ready_signal
+            dispatcher = None
+            if scheduler is not None:
+                dispatcher = QueryDispatcher(scheduler, telemetry=telemetry)
             service = ClusterIPService(
                 simulator, deployment, streams.stream("network"),
                 telemetry=telemetry,
                 routing=spec.routing,
                 top_k=spec.top_k,
                 catalog_size=spec.catalog_size,
+                dispatcher=dispatcher,
             )
             generator = LoadGenerator(
                 simulator=simulator,
@@ -259,6 +306,27 @@ class ExperimentRunner:
                 slo_deadline_s=spec.slo_deadline_s,
             )
             generator.start()
+            if scheduler is not None:
+                tuner = None
+                if scheduler.tune:
+                    fitted = cluster.fit_batching(
+                        instance, resident_bytes, score_bytes,
+                        BatchingConfig(
+                            max_batch_size=2**20,
+                            max_delay_s=scheduler.linger_s,
+                        ),
+                    )
+                    tuner = HillClimbTuner(
+                        scheduler, batch_cap=fitted.max_batch_size
+                    )
+                runtime = SchedulerRuntime(
+                    simulator, scheduler, deployment, dispatcher, tuner,
+                    telemetry=telemetry,
+                )
+                simulator.spawn(
+                    runtime.epoch_process(simulator.now + spec.duration_s)
+                )
+                state["scheduler"] = runtime
             if spec.chaos is not None:
                 # Installed at load start so event times are relative to
                 # the ramp, not to however long provisioning took.
@@ -427,6 +495,10 @@ class ExperimentRunner:
                     else {"shards": spec.sharding.shards}
                 ),
             }
+        if spec.scheduler is not None and spec.scheduler.enabled:
+            runtime = state.get("scheduler")
+            if runtime is not None:
+                result.scheduler = runtime.summary()
         if spec.retrieval is not None and spec.retrieval.enabled:
             info = dict(state.get("retrieval") or {})
             deployment = state.get("deployment")

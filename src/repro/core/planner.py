@@ -25,6 +25,7 @@ from repro.core.experiment import ExperimentRunner
 from repro.core.spec import SLO, ExperimentSpec, HardwareSpec, Scenario
 from repro.hardware.instances import INSTANCE_TYPES, InstanceType, instance_by_name
 from repro.metrics.results import RunResult
+from repro.scheduler.config import SchedulerConfig
 from repro.sharding.config import ShardingConfig
 from repro.sharding.plan import shard_resident_bytes, shard_service_profile
 from repro.workload.statistics import WorkloadStatistics
@@ -47,10 +48,15 @@ class DeploymentOption:
     retrieval: Optional[str] = None
     #: Measured recall@k of the ANN option (None on exact options).
     recall: Optional[float] = None
+    #: Heterogeneous-scheduler spec string (None = single-class serving).
+    scheduler: Optional[str] = None
+    #: Auxiliary CPU pods deployed beside the primary fleet (0 on
+    #: homogeneous options); counted in ``total_machines`` and the cost.
+    cpu_replicas: int = 0
 
     @property
     def total_machines(self) -> int:
-        return self.replicas * self.shards
+        return self.replicas * self.shards + self.cpu_replicas
 
 
 @dataclass
@@ -71,8 +77,10 @@ class ScenarioPlan:
         Ties break by fewest total machines, then fewest shards (less
         fan-out), then instance-type name, then exact retrieval before any
         ANN variant ("" sorts first) — approximation must *win* on cost,
-        never tie its way in. With every option at S=1 and exact retrieval
-        this is the pre-sharding ordering.
+        never tie its way in — then homogeneous before any heterogeneous
+        scheduler mix, for the same reason. With every option at S=1,
+        exact retrieval and no scheduler this is the pre-sharding
+        ordering.
         """
         if not self.options:
             return None
@@ -84,6 +92,7 @@ class ScenarioPlan:
                 option.shards,
                 option.instance_type,
                 option.retrieval or "",
+                option.scheduler or "",
             ),
         )
 
@@ -102,6 +111,7 @@ class DeploymentPlanner:
         shard_counts: Sequence[int] = (1,),
         retrieval_options: Sequence[Optional[RetrievalConfig]] = (None,),
         min_recall: float = 0.95,
+        scheduler_options: Sequence[Optional[SchedulerConfig]] = (None,),
     ):
         self.runner = runner or ExperimentRunner()
         self.slo = slo
@@ -130,6 +140,18 @@ class DeploymentPlanner:
         if not self.retrieval_options:
             raise ValueError("retrieval_options must not be empty")
         self.min_recall = min_recall
+        #: Heterogeneous-scheduler configs to evaluate per candidate.
+        #: None (or a disabled config, normalized to None) is the paper's
+        #: single-class serving; enabled configs add ``cpu_replicas``
+        #: auxiliary CPU pods beside accelerator primaries and pay for
+        #: them, letting the plan discover when a mixed fleet undercuts a
+        #: homogeneous one.
+        self.scheduler_options = tuple(
+            option if option is not None and option.enabled else None
+            for option in scheduler_options
+        )
+        if not self.scheduler_options:
+            raise ValueError("scheduler_options must not be empty")
         self._hit_rate_memo: Dict[Tuple[int, int], float] = {}
 
     def expected_hit_rate(self, scenario: Scenario) -> float:
@@ -235,6 +257,20 @@ class DeploymentPlanner:
 
     # -- search -------------------------------------------------------------------
 
+    def _option_cost(
+        self,
+        instance: InstanceType,
+        replicas: int,
+        shards: int,
+        scheduler: Optional[SchedulerConfig],
+    ) -> float:
+        """Monthly cost of a candidate: primary fleet plus any CPU pods."""
+        cost = instance.cost_for(replicas * shards)
+        if scheduler is not None and scheduler.cpu_replicas > 0:
+            aux = instance_by_name(scheduler.cpu_instance)
+            cost += aux.cost_for(scheduler.cpu_replicas)
+        return cost
+
     def min_feasible_replicas(
         self,
         model: str,
@@ -242,6 +278,7 @@ class DeploymentPlanner:
         instance: InstanceType,
         shards: int = 1,
         retrieval: Optional[RetrievalConfig] = None,
+        scheduler: Optional[SchedulerConfig] = None,
     ) -> Optional[DeploymentOption]:
         """Smallest verified per-shard replica count, or None if infeasible."""
         start = self.estimate_replicas(model, scenario, instance, shards, retrieval)
@@ -250,11 +287,15 @@ class DeploymentPlanner:
         retrieval_spec = (
             retrieval.spec_string() if retrieval is not None else None
         )
+        scheduler_spec = (
+            scheduler.spec_string() if scheduler is not None else None
+        )
+        cpu_replicas = scheduler.cpu_replicas if scheduler is not None else 0
         best: Optional[DeploymentOption] = None
         replicas = start
         while replicas <= self.max_replicas:
             result = self._measure(
-                model, scenario, instance, replicas, shards, retrieval
+                model, scenario, instance, replicas, shards, retrieval, scheduler
             )
             if result is None:
                 return None  # cannot even deploy (memory / unshardable head)
@@ -262,10 +303,14 @@ class DeploymentPlanner:
                 best = DeploymentOption(
                     instance_type=instance.name,
                     replicas=replicas,
-                    monthly_cost_usd=instance.cost_for(replicas * shards),
+                    monthly_cost_usd=self._option_cost(
+                        instance, replicas, shards, scheduler
+                    ),
                     result=result,
                     shards=shards,
                     retrieval=retrieval_spec,
+                    scheduler=scheduler_spec,
+                    cpu_replicas=cpu_replicas,
                 )
                 break
             replicas += 1
@@ -274,7 +319,8 @@ class DeploymentPlanner:
         # The analytic seed can overshoot; try to shrink.
         while best.replicas > 1:
             candidate = self._measure(
-                model, scenario, instance, best.replicas - 1, shards, retrieval
+                model, scenario, instance, best.replicas - 1, shards, retrieval,
+                scheduler,
             )
             if candidate is None or not candidate.meets_slo(
                 self.slo.p90_latency_ms, self.slo.max_error_rate
@@ -283,10 +329,14 @@ class DeploymentPlanner:
             best = DeploymentOption(
                 instance_type=instance.name,
                 replicas=best.replicas - 1,
-                monthly_cost_usd=instance.cost_for((best.replicas - 1) * shards),
+                monthly_cost_usd=self._option_cost(
+                    instance, best.replicas - 1, shards, scheduler
+                ),
                 result=candidate,
                 shards=shards,
                 retrieval=retrieval_spec,
+                scheduler=scheduler_spec,
+                cpu_replicas=cpu_replicas,
             )
         return best
 
@@ -298,6 +348,7 @@ class DeploymentPlanner:
         replicas: int,
         shards: int = 1,
         retrieval: Optional[RetrievalConfig] = None,
+        scheduler: Optional[SchedulerConfig] = None,
     ) -> Optional[RunResult]:
         spec = ExperimentSpec(
             model=model,
@@ -308,6 +359,7 @@ class DeploymentPlanner:
             cache=self.cache,
             sharding=ShardingConfig(shards=shards) if shards > 1 else None,
             retrieval=retrieval,
+            scheduler=scheduler,
         )
         try:
             return self.runner.run_repeated(spec, repetitions=self.repetitions)
@@ -330,35 +382,49 @@ class DeploymentPlanner:
             for instance in instances:
                 for shards in self.shard_counts:
                     for retrieval in self.retrieval_options:
-                        # S=1 exact keeps the pre-sharding infeasible key so
-                        # existing reports/tests read unchanged.
-                        key = (
-                            instance.name
-                            if shards == 1
-                            else f"{instance.name} (S={shards})"
-                        )
-                        recall: Optional[float] = None
-                        if retrieval is not None:
-                            key = f"{key} [{retrieval.spec_string()}]"
-                            recall = self.runner.registry.measured_recall(
-                                model, scenario.catalog_size, retrieval
+                        for scheduler in self.scheduler_options:
+                            # S=1 exact keeps the pre-sharding infeasible
+                            # key so existing reports/tests read unchanged.
+                            key = (
+                                instance.name
+                                if shards == 1
+                                else f"{instance.name} (S={shards})"
                             )
-                            if recall < self.min_recall:
-                                plan.infeasible[key] = (
-                                    f"recall {recall:.3f} below the "
-                                    f"{self.min_recall:.2f} floor"
+                            recall: Optional[float] = None
+                            if retrieval is not None:
+                                key = f"{key} [{retrieval.spec_string()}]"
+                                recall = self.runner.registry.measured_recall(
+                                    model, scenario.catalog_size, retrieval
                                 )
-                                continue
-                        option = self.min_feasible_replicas(
-                            model, scenario, instance, shards, retrieval
-                        )
-                        if option is None:
-                            plan.infeasible[key] = (
-                                "no feasible deployment within "
-                                f"{self.max_replicas} replicas"
+                                if recall < self.min_recall:
+                                    plan.infeasible[key] = (
+                                        f"recall {recall:.3f} below the "
+                                        f"{self.min_recall:.2f} floor"
+                                    )
+                                    continue
+                            if scheduler is not None:
+                                key = f"{key} {{{scheduler.spec_string()}}}"
+                                if shards > 1:
+                                    # Structural non-composition, not a
+                                    # scenario property — skip quietly.
+                                    continue
+                                if not instance.device.is_accelerator:
+                                    plan.infeasible[key] = (
+                                        "heterogeneous scheduler needs an "
+                                        "accelerator primary fleet"
+                                    )
+                                    continue
+                            option = self.min_feasible_replicas(
+                                model, scenario, instance, shards, retrieval,
+                                scheduler,
                             )
-                        else:
-                            option.recall = recall
-                            plan.options.append(option)
+                            if option is None:
+                                plan.infeasible[key] = (
+                                    "no feasible deployment within "
+                                    f"{self.max_replicas} replicas"
+                                )
+                            else:
+                                option.recall = recall
+                                plan.options.append(option)
             plans[model] = plan
         return plans

@@ -21,12 +21,16 @@ def format_cost(cost: float) -> str:
 
 def _option_cell(option) -> str:
     """Per-model table cell: ``x3`` (replicas), ``x3/S4`` when sharded,
-    a ``~`` suffix when the option serves approximate (ANN) retrieval."""
+    ``x3+2c`` when a heterogeneous scheduler adds CPU pods beside the
+    accelerator fleet, a ``~`` suffix when the option serves approximate
+    (ANN) retrieval."""
     if option is None:
         return "-"
     cell = f"x{option.replicas}"
     if option.shards > 1:
         cell += f"/S{option.shards}"
+    if option.cpu_replicas > 0:
+        cell += f"+{option.cpu_replicas}c"
     if option.retrieval is not None:
         cell += "~"
     return cell
@@ -77,6 +81,7 @@ def render_scenario_table(
                                 o.total_machines,
                                 o.shards,
                                 o.retrieval or "",
+                                o.scheduler or "",
                             ),
                         )
                 per_model[model] = option
@@ -92,6 +97,7 @@ def render_scenario_table(
             continue
         cheapest_cost = min(cost for _n, _a, cost, _p in rows)
         any_ann = False
+        any_mixed = False
         for index, (instance_name, amount, cost, per_model) in enumerate(rows):
             marker = "*" if cost == cheapest_cost else " "
             cells = " ".join(f"{_option_cell(per_model[m]):>9}" for m in models)
@@ -104,9 +110,18 @@ def render_scenario_table(
                 o is not None and o.retrieval is not None
                 for o in per_model.values()
             )
+            any_mixed = any_mixed or any(
+                o is not None and o.cpu_replicas > 0
+                for o in per_model.values()
+            )
         if any_ann:
             lines.append(
                 "('~' = ANN retrieval; recall floor enforced by the planner)"
+            )
+        if any_mixed:
+            lines.append(
+                "('+Nc' = N auxiliary CPU pods via the heterogeneous "
+                "scheduler; cost includes them)"
             )
         lines.append("")
     return "\n".join(lines)

@@ -13,6 +13,7 @@ from typing import Optional, Tuple, Union
 
 from repro.ann.config import RetrievalConfig
 from repro.cache.tier import CacheConfig
+from repro.scheduler.config import SchedulerConfig
 from repro.cluster.chaos import ChaosSchedule
 from repro.cluster.routing import RoutingPolicy
 from repro.loadgen.retry import RetryPolicy
@@ -97,6 +98,11 @@ class ExperimentSpec:
     #: :class:`~repro.ann.config.RetrievalConfig` or its compact spec
     #: string (``"ivf:nlist=1024,nprobe=32"``; ``""`` = IVF defaults).
     retrieval: Optional[Union[RetrievalConfig, str]] = None
+    #: Heterogeneous CPU/GPU scheduler (None or ``"off"`` = the paper's
+    #: single-class serving, bit-identical to a config-less run). Accepts
+    #: a :class:`~repro.scheduler.config.SchedulerConfig` or its compact
+    #: spec string (``"cpu=1,short=4,target=50"``; ``""`` = defaults).
+    scheduler: Optional[Union[SchedulerConfig, str]] = None
 
     def __post_init__(self):
         if self.execution not in ("jit", "eager", "onnx"):
@@ -123,6 +129,8 @@ class ExperimentSpec:
             object.__setattr__(self, "sharding", ShardingConfig(shards=self.sharding))
         if isinstance(self.retrieval, str):
             object.__setattr__(self, "retrieval", RetrievalConfig.parse(self.retrieval))
+        if isinstance(self.scheduler, str):
+            object.__setattr__(self, "scheduler", SchedulerConfig.parse(self.scheduler))
 
     def workload_statistics(self) -> WorkloadStatistics:
         """The provided statistics, or the bol.com-like defaults."""

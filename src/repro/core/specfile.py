@@ -50,6 +50,7 @@ _KNOWN_KEYS = {
     "cache",
     "shards",
     "retrieval",
+    "scheduler",
 }
 
 
@@ -108,6 +109,7 @@ def spec_from_dict(raw: Dict[str, Any]) -> Tuple[ExperimentSpec, SLO]:
         cache=raw.get("cache"),
         sharding=raw.get("shards"),
         retrieval=raw.get("retrieval"),
+        scheduler=raw.get("scheduler"),
     )
     return spec, slo
 
@@ -157,6 +159,8 @@ def spec_to_dict(spec: ExperimentSpec, slo: SLO = SLO()) -> Dict[str, Any]:
         document["shards"] = spec.sharding.spec_string()
     if spec.retrieval is not None:
         document["retrieval"] = spec.retrieval.spec_string()
+    if spec.scheduler is not None:
+        document["scheduler"] = spec.scheduler.spec_string()
     if spec.workload is not None:
         document["workload"] = {
             "catalog_size": spec.workload.catalog_size,

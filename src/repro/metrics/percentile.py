@@ -3,8 +3,14 @@
 Long load tests record hundreds of thousands of latencies; keeping them all
 is fine for one run but wasteful across a four-hundred-run study. The
 :class:`LatencyDigest` buckets observations into log-spaced bins covering
-10 microseconds to 1000 seconds at ~2% relative resolution, supporting
-constant-memory percentile queries and merging across runs/replicas.
+10 microseconds to 1000 seconds, supporting constant-memory percentile
+queries and merging across runs/replicas.
+
+Resolution: a percentile query returns the *upper edge* of the matched bin
+(clamped into the observed ``[min, max]`` envelope), so the answer sits at
+most one bin width above the true order statistic. At the default 50 bins
+per decade that is a factor of ``10 ** (1/50)``, i.e. ~4.7% relative error,
+one-sided (never an underestimate).
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ class LatencyDigest:
         self._counts = np.zeros(self._num_bins, dtype=np.int64)
         self._total = 0
         self._sum = 0.0
+        self._min = math.inf
         self._max = 0.0
 
     # -- recording ------------------------------------------------------------
@@ -45,9 +52,14 @@ class LatencyDigest:
         return min(int(position) + 1, self._num_bins - 1)
 
     def record(self, latency_s: float) -> None:
+        if not math.isfinite(latency_s) or latency_s < 0.0:
+            raise ValueError(
+                f"latency must be finite and non-negative, got {latency_s!r}"
+            )
         self._counts[self._bin_index(latency_s)] += 1
         self._total += 1
         self._sum += latency_s
+        self._min = min(self._min, latency_s)
         self._max = max(self._max, latency_s)
 
     def record_many(self, latencies: Iterable[float]) -> None:
@@ -68,23 +80,34 @@ class LatencyDigest:
             raise ValueError("empty digest")
         return self._sum / self._total
 
+    def min(self) -> float:
+        if self._total == 0:
+            raise ValueError("empty digest")
+        return self._min
+
     def max(self) -> float:
         return self._max
 
     def percentile(self, q: float) -> float:
-        """Latency at percentile ``q`` (upper edge of the matched bin)."""
+        """Latency at percentile ``q``.
+
+        Returns the upper edge of the matched histogram bin, clamped into
+        the observed ``[min, max]`` envelope; ``q=0`` is the tracked exact
+        minimum (symmetric to ``q=100`` clamping to the tracked maximum).
+        """
         if self._total == 0:
             raise ValueError("empty digest")
         if not 0 <= q <= 100:
             raise ValueError("q must be within [0, 100]")
+        if q == 0:
+            return self._min
         target = q / 100.0 * self._total
         cumulative = np.cumsum(self._counts)
         index = int(np.searchsorted(cumulative, max(target, 1), side="left"))
-        # Upper bin edge back in seconds.
-        if index == 0:
-            return self.MIN_LATENCY
+        # Upper bin edge back in seconds, clamped to the observed envelope.
         exponent = index / self.bins_per_decade
-        return min(self.MIN_LATENCY * 10**exponent, self._max or self.MAX_LATENCY)
+        edge = self.MIN_LATENCY * 10**exponent
+        return min(max(edge, self._min), self._max)
 
     def merge(self, other: "LatencyDigest") -> "LatencyDigest":
         if other.bins_per_decade != self.bins_per_decade:
@@ -93,5 +116,6 @@ class LatencyDigest:
         merged._counts = self._counts + other._counts
         merged._total = self._total + other._total
         merged._sum = self._sum + other._sum
+        merged._min = min(self._min, other._min)
         merged._max = max(self._max, other._max)
         return merged

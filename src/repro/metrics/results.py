@@ -104,6 +104,10 @@ class RunResult:
     #: catalog fraction, per-pod index build seconds, ``ann_*`` tallies),
     #: present when the run used an enabled ``--retrieval`` mode.
     retrieval: Optional[Dict] = None
+    #: Heterogeneous-scheduler report (per-route tallies, offload reasons,
+    #: tuner epochs/moves and final knob values), present when the run
+    #: used an enabled ``--scheduler`` config.
+    scheduler: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

@@ -1,0 +1,26 @@
+"""Heterogeneous CPU/GPU query scheduling (DeepRecSys-style).
+
+Public surface:
+
+- :class:`SchedulerConfig` — the ``--scheduler`` grammar / spec-file key;
+- :class:`QueryDispatcher` — size/deadline-aware CPU-vs-GPU routing;
+- :class:`HillClimbTuner` / :class:`EpochObservation` — online batching
+  tuner climbing against the observed latency tail;
+- :class:`SchedulerRuntime` — the epoch loop wiring both into a live
+  deployment.
+
+See ``docs/scheduling.md`` for the serving model and knob semantics.
+"""
+
+from repro.scheduler.config import SchedulerConfig
+from repro.scheduler.dispatch import QueryDispatcher
+from repro.scheduler.runtime import SchedulerRuntime
+from repro.scheduler.tuner import EpochObservation, HillClimbTuner
+
+__all__ = [
+    "SchedulerConfig",
+    "QueryDispatcher",
+    "SchedulerRuntime",
+    "HillClimbTuner",
+    "EpochObservation",
+]

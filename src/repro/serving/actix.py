@@ -225,6 +225,10 @@ class EtudeInferenceServer:
         self._linger_wake: Optional[Signal] = None
         self._active_workers = 0
         self.completed = 0
+        #: Requests executed through the GPU batch path (sum of flush
+        #: sizes); with ``_batch_counter`` this gives the scheduler's
+        #: tuner the observed mean batch size per epoch.
+        self.batched_requests = 0
         self.rejected = 0
         self.healthy = True
         #: Service-time multiplier for chaos "slow node" degradation;
@@ -683,6 +687,11 @@ class EtudeInferenceServer:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    @property
+    def batch_flushes(self) -> int:
+        """Batches executed so far (single-request batches on CPU)."""
+        return self._batch_counter
+
     # -- shared helpers -------------------------------------------------------
 
     def _wait_for_work(self) -> Signal:
@@ -823,9 +832,14 @@ class EtudeInferenceServer:
         return self.service_profile.latency(batch_size) * noise * self.slowdown
 
     def _gpu_executor(self):
-        max_batch = self.batching.max_batch_size
-        linger = self.batching.max_delay_s
         while True:
+            # Re-read the knobs every iteration: the heterogeneous
+            # scheduler's tuner swaps ``self.batching`` between epochs,
+            # and the next flush must honour the new window. Untuned runs
+            # read the same values every time, so this is bit-identical
+            # to hoisting them out of the loop.
+            max_batch = self.batching.max_batch_size
+            linger = self.batching.max_delay_s
             if not self._queue:
                 yield self._wait_for_work()
                 continue
@@ -885,6 +899,7 @@ class EtudeInferenceServer:
             batch_time = self._gpu_batch_time(take)
             yield batch_time
             self._batch_counter += 1
+            self.batched_requests += take
             if self.telemetry is not None:
                 self._trace_batch(batch, started, batch_time, take, linger_started)
             for request, respond, arrival in batch:

@@ -1,0 +1,130 @@
+"""Latency-digest correctness sweep: the bin-edge semantics cross-checked
+against the exact order statistic, exact-minimum tracking through queries
+and merges, and input validation on ``record``.
+
+The digest's contract (see ``repro.metrics.percentile``): a percentile
+query returns the *upper edge* of the bin holding the matched order
+statistic, clamped into the observed ``[min, max]`` envelope — a one-sided
+error of at most one bin width (``10 ** (1/bins_per_decade)``, ~4.7% at
+the default resolution), never an underestimate.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import LatencyDigest
+from repro.metrics.percentile import exact_percentile
+
+#: Strictly inside the digest's [1e-5, 1e3] coverage so boundary clamping
+#: never muddies the order-statistic bound.
+latencies = st.lists(
+    st.floats(min_value=2e-5, max_value=500.0, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+quantiles = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+#: One-sided bin-width bound at the default resolution, with float slack.
+BIN_FACTOR = 10 ** (1 / 50)
+SLACK = 1e-9
+
+
+class TestBinEdgeSemantics:
+    @given(latencies, quantiles)
+    @settings(max_examples=200, deadline=None)
+    def test_upper_edge_brackets_the_exact_order_statistic(self, values, q):
+        """digest.percentile(q) lands in [v_k, v_k * bin_width] where v_k
+        is the exact order statistic the query targets (clamped to max)."""
+        digest = LatencyDigest()
+        digest.record_many(values)
+        estimate = digest.percentile(q)
+        ordered = sorted(values)
+        k = max(int(math.ceil(q / 100.0 * len(values))), 1)
+        exact = ordered[k - 1]
+        if q == 0:
+            assert estimate == ordered[0]
+            return
+        assert estimate >= exact * (1.0 - SLACK)
+        assert estimate <= min(exact * BIN_FACTOR, max(values)) * (1.0 + SLACK)
+
+    @given(latencies)
+    @settings(max_examples=100, deadline=None)
+    def test_never_escapes_the_observed_envelope(self, values):
+        digest = LatencyDigest()
+        digest.record_many(values)
+        for q in (0, 1, 25, 50, 75, 90, 99, 100):
+            estimate = digest.percentile(q)
+            assert min(values) <= estimate <= max(values)
+
+    @given(latencies)
+    @settings(max_examples=100, deadline=None)
+    def test_tracks_exact_percentile_within_one_bin(self, values):
+        """Cross-check against ``exact_percentile``'s neighbouring order
+        statistics: the digest's answer sits between the ``lower``-method
+        value and the ``higher``-method value inflated by one bin width."""
+        digest = LatencyDigest()
+        digest.record_many(values)
+        for q in (50, 90, 99):
+            exact = exact_percentile(values, q)
+            estimate = digest.percentile(q)
+            floor = float(np.percentile(values, q, method="lower"))
+            ceiling = float(np.percentile(values, q, method="higher"))
+            assert floor <= exact <= ceiling
+            assert estimate >= floor * (1.0 - SLACK)
+            assert estimate <= min(ceiling * BIN_FACTOR, max(values)) * (1.0 + SLACK)
+
+
+class TestMinimumTracking:
+    @given(latencies)
+    @settings(max_examples=100, deadline=None)
+    def test_q0_is_the_exact_minimum(self, values):
+        digest = LatencyDigest()
+        digest.record_many(values)
+        assert digest.percentile(0) == min(values)
+        assert digest.min() == min(values)
+
+    @given(latencies, latencies)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_preserves_min_max_count(self, a, b):
+        left, right = LatencyDigest(), LatencyDigest()
+        left.record_many(a)
+        right.record_many(b)
+        merged = left.merge(right)
+        assert merged.min() == min(a + b)
+        assert merged.max() == max(a + b)
+        assert merged.count == len(a) + len(b)
+        assert merged.percentile(0) == min(a + b)
+
+    def test_empty_digest_min_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            LatencyDigest().min()
+
+
+class TestRecordValidation:
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf"), -1e-9, -5.0]
+    )
+    def test_rejects_nan_and_negative(self, bad):
+        digest = LatencyDigest()
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            digest.record(bad)
+        # A rejected sample must leave the digest untouched.
+        assert digest.count == 0
+
+    def test_record_many_stops_at_the_first_bad_sample(self):
+        digest = LatencyDigest()
+        with pytest.raises(ValueError):
+            digest.record_many([0.001, 0.002, float("nan"), 0.003])
+        assert digest.count == 2
+
+    def test_zero_is_a_valid_latency(self):
+        digest = LatencyDigest()
+        digest.record(0.0)
+        assert digest.min() == 0.0
+        assert digest.percentile(0) == 0.0
+        assert digest.percentile(90) == 0.0  # clamped to the observed max

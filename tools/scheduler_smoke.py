@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Heterogeneous-scheduler smoke test (``make scheduler-smoke``).
+
+Three tiny deterministic checks asserting the correctness contract of
+``docs/scheduling.md``:
+
+1. **Exactness.** The same click stream served by a dispatcher-split
+   CPU+GPU pair (same model artifact on both) and by the GPU alone must
+   produce identical recommendations request for request — the scheduler
+   moves work between pod classes, it never changes an answer.
+
+2. **Tail under load.** An end-to-end GPU-T4 run with one auxiliary CPU
+   pod and the tuner on must answer every request and beat the
+   homogeneous fleet's p90 — the short-session head skips the batching
+   linger, and the tuner climbs the linger down toward the target.
+
+3. **Bit-identity when off.** A run without ``scheduler`` and a run with
+   ``scheduler="off"`` must produce byte-identical ``RunResult`` JSON on
+   both a CPU and a GPU fleet — the opt-in contract shared with overload
+   protection, the cache, sharding and retrieval.
+
+Exits non-zero with a diagnostic on any violation, so ``make test`` fails
+loudly if scheduler exactness or the disabled-mode contract regresses.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+import numpy as np  # noqa: E402
+
+from repro.core import ExperimentRunner, ExperimentSpec, HardwareSpec  # noqa: E402
+from repro.core.registry import AssetRegistry  # noqa: E402
+from repro.hardware import CPU_E2, GPU_T4  # noqa: E402
+from repro.scheduler import QueryDispatcher, SchedulerConfig  # noqa: E402
+from repro.serving import EtudeInferenceServer  # noqa: E402
+from repro.serving.request import RecommendationRequest  # noqa: E402
+from repro.simulation import Simulator  # noqa: E402
+from repro.workload.statistics import WorkloadStatistics  # noqa: E402
+from repro.workload.synthetic import SyntheticWorkloadGenerator  # noqa: E402
+
+CATALOG = 2_000
+NUM_REQUESTS = 200
+SPACING_S = 0.002
+SEED = 23
+
+
+def _click_stream():
+    workload = SyntheticWorkloadGenerator(
+        WorkloadStatistics(
+            catalog_size=CATALOG, alpha_length=1.85, alpha_clicks=1.35
+        ),
+        seed=SEED,
+    )
+    prefixes = []
+    for session in workload.iter_sessions():
+        for click_end in range(1, len(session) + 1):
+            prefixes.append(np.asarray(session[:click_end], dtype=np.int64))
+            if len(prefixes) == NUM_REQUESTS:
+                return prefixes
+
+
+def _server(simulator, registry, instance, model, name):
+    profile = registry.profile("gru4rec", CATALOG, instance.device, "jit")
+    return EtudeInferenceServer(
+        simulator, instance.device, profile,
+        np.random.default_rng(SEED), model=model, name=name,
+    )
+
+
+def _run_split(registry, model, heterogeneous):
+    """Serve the click stream; split CPU/GPU when ``heterogeneous``."""
+    simulator = Simulator()
+    gpu = _server(simulator, registry, GPU_T4, model, "gpu-pod")
+    cpu = _server(simulator, registry, CPU_E2, model, "cpu-pod")
+    dispatcher = QueryDispatcher(SchedulerConfig())
+    responses = {}
+
+    def driver():
+        for request_id, prefix in enumerate(_click_stream()):
+            request = RecommendationRequest(
+                request_id=request_id, session_id=request_id,
+                session_items=prefix, sent_at=simulator.now,
+            )
+            route = dispatcher.route(
+                request, simulator.now, has_cpu=heterogeneous, has_gpu=True
+            )
+            target = cpu if route == "cpu" else gpu
+            target.submit(
+                request,
+                lambda r, rid=request_id: responses.__setitem__(rid, r),
+            )
+            yield SPACING_S
+
+    simulator.spawn(driver())
+    simulator.run()
+    return dispatcher, responses
+
+
+def _spec(scheduler, instance="GPU-T4", rps=300):
+    return ExperimentSpec(
+        model="gru4rec",
+        catalog_size=CATALOG,
+        target_rps=rps,
+        hardware=HardwareSpec(instance, 1),
+        duration_s=15.0,
+        scheduler=scheduler,
+    )
+
+
+def main() -> int:
+    failures = []
+
+    # -- 1. exactness: the split fleet answers identically ---------------
+    registry = AssetRegistry()
+    model = registry.model("gru4rec", CATALOG)
+    dispatcher, split = _run_split(registry, model, heterogeneous=True)
+    _only_gpu, reference = _run_split(registry, model, heterogeneous=False)
+    mismatched = sum(
+        1
+        for request_id in reference
+        if not np.array_equal(
+            split[request_id].items, reference[request_id].items
+        )
+    )
+    if len(split) != NUM_REQUESTS or len(reference) != NUM_REQUESTS:
+        failures.append(
+            f"served {len(split)}/{len(reference)} of {NUM_REQUESTS} requests"
+        )
+    if mismatched:
+        failures.append(
+            f"{mismatched} requests got different recommendations on the "
+            "split fleet"
+        )
+    if not (dispatcher.routed["cpu"] and dispatcher.routed["gpu"]):
+        failures.append(
+            f"dispatcher did not split the stream: {dispatcher.routed}"
+        )
+    print(
+        f"scheduler smoke: {NUM_REQUESTS} requests, "
+        f"{dispatcher.routed['cpu']} cpu / {dispatcher.routed['gpu']} gpu, "
+        f"{mismatched} recommendation mismatches"
+    )
+
+    # -- 2. under load the mixed fleet beats the homogeneous tail --------
+    homogeneous = ExperimentRunner(seed=SEED).run(_spec(None))
+    mixed = ExperimentRunner(seed=SEED).run(
+        _spec("cpu=1,target=2,tol=0.2,epoch=3")
+    )
+    if mixed.error_requests:
+        failures.append(f"mixed run answered {mixed.error_requests} errors")
+    if mixed.ok_requests != homogeneous.ok_requests:
+        failures.append(
+            f"mixed run served {mixed.ok_requests} 200s vs the "
+            f"homogeneous fleet's {homogeneous.ok_requests}"
+        )
+    if mixed.p90_ms is None or homogeneous.p90_ms is None:
+        failures.append("p90 missing from an end-to-end run")
+    elif mixed.p90_ms >= homogeneous.p90_ms:
+        failures.append(
+            f"mixed-fleet p90 {mixed.p90_ms:.2f} ms did not beat the "
+            f"homogeneous {homogeneous.p90_ms:.2f} ms"
+        )
+    section = mixed.scheduler
+    if section is None or not section["tuner"]["converged"]:
+        failures.append("tuner did not converge on the mixed run")
+    print(
+        f"scheduler smoke: p90 {homogeneous.p90_ms:.2f} ms homogeneous -> "
+        f"{mixed.p90_ms:.2f} ms mixed; tuner "
+        f"{section['tuner']['moves'] if section else '-'} move(s), "
+        f"linger -> {section['tuner']['linger_s'] * 1e3 if section else 0:g} ms"
+    )
+
+    # -- 3. disabled mode must be byte-identical -------------------------
+    for instance in ("CPU", "GPU-T4"):
+        baseline = ExperimentRunner(seed=SEED).run(
+            _spec(None, instance=instance, rps=60)
+        )
+        disabled = ExperimentRunner(seed=SEED).run(
+            _spec("off", instance=instance, rps=60)
+        )
+        if baseline.to_json() != disabled.to_json():
+            failures.append(
+                f"scheduler='off' run is not byte-identical to the "
+                f"baseline on {instance}"
+            )
+        else:
+            print(
+                f"scheduler smoke: disabled mode byte-identical on "
+                f"{instance} ({baseline.ok_requests} requests)"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("scheduler smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
