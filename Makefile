@@ -36,7 +36,7 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 .PHONY: test
-test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke retrieval-smoke scheduler-smoke
+test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke retrieval-smoke scheduler-smoke failover-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tiny deterministic overload run: deadline admission + fallback tier must
@@ -70,6 +70,13 @@ retrieval-smoke:
 .PHONY: scheduler-smoke
 scheduler-smoke:
 	$(PYTHON) tools/scheduler_smoke.py
+
+# Deterministic failure drill: a zone-replicated sharded deployment must
+# ride out a full zone outage (>=99% 200s, coverage 1.0, finite TTR) and
+# the unreplicated control must be called out as a collapse.
+.PHONY: failover-smoke
+failover-smoke:
+	$(PYTHON) tools/failover_smoke.py
 
 # Line coverage over the unit suite (see README "Development"). Needs
 # pytest-cov; when it is absent the target explains and skips instead of

@@ -7,6 +7,7 @@ The paper drives experiments through ``make`` targets (``make infra``,
 - ``infra-test``  the Figure 2 serving-stack test;
 - ``micro``       the Figure 3 serial microbenchmark for one configuration;
 - ``run``         one deployed benchmark (Figure 4 style);
+- ``drill``       a scripted zone-outage failure drill (docs/availability.md);
 - ``plan``        the Table I cost-efficiency planner for a scenario;
 - ``workload``    generate a synthetic click log (Algorithm 1) to CSV.
 """
@@ -86,6 +87,45 @@ def _add_run_command(subparsers) -> None:
     _add_shards_flag(parser)
     _add_retrieval_flag(parser)
     _add_scheduler_flag(parser)
+    _add_zones_flag(parser)
+
+
+def _add_drill_command(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "drill",
+        help="scripted failure drill: zone outage -> degradation -> recovery",
+    )
+    parser.add_argument("--model", required=True, choices=sorted(MODEL_REGISTRY))
+    parser.add_argument("--catalog", type=int, required=True)
+    parser.add_argument("--rps", type=int, required=True)
+    parser.add_argument("--instance", default="CPU")
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--duration", type=float, default=90.0)
+    parser.add_argument("--p90-limit", type=float, default=50.0)
+    parser.add_argument("--seed", type=int, default=1234)
+    _add_shards_flag(parser)
+    parser.add_argument(
+        "--zones", type=int, default=2, metavar="N",
+        help="failure domains to spread the fleet over (default 2)",
+    )
+    parser.add_argument(
+        "--zones-down", type=int, default=1, metavar="N",
+        help="zones (z0..) crashed simultaneously mid-run (default 1)",
+    )
+    parser.add_argument(
+        "--outage-at", type=float, default=None, metavar="SECONDS",
+        help="outage time relative to load start (default: duration/3)",
+    )
+    parser.add_argument(
+        "--restart-after", default="20", metavar="SECONDS",
+        help="kubelet restart delay for the crashed zone, or 'none' to "
+        "leave it dark (default 20)",
+    )
+    parser.add_argument(
+        "--routing", default=None, metavar="SPEC",
+        help="health-aware service routing for the drilled deployment; "
+        "SPEC like 'lor,eject=3' (default: plain round-robin)",
+    )
 
 
 def _add_plan_command(subparsers) -> None:
@@ -116,6 +156,13 @@ def _add_plan_command(subparsers) -> None:
         "(default 0.95)",
     )
     _add_scheduler_flag(parser, append=True)
+    parser.add_argument(
+        "--survive-zones", type=int, default=0, metavar="N",
+        help="availability requirement: every admitted option must pass "
+        "a failure drill with N zones permanently dark (candidates "
+        "deploy across N+1 failure domains and pay for the extra "
+        "replicas; default 0 = single-domain planning)",
+    )
 
 
 def _add_compare_command(subparsers) -> None:
@@ -238,6 +285,15 @@ def _add_shards_flag(parser) -> None:
         help="catalog sharding with scatter-gather top-k; SPEC like "
         "'4' or '4,partial=off' (replica counts are then per shard; "
         "S=1 is the unsharded baseline)",
+    )
+
+
+def _add_zones_flag(parser) -> None:
+    parser.add_argument(
+        "--zones", type=int, default=None, metavar="N",
+        help="spread the fleet over N failure domains (anti-affine "
+        "replica placement, cross-zone network legs charged, zone@T "
+        "chaos meaningful; default 1 = the paper's single domain)",
     )
 
 
@@ -371,6 +427,24 @@ def _render_sharding(sharding: dict) -> str:
     )
 
 
+def _render_availability(availability: dict) -> str:
+    """The one-line failure-domain summary for run/drill output."""
+    per_zone = availability.get("pods_per_zone", {})
+    spread = " ".join(f"{zone}={count}" for zone, count in sorted(per_zone.items()))
+    outages = availability.get("zone_outages", [])
+    ttr = availability.get("time_to_recovery_s")
+    ttr_text = (
+        f", TTR={ttr:.1f} s" if ttr is not None
+        else ", never recovered" if outages else ""
+    )
+    return (
+        f"  zones[{availability['zones']}]: pods {spread}, "
+        f"{availability.get('cross_zone_legs', 0)} cross-zone legs, "
+        f"{len(outages)} outage(s)"
+        + ttr_text
+    )
+
+
 def _parse_cache(args):
     """CacheConfig | None from the --cache flag."""
     from repro.cache.tier import CacheConfig
@@ -482,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_infra_command(subparsers)
     _add_micro_command(subparsers)
     _add_run_command(subparsers)
+    _add_drill_command(subparsers)
     _add_plan_command(subparsers)
     _add_compare_command(subparsers)
     _add_profile_command(subparsers)
@@ -631,6 +706,9 @@ def _cmd_run(args, out) -> int:
     sharding = _parse_sharding(args)
     retrieval = _parse_retrieval(args)
     scheduler = _parse_scheduler(args)
+    zones = args.zones
+    if zones is not None and zones < 1:
+        raise SystemExit("--zones must be >= 1")
     if args.spec:
         from dataclasses import replace
 
@@ -641,7 +719,7 @@ def _cmd_run(args, out) -> int:
             value is not None
             for value in (
                 retry, chaos, slo_deadline, admission, routing, fallback,
-                cache, sharding, retrieval, scheduler,
+                cache, sharding, retrieval, scheduler, zones,
             )
         )
         if overrides_on:
@@ -678,6 +756,7 @@ def _cmd_run(args, out) -> int:
                             if scheduler is not None
                             else spec.scheduler
                         ),
+                        zones=zones if zones is not None else spec.zones,
                     ),
                     slo,
                 )
@@ -708,6 +787,7 @@ def _cmd_run(args, out) -> int:
                     sharding=sharding,
                     retrieval=retrieval,
                     scheduler=scheduler,
+                    zones=zones if zones is not None else 1,
                 ),
                 SLO(p90_latency_ms=args.p90_limit),
             )
@@ -763,6 +843,8 @@ def _cmd_run(args, out) -> int:
             out.write(_render_retrieval(result.retrieval) + "\n")
         if result.scheduler is not None:
             out.write(_render_scheduler(result.scheduler) + "\n")
+        if result.availability is not None:
+            out.write(_render_availability(result.availability) + "\n")
         if telemetry is not None:
             trace_out = args.trace_out
             if trace_out and len(jobs) > 1:
@@ -773,6 +855,68 @@ def _cmd_run(args, out) -> int:
                 )
             _emit_telemetry(telemetry, out, trace_out)
     return 0 if all_ok else 2
+
+
+def _cmd_drill(args, out) -> int:
+    from repro.core.drill import run_failure_drill
+
+    if args.restart_after.lower() in ("none", "never"):
+        restart_after = None
+    else:
+        try:
+            restart_after = float(args.restart_after)
+        except ValueError:
+            raise SystemExit(
+                f"--restart-after must be seconds or 'none': {args.restart_after!r}"
+            )
+    try:
+        spec = ExperimentSpec(
+            model=args.model,
+            catalog_size=args.catalog,
+            target_rps=args.rps,
+            hardware=HardwareSpec(args.instance, args.replicas),
+            duration_s=args.duration,
+            sharding=_parse_sharding(args),
+            routing=args.routing,
+            zones=args.zones,
+            seed=args.seed,
+        )
+        report = run_failure_drill(
+            spec,
+            SLO(p90_latency_ms=args.p90_limit),
+            zones_down=args.zones_down,
+            outage_at_s=args.outage_at,
+            restart_after_s=restart_after,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    restart_text = (
+        f"restart after {restart_after:g} s"
+        if restart_after is not None
+        else "no restart"
+    )
+    out.write(
+        f"{spec.model} C={spec.catalog_size:,} on {args.instance} "
+        f"x{args.replicas} @ {args.rps} req/s, zones={args.zones}\n"
+        f"  outage: {report.zone} down at t={report.outage_at_s:g} s "
+        f"({restart_text})\n"
+    )
+    out.write(f"{'window':>8} {'secs':>5} {'ok':>7} {'errors':>7} {'ok%':>7} {'p90_ms':>8}\n")
+    for window in (report.before, report.during, report.after):
+        p90 = f"{window.p90_ms:.2f}" if window.p90_ms is not None else "-"
+        out.write(
+            f"{window.name:>8} {window.seconds:>5} {window.ok:>7} "
+            f"{window.errors:>7} {window.ok_fraction * 100:>6.1f}% {p90:>8}\n"
+        )
+    ttr = report.time_to_recovery_s
+    out.write(
+        f"  min coverage={report.min_coverage * 100:.1f}%, "
+        f"TTR={'n/a' if ttr is None else f'{ttr:.1f} s'}\n"
+        f"  survived: {report.survived}  recovered: {report.recovered}\n"
+    )
+    if report.result.availability is not None:
+        out.write(_render_availability(report.result.availability) + "\n")
+    return 0 if report.survived and report.recovered else 2
 
 
 def _cmd_plan(args, out) -> int:
@@ -790,6 +934,8 @@ def _cmd_plan(args, out) -> int:
         if retrieval is None or not retrieval.enabled
         else (None, retrieval)
     )
+    if args.survive_zones < 0:
+        raise SystemExit("--survive-zones must be >= 0")
     planner = DeploymentPlanner(
         runner=ExperimentRunner(),
         slo=SLO(p90_latency_ms=args.p90_limit),
@@ -800,6 +946,7 @@ def _cmd_plan(args, out) -> int:
         retrieval_options=retrieval_options,
         min_recall=args.min_recall,
         scheduler_options=(None,) + _parse_scheduler_options(args),
+        survive_zones=args.survive_zones,
     )
     instances = cloud_catalog(args.cloud)
     plans = planner.plan(scenario, models, instances=instances)
@@ -907,6 +1054,7 @@ _COMMANDS = {
     "infra-test": _cmd_infra,
     "micro": _cmd_micro,
     "run": _cmd_run,
+    "drill": _cmd_drill,
     "plan": _cmd_plan,
     "compare": _cmd_compare,
     "profile": _cmd_profile,

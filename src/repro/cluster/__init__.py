@@ -27,6 +27,7 @@ from repro.cluster.chaos import (
     NetworkDelay,
     PodCrash,
     SlowNode,
+    ZoneOutage,
 )
 from repro.cluster.provisioning import Infrastructure, make_infra
 from repro.cluster.autoscaler import (
@@ -50,6 +51,7 @@ __all__ = [
     "CrashStorm",
     "SlowNode",
     "NetworkDelay",
+    "ZoneOutage",
     "Infrastructure",
     "make_infra",
     "AutoscalerConfig",

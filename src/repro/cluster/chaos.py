@@ -12,7 +12,10 @@ timed events over one run:
 - :class:`SlowNode` — one replica's service times degrade by a factor
   (thermal throttling, noisy neighbour) for a window;
 - :class:`NetworkDelay` — transient extra latency on the client→server
-  leg of the ClusterIP service.
+  leg of the ClusterIP service;
+- :class:`ZoneOutage` — a *correlated* failure: every pod in one failure
+  domain crashes at the same instant (requires a deployment spread with
+  ``zones > 1``, see ``cluster/kubernetes.py``).
 
 Event times are **relative to load start** (the schedule is installed
 once the deployment's readiness signal fires), so the same schedule means
@@ -50,6 +53,20 @@ def _parse_optional_index(value: str) -> Optional[int]:
     return None if value.lower() == "none" else int(value)
 
 
+def _format_option(value) -> str:
+    """Render one option value for :meth:`ChaosSchedule.spec_string`.
+
+    Numbers go through ``'g'`` formatting (``20.0`` -> ``20``); strings —
+    e.g. a :class:`ZoneOutage` zone name — are emitted verbatim so they
+    survive the round trip instead of raising in ``format(value, 'g')``.
+    """
+    if value is None:
+        return "none"
+    if isinstance(value, str):
+        return value
+    return format(value, "g")
+
+
 @dataclass(frozen=True)
 class ChaosEvent:
     """One timed fault; ``at_s`` is seconds after load start."""
@@ -57,6 +74,10 @@ class ChaosEvent:
     at_s: float = 0.0
 
     kind = "event"
+    # Class attribute (deliberately unannotated — not a dataclass field):
+    # override to record the run-level span under a domain name instead
+    # of the default "chaos_{kind}".
+    span_name = None
 
     def fire(self, controller: "ChaosController") -> None:
         raise NotImplementedError
@@ -177,6 +198,35 @@ class NetworkDelay(ChaosEvent):
         )
 
 
+@dataclass(frozen=True)
+class ZoneOutage(ChaosEvent):
+    """Correlated failure: every pod in one failure domain crashes at the
+    same instant (rack power loss, zonal network partition, a rolling
+    kernel upgrade gone wrong). Each kubelet restarts its pod *in the
+    pod's home zone* after ``restart_after_s`` (``None``: the zone stays
+    dark for the rest of the run). Requires a cluster deployment placed
+    with ``zones > 1``."""
+
+    zone: str = "z0"
+    restart_after_s: Optional[float] = 20.0
+
+    kind = "zone"
+    span_name = "zone_outage"
+
+    def __post_init__(self):
+        if not self.zone:
+            raise ValueError("zone outage needs a zone name")
+
+    def fire(self, controller: "ChaosController") -> None:
+        names = controller.crash_zone(self.zone, self.restart_after_s)
+        controller.note(
+            self,
+            zone=self.zone,
+            pods=len(names),
+            duration_s=self.restart_after_s,
+        )
+
+
 _EVENT_KINDS = {
     "crash": (
         PodCrash,
@@ -205,6 +255,13 @@ _EVENT_KINDS = {
     "netdelay": (
         NetworkDelay,
         {"add": ("extra_s", float), "dur": ("duration_s", _parse_optional_s)},
+    ),
+    "zone": (
+        ZoneOutage,
+        {
+            "name": ("zone", str),
+            "restart": ("restart_after_s", _parse_optional_s),
+        },
     ),
 }
 
@@ -261,6 +318,7 @@ class ChaosSchedule:
             storm@200:count=3:stagger=1:restart=none
             slow@100:pod=1:factor=3:dur=30
             netdelay@50:add=0.005:dur=30
+            zone@60:name=z0:restart=25
         """
         events: List[ChaosEvent] = []
         for item in filter(None, (p.strip() for p in text.split(","))):
@@ -296,7 +354,7 @@ class ChaosSchedule:
         for event in self.events:
             _, keys = _EVENT_KINDS[event.kind]
             options = "".join(
-                f":{key}={'none' if value is None else format(value, 'g')}"
+                f":{key}={_format_option(value)}"
                 for key, (name, _) in keys.items()
                 for value in (getattr(event, name),)
                 # shard=None means "not shard-scoped" — omitted so that
@@ -328,6 +386,9 @@ class ChaosController:
         self.telemetry = telemetry
         #: Chronological log of fired events (for ``RunResult.resilience``).
         self.fired: List[Dict] = []
+        #: Zone outages with their victim pod names, for the availability
+        #: section's time-to-recovery accounting.
+        self.zone_outages: List[Dict] = []
         self._counters: Dict[str, object] = {}
         self._next_chaos_trace_id = -1
 
@@ -382,6 +443,57 @@ class ChaosController:
         if restart_after_s is not None:
             self.simulator.call_in(restart_after_s, server.recover)
 
+    def crash_zone(
+        self, zone: str, restart_after_s: Optional[float]
+    ) -> List[str]:
+        """Crash every pod whose node sits in ``zone``, simultaneously.
+
+        Returns the victim pod names (empty when the zone hosts nothing —
+        e.g. the deployment was placed with ``zones=1``). The correlated
+        loss is also appended to :attr:`zone_outages` so the experiment
+        driver can compute time-to-recovery from the pods' readiness
+        timestamps.
+        """
+        if self.cluster is None or self.deployment is None:
+            raise ValueError(
+                "zone chaos requires a cluster deployment placed with "
+                "zones > 1 (bare servers have no failure domains)"
+            )
+        now = self.simulator.now
+        targets = [
+            index
+            for index, pod in enumerate(self.deployment.pods)
+            if pod.zone == zone
+        ]
+        for index in targets:
+            self.cluster.inject_pod_failure(
+                self.deployment,
+                index,
+                at_time=now,
+                restart_after=restart_after_s,
+            )
+        names = [self.deployment.pods[index].name for index in targets]
+        self.zone_outages.append(
+            {
+                "zone": zone,
+                "at_s": now,
+                "pods": names,
+                "restart_after_s": restart_after_s,
+            }
+        )
+        if self.telemetry is not None and names:
+            self.telemetry.metrics.counter(
+                "availability_zone_outages_total",
+                unit="events",
+                help="correlated zone-outage events injected",
+            ).inc()
+            self.telemetry.metrics.counter(
+                "availability_pods_lost_total",
+                unit="pods",
+                help="pods crashed by zone outages",
+            ).inc(len(names))
+        return names
+
     # -- bookkeeping --------------------------------------------------------
 
     def note(self, event: ChaosEvent, **detail) -> None:
@@ -401,7 +513,9 @@ class ChaosController:
             self._counters[event.kind] = counter
         counter.inc()
         span = self.telemetry.trace.begin(
-            f"chaos_{event.kind}", self._next_chaos_trace_id, **detail
+            event.span_name or f"chaos_{event.kind}",
+            self._next_chaos_trace_id,
+            **detail,
         )
         self._next_chaos_trace_id -= 1
         end = at + (detail.get("duration_s") or 0.0)

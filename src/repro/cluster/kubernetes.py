@@ -35,6 +35,11 @@ class DeploymentError(RuntimeError):
     """The deployment cannot run on the requested hardware."""
 
 
+def zone_name(index: int) -> str:
+    """Canonical failure-domain name for a zone index (``z0``, ``z1``, ...)."""
+    return f"z{index}"
+
+
 @dataclass
 class Pod:
     """One serving replica on one node."""
@@ -46,6 +51,10 @@ class Pod:
     ready_at: float = float("inf")
     #: Catalog shard this replica serves (0 on unsharded deployments).
     shard: int = 0
+    #: Failure domain (availability zone) hosting this pod's node. Empty on
+    #: single-zone deployments — the pre-zone default. Kubelet restarts
+    #: reuse the Pod object, so a restarted pod keeps its home zone.
+    zone: str = ""
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,7 @@ class ModelDeployment:
         ready_signal: Signal,
         restart_context: Optional[dict] = None,
         sharding: Optional[ShardingConfig] = None,
+        zones: int = 1,
     ):
         self.name = name
         self.pods = pods
@@ -92,10 +102,20 @@ class ModelDeployment:
         self.restart_context = restart_context or {}
         #: Catalog-sharding config; None or S=1 means unsharded.
         self.sharding = sharding
+        #: Failure domains the fleet is spread over (1 = no zone topology).
+        self.zones = zones
 
     @property
     def shards(self) -> int:
         return self.sharding.shards if self.sharding is not None else 1
+
+    @property
+    def zone_names(self) -> List[str]:
+        """The distinct failure domains hosting pods, in index order."""
+        return [zone_name(index) for index in range(self.zones)] if self.zones > 1 else []
+
+    def pods_in_zone(self, zone: str) -> List[Pod]:
+        return [pod for pod in self.pods if pod.zone == zone]
 
     @property
     def heterogeneous(self) -> bool:
@@ -219,6 +239,7 @@ class Cluster:
         sharding: Optional[ShardingConfig] = None,
         index_build_s: float = 0.0,
         auxiliary: Optional[AuxiliaryFleet] = None,
+        zones: int = 1,
     ) -> ModelDeployment:
         """Create a deployment; pods become ready asynchronously.
 
@@ -241,9 +262,20 @@ class Cluster:
         model, the pool's own CPU service profile, shared readiness
         signal. Mutually exclusive with ``sharding`` — every pod must hold
         the full catalog so either class can answer any request.
+
+        ``zones > 1`` spreads the fleet over that many failure domains
+        with a round-robin anti-affinity policy: within each shard's
+        replica group, consecutive replicas land in consecutive zones, so
+        no two replicas of a shard co-locate whenever
+        ``replicas <= zones`` (and the per-zone spread never differs by
+        more than one replica otherwise). Kubelet restarts return a pod to
+        its home zone. ``zones=1`` (the default) assigns no zone at all —
+        byte-identical to a deployment that predates zone topology.
         """
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if zones < 1:
+            raise ValueError("zones must be >= 1")
         shards = sharding.shards if sharding is not None and sharding.enabled else 1
         if auxiliary is not None:
             if shards > 1:
@@ -294,6 +326,10 @@ class Cluster:
                 name=f"{name}-{self._pod_counter}",
                 instance_type=instance_type,
                 shard=shard,
+                # Round-robin spread: replica r of shard s lands in zone
+                # (s * replicas + r) % zones, so a shard's replicas occupy
+                # distinct zones whenever replicas <= zones.
+                zone=zone_name(pod_index % zones) if zones > 1 else "",
             )
             pods.append(pod)
             self.simulator.spawn(
@@ -313,11 +349,14 @@ class Cluster:
                     index_build_s,
                 )
             )
-        for _ in range(aux_replicas):
+        for aux_index in range(aux_replicas):
             self._pod_counter += 1
             pod = Pod(
                 name=f"{name}-cpu-{self._pod_counter}",
                 instance_type=auxiliary.instance_type,
+                zone=zone_name((shards * replicas + aux_index) % zones)
+                if zones > 1
+                else "",
             )
             pods.append(pod)
             self.simulator.spawn(
@@ -354,8 +393,10 @@ class Cluster:
                 "sharding": sharding,
                 "index_build_s": index_build_s,
                 "auxiliary": auxiliary,
+                "zones": zones,
             },
             sharding=sharding if shards > 1 else None,
+            zones=zones,
         )
         self.deployments.append(deployment)
         return deployment
@@ -410,10 +451,21 @@ class Cluster:
         for existing in deployment.pods:
             shard_counts[existing.shard] = shard_counts.get(existing.shard, 0) + 1
         shard = min(shard_counts, key=lambda s: (shard_counts[s], s))
+        # Zone spread on scale-up: place the new replica in the zone where
+        # its shard currently has the fewest pods (lowest index on ties),
+        # preserving the anti-affinity invariant as far as capacity allows.
+        zone = ""
+        if deployment.zones > 1:
+            zone_counts = {name_: 0 for name_ in deployment.zone_names}
+            for existing in deployment.pods:
+                if existing.shard == shard and existing.zone in zone_counts:
+                    zone_counts[existing.zone] += 1
+            zone = min(zone_counts, key=lambda z: (zone_counts[z], z))
         pod = Pod(
             name=f"{deployment.name}-{self._pod_counter}",
             instance_type=instance_type,
             shard=shard,
+            zone=zone,
         )
         deployment.pods.append(pod)
         self.simulator.spawn(

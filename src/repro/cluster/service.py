@@ -22,9 +22,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
-from repro.cluster.kubernetes import ModelDeployment, Pod
+from repro.cluster.kubernetes import ModelDeployment, Pod, zone_name
 from repro.cluster.routing import RoutingPolicy, partition_by_shard
-from repro.hardware.latency_model import ShardMergeCost
+from repro.hardware.latency_model import NetworkHop, ShardMergeCost
 from repro.sharding.config import shard_bounds
 from repro.sharding.gather import ScatterGatherAggregator
 from repro.serving.request import (
@@ -74,6 +74,10 @@ class ClusterIPService:
     #: One-way network latency between load generator and serving pod.
     NETWORK_LATENCY_S = 2.5e-4
     NETWORK_JITTER_SIGMA = 0.3
+    #: Deterministic per-direction surcharge on a leg that crosses a
+    #: failure domain (the service VIP lives in the home zone, ``z0``).
+    #: Only charged on deployments placed with ``zones > 1``.
+    CROSS_ZONE_EXTRA_S = NetworkHop.cross_zone_extra_s
 
     def __init__(
         self,
@@ -110,6 +114,16 @@ class ClusterIPService:
         #: (transient degradation of the client→server leg). 0.0 = nominal
         #: and bit-exact: adding 0.0 never changes a latency.
         self.extra_latency_s = 0.0
+        #: Zone topology of the backing deployment. The service VIP (and
+        #: the load generator behind it) lives in the first zone; legs to
+        #: pods elsewhere pay the cross-zone surcharge. 1 = no topology,
+        #: and every zone branch below is skipped entirely (bit-identity).
+        self._zones = getattr(deployment, "zones", 1)
+        self.home_zone = zone_name(0) if self._zones > 1 else ""
+        #: One-way pod legs that crossed a zone boundary (request and
+        #: response directions count separately).
+        self.cross_zone_legs = 0
+        self._cross_zone_counter = None
         #: Optional telemetry handle; None = zero overhead.
         self.telemetry = telemetry
         self._ejected_counter = None
@@ -133,6 +147,11 @@ class ClusterIPService:
                 self._ejected_counter = metrics.counter(
                     "pod_ejected_total", unit="ejections",
                     help="pods ejected from rotation by the outlier breaker",
+                )
+            if self._zones > 1:
+                self._cross_zone_counter = metrics.counter(
+                    "availability_cross_zone_legs_total", unit="legs",
+                    help="one-way pod legs that crossed a zone boundary",
                 )
         # Scatter-gather front for sharded deployments. None on S=1: the
         # request path below is then byte-for-byte the pre-sharding one.
@@ -166,6 +185,30 @@ class ClusterIPService:
             * float(self.rng.lognormal(0.0, self.NETWORK_JITTER_SIGMA))
             + self.extra_latency_s
         )
+
+    def _cross_zone_extra(self, pod: Pod) -> float:
+        """Per-direction surcharge for a leg leaving the home zone.
+
+        0.0 on single-zone deployments and for home-zone pods — and the
+        zero case is never *added* anywhere: callers branch on it, so the
+        single-zone event sequence is byte-identical to the pre-zone one.
+        """
+        if self._zones <= 1 or pod.zone == self.home_zone:
+            return 0.0
+        return self.CROSS_ZONE_EXTRA_S
+
+    def _note_cross_zone(self, legs: int = 1) -> None:
+        self.cross_zone_legs += legs
+        if self._cross_zone_counter is not None:
+            self._cross_zone_counter.inc(legs)
+
+    def _pod_network_delay(self, pod: Pod) -> float:
+        """One network leg to/from a specific pod, zone charged honestly."""
+        extra = self._cross_zone_extra(pod)
+        if extra > 0.0:
+            self._note_cross_zone()
+            return self._network_delay() + extra
+        return self._network_delay()
 
     # -- routing ------------------------------------------------------------
 
@@ -332,12 +375,30 @@ class ClusterIPService:
             else:
                 pod = self._select_pod(pods)
 
+            # The aggregator charges the zone-neutral fan-out legs; a
+            # replica outside the home zone costs the surcharge extra in
+            # each direction (surviving replicas absorbing a dead zone's
+            # traffic pay for the distance, honestly).
+            extra = self._cross_zone_extra(pod)
+
             def observe_and_respond(response: RecommendationResponse) -> None:
                 if self.routing is not None:
                     self._observe(pod, response)
-                respond(response)
+                if extra > 0.0:
+                    self.simulator.call_in(extra, lambda: respond(response))
+                else:
+                    respond(response)
 
-            pod.server.submit(sub_request, observe_and_respond)
+            if extra > 0.0:
+                self._note_cross_zone(2)
+                self.simulator.call_in(
+                    extra,
+                    lambda: pod.server.submit(
+                        sub_request, observe_and_respond
+                    ),
+                )
+            else:
+                pod.server.submit(sub_request, observe_and_respond)
 
         return submit
 
@@ -457,9 +518,9 @@ class ClusterIPService:
                     self.dispatcher.observe(route, response)
                 respond(response)
 
-            self.simulator.call_in(self._network_delay(), deliver)
+            self.simulator.call_in(self._pod_network_delay(pod), deliver)
 
         self.simulator.call_in(
-            self._network_delay(),
+            self._pod_network_delay(pod),
             lambda: pod.server.submit(request, respond_via_network),
         )

@@ -253,6 +253,7 @@ class ExperimentRunner:
             sharding=sharding,
             index_build_s=index_build_s,
             auxiliary=auxiliary,
+            zones=spec.zones,
         )
 
         workload = SyntheticWorkloadGenerator(
@@ -513,6 +514,8 @@ class ExperimentRunner:
             info["ann_queries"] = ann_queries
             info["ann_probed_lists"] = ann_probed
             result.retrieval = info
+        if spec.zones > 1:
+            result.availability = self._availability_section(spec, state)
         if telemetry is not None:
             from repro.obs.export import stage_breakdown
 
@@ -521,6 +524,62 @@ class ExperimentRunner:
                 result.stage_breakdown = report.to_dict()
         self._persist_result(spec, result)
         return result
+
+    @staticmethod
+    def _availability_section(spec: ExperimentSpec, state: dict) -> dict:
+        """The failure-domain report for a ``zones > 1`` run.
+
+        Time-to-recovery per injected zone outage: the interval from the
+        correlated crash until the *last* victim pod's readiness probe
+        flipped back. ``None`` (infinite) when any victim was still dark
+        at run end — e.g. ``restart=none`` chaos.
+        """
+        deployment = state.get("deployment")
+        service = state.get("service")
+        chaos = state.get("chaos")
+        pods_per_zone: dict = {}
+        by_name = {}
+        if deployment is not None:
+            for pod in deployment.pods:
+                pods_per_zone[pod.zone] = pods_per_zone.get(pod.zone, 0) + 1
+                by_name[pod.name] = pod
+        outages = []
+        overall_ttr: Optional[float] = None
+        for event in chaos.zone_outages if chaos is not None else []:
+            recovered_at: Optional[float] = event["at_s"]
+            for name in event["pods"]:
+                pod = by_name.get(name)
+                if pod is None or not pod.ready or pod.ready_at <= event["at_s"]:
+                    recovered_at = None
+                    break
+                recovered_at = max(recovered_at, pod.ready_at)
+            ttr = (
+                recovered_at - event["at_s"]
+                if recovered_at is not None and event["pods"]
+                else None
+            )
+            if ttr is not None:
+                overall_ttr = max(overall_ttr or 0.0, ttr)
+            outages.append(
+                {
+                    "zone": event["zone"],
+                    "at_s": event["at_s"],
+                    "pods_lost": len(event["pods"]),
+                    "restart_after_s": event["restart_after_s"],
+                    "time_to_recovery_s": ttr,
+                }
+            )
+        return {
+            "zones": spec.zones,
+            "pods_per_zone": pods_per_zone,
+            "home_zone": service.home_zone if service is not None else "",
+            "cross_zone_legs": (
+                service.cross_zone_legs if service is not None else 0
+            ),
+            "zone_outages": outages,
+            "time_to_recovery_s": overall_ttr,
+            "load_started_at_s": state.get("started_at"),
+        }
 
     def _persist_result(self, spec: ExperimentSpec, result: RunResult) -> None:
         """Results go to the bucket on termination, as in the paper."""

@@ -53,6 +53,11 @@ class DeploymentOption:
     #: Auxiliary CPU pods deployed beside the primary fleet (0 on
     #: homogeneous options); counted in ``total_machines`` and the cost.
     cpu_replicas: int = 0
+    #: Zone outages this option was *verified* to survive (a failure
+    #: drill passed with this many zones down: 200s kept flowing, full
+    #: coverage, p90 under the SLO, finite time-to-recovery). None on
+    #: options planned without ``survive_zones``.
+    survives_zones: Optional[int] = None
 
     @property
     def total_machines(self) -> int:
@@ -112,6 +117,7 @@ class DeploymentPlanner:
         retrieval_options: Sequence[Optional[RetrievalConfig]] = (None,),
         min_recall: float = 0.95,
         scheduler_options: Sequence[Optional[SchedulerConfig]] = (None,),
+        survive_zones: int = 0,
     ):
         self.runner = runner or ExperimentRunner()
         self.slo = slo
@@ -152,7 +158,21 @@ class DeploymentPlanner:
         )
         if not self.scheduler_options:
             raise ValueError("scheduler_options must not be empty")
+        #: Availability requirement: every admitted option must pass a
+        #: failure drill with this many zones down (0 = the paper's
+        #: single-domain planning; see docs/availability.md). Candidates
+        #: deploy across ``survive_zones + 1`` failure domains and the
+        #: per-shard replica search starts at ``survive_zones + 1`` so a
+        #: shard keeps at least one replica through the outage.
+        if survive_zones < 0:
+            raise ValueError("survive_zones must be >= 0")
+        self.survive_zones = survive_zones
         self._hit_rate_memo: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def zones(self) -> int:
+        """Failure domains each candidate is placed over."""
+        return self.survive_zones + 1
 
     def expected_hit_rate(self, scenario: Scenario) -> float:
         """Replay-estimated cache hit rate for one scenario's workload.
@@ -280,8 +300,19 @@ class DeploymentPlanner:
         retrieval: Optional[RetrievalConfig] = None,
         scheduler: Optional[SchedulerConfig] = None,
     ) -> Optional[DeploymentOption]:
-        """Smallest verified per-shard replica count, or None if infeasible."""
-        start = self.estimate_replicas(model, scenario, instance, shards, retrieval)
+        """Smallest verified per-shard replica count, or None if infeasible.
+
+        With ``survive_zones`` set, feasibility additionally requires the
+        candidate to pass a failure drill with that many zones down, and
+        the search floor rises to ``survive_zones + 1`` replicas per
+        shard — fewer could not keep every shard covered through the
+        outage no matter how the scheduler spreads them.
+        """
+        floor = max(1, self.survive_zones + 1 if self.survive_zones else 1)
+        start = max(
+            self.estimate_replicas(model, scenario, instance, shards, retrieval),
+            floor,
+        )
         if start > self.max_replicas:
             return None
         retrieval_spec = (
@@ -291,6 +322,34 @@ class DeploymentPlanner:
             scheduler.spec_string() if scheduler is not None else None
         )
         cpu_replicas = scheduler.cpu_replicas if scheduler is not None else 0
+
+        def make_option(replicas: int, result: RunResult) -> DeploymentOption:
+            return DeploymentOption(
+                instance_type=instance.name,
+                replicas=replicas,
+                monthly_cost_usd=self._option_cost(
+                    instance, replicas, shards, scheduler
+                ),
+                result=result,
+                shards=shards,
+                retrieval=retrieval_spec,
+                scheduler=scheduler_spec,
+                cpu_replicas=cpu_replicas,
+                survives_zones=self.survive_zones or None,
+            )
+
+        def feasible(replicas: int, result: RunResult) -> bool:
+            if not result.meets_slo(
+                self.slo.p90_latency_ms, self.slo.max_error_rate
+            ):
+                return False
+            if not self.survive_zones:
+                return True
+            return self._survives_outage(
+                model, scenario, instance, replicas, shards, retrieval,
+                scheduler,
+            )
+
         best: Optional[DeploymentOption] = None
         replicas = start
         while replicas <= self.max_replicas:
@@ -299,45 +358,21 @@ class DeploymentPlanner:
             )
             if result is None:
                 return None  # cannot even deploy (memory / unshardable head)
-            if result.meets_slo(self.slo.p90_latency_ms, self.slo.max_error_rate):
-                best = DeploymentOption(
-                    instance_type=instance.name,
-                    replicas=replicas,
-                    monthly_cost_usd=self._option_cost(
-                        instance, replicas, shards, scheduler
-                    ),
-                    result=result,
-                    shards=shards,
-                    retrieval=retrieval_spec,
-                    scheduler=scheduler_spec,
-                    cpu_replicas=cpu_replicas,
-                )
+            if feasible(replicas, result):
+                best = make_option(replicas, result)
                 break
             replicas += 1
         if best is None:
             return None
         # The analytic seed can overshoot; try to shrink.
-        while best.replicas > 1:
+        while best.replicas > floor:
             candidate = self._measure(
                 model, scenario, instance, best.replicas - 1, shards, retrieval,
                 scheduler,
             )
-            if candidate is None or not candidate.meets_slo(
-                self.slo.p90_latency_ms, self.slo.max_error_rate
-            ):
+            if candidate is None or not feasible(best.replicas - 1, candidate):
                 break
-            best = DeploymentOption(
-                instance_type=instance.name,
-                replicas=best.replicas - 1,
-                monthly_cost_usd=self._option_cost(
-                    instance, best.replicas - 1, shards, scheduler
-                ),
-                result=candidate,
-                shards=shards,
-                retrieval=retrieval_spec,
-                scheduler=scheduler_spec,
-                cpu_replicas=cpu_replicas,
-            )
+            best = make_option(best.replicas - 1, candidate)
         return best
 
     def _measure(
@@ -360,11 +395,60 @@ class DeploymentPlanner:
             sharding=ShardingConfig(shards=shards) if shards > 1 else None,
             retrieval=retrieval,
             scheduler=scheduler,
+            zones=self.zones,
         )
         try:
             return self.runner.run_repeated(spec, repetitions=self.repetitions)
         except DeploymentError:
             return None
+
+    def _survives_outage(
+        self,
+        model: str,
+        scenario: Scenario,
+        instance: InstanceType,
+        replicas: int,
+        shards: int,
+        retrieval: Optional[RetrievalConfig],
+        scheduler: Optional[SchedulerConfig],
+    ) -> bool:
+        """Failure-drill verification of one candidate (survive_zones > 0):
+        with N zones going *permanently* dark a third of the way in, 200s
+        keep flowing at full catalog coverage and p90 stays under the SLO
+        for the rest of the run. No-restart is the harsher, cleaner
+        capacity statement — the surviving zones alone must carry the
+        load; recovery speed is a drill-report metric, not a capacity
+        property."""
+        from repro.core.drill import run_failure_drill
+
+        spec = ExperimentSpec(
+            model=model,
+            catalog_size=scenario.catalog_size,
+            target_rps=scenario.target_rps,
+            hardware=HardwareSpec(instance_type=instance.name, replicas=replicas),
+            duration_s=self.duration_s,
+            cache=self.cache,
+            sharding=ShardingConfig(shards=shards) if shards > 1 else None,
+            retrieval=retrieval,
+            scheduler=scheduler,
+            zones=self.zones,
+        )
+        try:
+            drill = run_failure_drill(
+                spec,
+                self.slo,
+                zones_down=self.survive_zones,
+                restart_after_s=None,
+                runner=self.runner,
+            )
+        except DeploymentError:
+            return False
+        return (
+            drill.survived
+            and drill.during.p90_ms is not None
+            and drill.during.p90_ms <= self.slo.p90_latency_ms
+            and drill.result.error_rate <= self.slo.max_error_rate
+        )
 
     # -- the Table I product -----------------------------------------------------------
 
@@ -419,10 +503,16 @@ class DeploymentPlanner:
                                 scheduler,
                             )
                             if option is None:
-                                plan.infeasible[key] = (
+                                reason = (
                                     "no feasible deployment within "
                                     f"{self.max_replicas} replicas"
                                 )
+                                if self.survive_zones:
+                                    reason += (
+                                        " that survives "
+                                        f"{self.survive_zones} zone outage(s)"
+                                    )
+                                plan.infeasible[key] = reason
                             else:
                                 option.recall = recall
                                 plan.options.append(option)

@@ -23,7 +23,8 @@ def _option_cell(option) -> str:
     """Per-model table cell: ``x3`` (replicas), ``x3/S4`` when sharded,
     ``x3+2c`` when a heterogeneous scheduler adds CPU pods beside the
     accelerator fleet, a ``~`` suffix when the option serves approximate
-    (ANN) retrieval."""
+    (ANN) retrieval, a ``^`` suffix when it passed an availability drill
+    (``--survive-zones``)."""
     if option is None:
         return "-"
     cell = f"x{option.replicas}"
@@ -33,6 +34,8 @@ def _option_cell(option) -> str:
         cell += f"+{option.cpu_replicas}c"
     if option.retrieval is not None:
         cell += "~"
+    if getattr(option, "survives_zones", None):
+        cell += "^"
     return cell
 
 
@@ -98,6 +101,7 @@ def render_scenario_table(
         cheapest_cost = min(cost for _n, _a, cost, _p in rows)
         any_ann = False
         any_mixed = False
+        any_zoned = False
         for index, (instance_name, amount, cost, per_model) in enumerate(rows):
             marker = "*" if cost == cheapest_cost else " "
             cells = " ".join(f"{_option_cell(per_model[m]):>9}" for m in models)
@@ -114,6 +118,10 @@ def render_scenario_table(
                 o is not None and o.cpu_replicas > 0
                 for o in per_model.values()
             )
+            any_zoned = any_zoned or any(
+                o is not None and getattr(o, "survives_zones", None)
+                for o in per_model.values()
+            )
         if any_ann:
             lines.append(
                 "('~' = ANN retrieval; recall floor enforced by the planner)"
@@ -122,6 +130,11 @@ def render_scenario_table(
             lines.append(
                 "('+Nc' = N auxiliary CPU pods via the heterogeneous "
                 "scheduler; cost includes them)"
+            )
+        if any_zoned:
+            lines.append(
+                "('^' = drill-verified to survive the requested zone "
+                "outage(s); cost includes the availability replicas)"
             )
         lines.append("")
     return "\n".join(lines)

@@ -103,12 +103,21 @@ class ExperimentSpec:
     #: a :class:`~repro.scheduler.config.SchedulerConfig` or its compact
     #: spec string (``"cpu=1,short=4,target=50"``; ``""`` = defaults).
     scheduler: Optional[Union[SchedulerConfig, str]] = None
+    #: Failure domains to spread the fleet over (1 = no zone topology,
+    #: the paper's single-domain cluster, bit-identical to a pre-zone
+    #: run). With ``zones > 1``, replicas spread round-robin so a shard's
+    #: replicas never co-locate when ``replicas <= zones``, cross-zone
+    #: network legs are charged, and ``zone@T:name=z0`` chaos becomes
+    #: meaningful. See ``docs/availability.md``.
+    zones: int = 1
 
     def __post_init__(self):
         if self.execution not in ("jit", "eager", "onnx"):
             raise ValueError("execution must be 'jit', 'eager' or 'onnx'")
         if self.catalog_size < 1 or self.target_rps < 1:
             raise ValueError("catalog_size and target_rps must be positive")
+        if self.zones < 1:
+            raise ValueError("zones must be >= 1")
         if isinstance(self.retry, str):
             object.__setattr__(self, "retry", RetryPolicy.parse(self.retry))
         if isinstance(self.chaos, str):

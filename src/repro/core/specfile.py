@@ -51,6 +51,7 @@ _KNOWN_KEYS = {
     "shards",
     "retrieval",
     "scheduler",
+    "zones",
 }
 
 
@@ -110,6 +111,7 @@ def spec_from_dict(raw: Dict[str, Any]) -> Tuple[ExperimentSpec, SLO]:
         sharding=raw.get("shards"),
         retrieval=raw.get("retrieval"),
         scheduler=raw.get("scheduler"),
+        zones=int(raw.get("zones", 1)),
     )
     return spec, slo
 
@@ -161,6 +163,8 @@ def spec_to_dict(spec: ExperimentSpec, slo: SLO = SLO()) -> Dict[str, Any]:
         document["retrieval"] = spec.retrieval.spec_string()
     if spec.scheduler is not None:
         document["scheduler"] = spec.scheduler.spec_string()
+    if spec.zones != 1:
+        document["zones"] = spec.zones
     if spec.workload is not None:
         document["workload"] = {
             "catalog_size": spec.workload.catalog_size,

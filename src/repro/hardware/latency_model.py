@@ -41,22 +41,40 @@ class NetworkHop:
 
     base_s: float = 2.5e-4
     jitter_sigma: float = 0.3
+    #: Deterministic per-direction surcharge when the traversal crosses a
+    #: failure domain: public inter-zone RTTs sit around a millisecond
+    #: against the sub-millisecond intra-zone hop, so a cross-zone leg
+    #: pays ~0.75 ms extra each way on the default quarter-ms base.
+    cross_zone_extra_s: float = 7.5e-4
 
     def __post_init__(self):
         if self.base_s <= 0:
             raise ValueError("base_s must be positive")
         if self.jitter_sigma < 0:
             raise ValueError("jitter_sigma must be >= 0")
+        if self.cross_zone_extra_s < 0:
+            raise ValueError("cross_zone_extra_s must be >= 0")
 
-    def sample(self, rng: np.random.Generator) -> float:
-        """One-way traversal time with lognormal jitter."""
-        return self.base_s * float(
+    def sample(self, rng: np.random.Generator, cross_zone: bool = False) -> float:
+        """One-way traversal time with lognormal jitter.
+
+        ``cross_zone=True`` adds the fixed inter-zone surcharge on top of
+        the jittered intra-zone base; the default path is byte-identical
+        to a hop that knows nothing about zones (same single RNG draw,
+        no arithmetic on the result).
+        """
+        delay = self.base_s * float(
             rng.lognormal(mean=0.0, sigma=self.jitter_sigma)
         )
+        if cross_zone:
+            delay += self.cross_zone_extra_s
+        return delay
 
-    def sample_round_trip(self, rng: np.random.Generator) -> float:
+    def sample_round_trip(
+        self, rng: np.random.Generator, cross_zone: bool = False
+    ) -> float:
         """Request + response traversal (two independent draws)."""
-        return self.sample(rng) + self.sample(rng)
+        return self.sample(rng, cross_zone) + self.sample(rng, cross_zone)
 
 
 @dataclass(frozen=True)

@@ -108,6 +108,10 @@ class RunResult:
     #: tuner epochs/moves and final knob values), present when the run
     #: used an enabled ``--scheduler`` config.
     scheduler: Optional[Dict] = None
+    #: Failure-domain report (zone count, pods per zone, cross-zone legs,
+    #: injected zone outages with their time-to-recovery), present when
+    #: the run spread the fleet over ``zones > 1``.
+    availability: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

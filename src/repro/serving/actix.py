@@ -70,6 +70,42 @@ def _split_payload(payload) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]
     return payload, None
 
 
+def cacheable_result(payload) -> bool:
+    """Whether a result is allowed into the cache tiers.
+
+    Only full-quality model output may be written: a degraded answer — a
+    fallback-tier response, or a scatter-gather merge with
+    ``coverage < 1.0`` — would otherwise keep being served for a whole
+    TTL after the incident that produced it has cleared. Raw payloads
+    (top-k arrays, ``(items, scores)`` pairs, or ``None`` on the
+    latency-only model-less path) carry no quality flags and are always
+    full quality by construction.
+    """
+    if isinstance(payload, RecommendationResponse):
+        return (
+            payload.ok
+            and not payload.degraded
+            and payload.coverage >= 1.0
+        )
+    return True
+
+
+def shard_scoped_version(artifact_version: str, model) -> str:
+    """Cache version for one replica's results.
+
+    Shard replicas score only their catalog slice, but every shard of a
+    deployment shares one remote cache tier and (pre-fix) one artifact
+    version — so shard A's slice result could answer shard B's leg as a
+    spurious full-coverage hit. Scoping the version to the shard keeps
+    the keyspaces disjoint.
+    """
+    shard_index = getattr(model, "shard_index", None)
+    if shard_index is None:
+        return artifact_version
+    shards = getattr(model, "shards", 0)
+    return f"{artifact_version}#shard{shard_index}of{shards}"
+
+
 class EtudeInferenceServer:
     """One deployed model replica served by the Actix-style runtime."""
 
@@ -134,8 +170,13 @@ class EtudeInferenceServer:
         self.cache: Optional[RecommendationCache] = None
         if cache_config is not None and cache_config.enabled:
             self.cache = RecommendationCache(
-                cache_config, version=artifact_version, remote=remote_cache
+                cache_config,
+                version=shard_scoped_version(artifact_version, model),
+                remote=remote_cache,
             )
+        #: Fills refused because the result was not full quality
+        #: (degraded / partial coverage) — see ``cacheable_result``.
+        self.cache_fill_rejected = 0
         self._remote_hop = NetworkHop()
         #: Singleflight leadership: request id -> the cache key whose
         #: flight this request's inference will settle.
@@ -495,7 +536,12 @@ class EtudeInferenceServer:
         if key is None:
             return
         now = self.simulator.now
-        self.cache.fill(key, payload, now)
+        if cacheable_result(payload):
+            self.cache.fill(key, payload, now)
+        else:
+            # Degraded / partial results answer their followers but are
+            # never written into either tier (docs/availability.md).
+            self.cache_fill_rejected += 1
         for waiter, waiter_respond, joined_at in self.cache.finish_flight(key):
             self._serve_follower(waiter, waiter_respond, payload, joined_at)
 

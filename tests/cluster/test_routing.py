@@ -6,11 +6,13 @@ import numpy as np
 import pytest
 
 from repro.cluster import ClusterIPService, RoutingPolicy, make_infra
+from repro.cluster.routing import partition_by_shard
 from repro.hardware import CPU_E2, LatencyModel
 from repro.serving.request import (
     HTTP_OK,
     HTTP_SERVICE_UNAVAILABLE,
     RecommendationRequest,
+    RecommendationResponse,
 )
 from repro.simulation import Signal, Simulator
 from repro.tensor.ops import CostRecord, CostTrace
@@ -273,3 +275,89 @@ class TestRoundRobinChurn:
             service._select_pod(service._routing_view()).name for _ in range(6)
         ]
         assert picks.count("c") == 2
+
+
+class TestShardedEjectionContainment:
+    """Regression: outlier ejection x catalog sharding. Back-to-back
+    crash storms on one shard fully eject its rotation; the fail-open
+    guardrail must trip *within that shard group only* — the other
+    shards' breakers stay closed and their round-robin stays fair."""
+
+    def _make(self):
+        sim = Simulator()
+        pods = [FakePod(f"pod-{i}") for i in range(4)]
+        for index, pod in enumerate(pods):
+            pod.shard = index // 2  # pods 0,1 -> shard 0; pods 2,3 -> shard 1
+        deployment = FakeDeployment(pods)
+        service = ClusterIPService(
+            sim,
+            deployment,
+            np.random.default_rng(0),
+            routing=RoutingPolicy(eject_after=2, cooldown_s=30.0),
+        )
+        return service
+
+    def _fail(self, service, pod):
+        service._observe(
+            pod,
+            RecommendationResponse(
+                request_id=0,
+                status=HTTP_SERVICE_UNAVAILABLE,
+                completed_at=service.simulator.now,
+                latency_s=0.001,
+            ),
+        )
+
+    def test_storm_on_one_shard_leaves_other_rotations_closed(self):
+        service = self._make()
+        groups = partition_by_shard(service._routing_view())
+        assert set(groups) == {0, 1}
+        # Two back-to-back storms against shard 0: every leg routed to it
+        # answers 503 until both replicas are ejected, then keeps failing
+        # through the fail-open fallback.
+        for _storm in range(2):
+            for _ in range(2 * len(groups[0])):
+                picked = service._select_pod(list(groups[0]))
+                assert picked.shard == 0  # never borrows another shard's pod
+                self._fail(service, picked)
+        assert all(service.pod_ejected(p) for p in groups[0])
+        assert service.ejections == len(groups[0])  # re-ejections not recounted
+        # Shard 1's breaker never saw those failures: nothing is ejected
+        # and a full cycle is still a fair round-robin over its own pods.
+        assert not any(service.pod_ejected(p) for p in groups[1])
+        picks = [service._select_pod(list(groups[1])).name for _ in range(6)]
+        assert {p.name for p in groups[1]} == set(picks)
+        assert all(picks.count(name) == 3 for name in set(picks))
+        # Shard 0 fails open within its own group: selection degrades to
+        # "try an ejected replica" rather than skipping the shard (which
+        # would silently drop its catalog slice from every merge).
+        fallback = service._select_pod(list(groups[0]))
+        assert fallback.shard == 0
+
+    def test_recovered_shard_rejoins_without_disturbing_others(self):
+        service = self._make()
+        sim = service.simulator
+        groups = partition_by_shard(service._routing_view())
+        for _ in range(2 * len(groups[0])):
+            self._fail(service, service._select_pod(list(groups[0])))
+        assert all(service.pod_ejected(p) for p in groups[0])
+        # Cooldown elapses; the half-open probe succeeds and shard 0's
+        # rotation heals — still without touching shard 1's state.
+        sim.run()  # drain nothing: advances no time, keeps determinism
+        for state in service._pod_states.values():
+            if state.ejected_until is not None:
+                state.ejected_until = sim.now  # cooldown expires "now"
+        probe = service._select_pod(list(groups[0]))
+        assert probe.shard == 0
+        service._observe(
+            probe,
+            RecommendationResponse(
+                request_id=1,
+                status=HTTP_OK,
+                completed_at=sim.now,
+                latency_s=0.001,
+            ),
+        )
+        assert service.probe_recoveries == 1
+        assert not service.pod_ejected(probe)
+        assert not any(service.pod_ejected(p) for p in groups[1])

@@ -65,6 +65,22 @@ class TestScenarioTable:
         table = render_scenario_table({"Demo": plans}, ["stamp"])
         assert "no feasible deployment" in table
 
+    def test_zone_surviving_options_marked_and_legended(self):
+        scenario = Scenario("Demo", 1000, 100)
+        plan = make_plan(scenario, "stamp", [("CPU", 2, 216.0)])
+        plan.options[0].survives_zones = 1
+        table = render_scenario_table({"Demo": {"stamp": plan}}, ["stamp"])
+        assert "x2^" in table
+        assert "drill-verified" in table
+        # No legend noise when nothing is zoned.
+        plain = render_scenario_table(
+            {"Demo": {"stamp": make_plan(scenario, "stamp",
+                                         [("CPU", 2, 216.0)])}},
+            ["stamp"],
+        )
+        assert "^" not in plain
+        assert "drill-verified" not in plain
+
 
 class TestLatencySeries:
     def test_render_aligned_columns(self):

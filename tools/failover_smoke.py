@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Failure-domain smoke test (``make failover-smoke``).
+
+One scripted failure drill, twice, asserting the availability contract
+of ``docs/availability.md``:
+
+1. **Replicated rides through.** A sharded deployment (S=2) with two
+   replicas per shard spread over two zones loses zone z0 mid-load:
+   at least 99% of during-outage requests still answer 200, every 200
+   merges the full catalog (``coverage == 1.0``), the zone comes back
+   with a finite time-to-recovery, and the post-recovery p90 settles.
+
+2. **Unreplicated collapses.** The identical deployment with one
+   replica per shard loses a whole shard with the zone: coverage drops
+   to 1/2 and the drill reports ``survived=False``. The smoke test
+   asserts the collapse too — if the drill ever stops *detecting* the
+   bad deployment, that is also a regression.
+
+Exits non-zero with a diagnostic on any violation, so ``make test``
+fails loudly if zone-aware failover regresses.
+"""
+
+import math
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.core import ExperimentSpec, HardwareSpec  # noqa: E402
+from repro.core.drill import run_failure_drill  # noqa: E402
+
+CATALOG = 10_000
+RPS = 80
+DURATION_S = 45.0
+OUTAGE_AT_S = 15.0
+RESTART_AFTER_S = 10.0
+SEED = 7
+
+
+def _drill(replicas: int):
+    return run_failure_drill(
+        ExperimentSpec(
+            model="stamp",
+            catalog_size=CATALOG,
+            target_rps=RPS,
+            hardware=HardwareSpec("CPU", replicas),
+            duration_s=DURATION_S,
+            sharding=2,
+            zones=2,
+            seed=SEED,
+        ),
+        outage_at_s=OUTAGE_AT_S,
+        restart_after_s=RESTART_AFTER_S,
+    )
+
+
+def main() -> int:
+    failures = []
+
+    # -- 1. zone-replicated S=2: the outage is an operational non-event --
+    drill = _drill(replicas=2)
+    if not drill.survived:
+        failures.append(
+            f"replicated drill did not survive: during-outage ok fraction "
+            f"{drill.during.ok_fraction:.4f}, min coverage "
+            f"{drill.min_coverage:.2f}"
+        )
+    if drill.during.ok_fraction < 0.99:
+        failures.append(
+            f"during-outage 200 fraction {drill.during.ok_fraction:.4f} < 0.99"
+        )
+    if drill.min_coverage < 1.0:
+        failures.append(
+            f"a merged 200 dropped catalog coverage to {drill.min_coverage}"
+        )
+    ttr = drill.time_to_recovery_s
+    if ttr is None or not math.isfinite(ttr):
+        failures.append("the crashed zone never recovered (TTR is None)")
+    if not drill.recovered:
+        failures.append(
+            f"post-recovery p90 did not settle: after={drill.after.p90_ms}"
+        )
+    print(
+        f"failover smoke: replicated S=2 x2 over 2 zones rode out z0: "
+        f"{drill.during.ok_fraction:.1%} 200s during the outage, coverage "
+        f"{drill.min_coverage:.2f}, TTR {ttr if ttr is None else round(ttr, 1)} s"
+    )
+
+    # -- 2. one replica per shard: the drill must call the collapse ------
+    exposed = _drill(replicas=1)
+    if exposed.survived:
+        failures.append(
+            "unreplicated drill claims survival — the zone outage took a "
+            "whole shard and the drill failed to notice"
+        )
+    if exposed.min_coverage > 0.5:
+        failures.append(
+            f"unreplicated min coverage {exposed.min_coverage} > 0.5: the "
+            "lost shard's slice still showed up in merges"
+        )
+    print(
+        f"failover smoke: unreplicated control collapsed as expected "
+        f"(min coverage {exposed.min_coverage:.2f}, survived=False)"
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("failover smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
