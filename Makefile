@@ -36,7 +36,7 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 .PHONY: test
-test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke retrieval-smoke scheduler-smoke failover-smoke
+test: docs-check bench-smoke overload-smoke cache-smoke shard-smoke retrieval-smoke scheduler-smoke failover-smoke tenant-smoke
 	$(PYTHON) -m pytest tests/
 
 # Tiny deterministic overload run: deadline admission + fallback tier must
@@ -77,6 +77,14 @@ scheduler-smoke:
 .PHONY: failover-smoke
 failover-smoke:
 	$(PYTHON) tools/failover_smoke.py
+
+# Deterministic tenant-fleet checks: co-located answers bit-identical to
+# each tenant served alone, shadow traffic never client-visible, canary
+# rollout with zero 5xx, and a 4x tenant storm that cannot starve the
+# co-tenant's SLO.
+.PHONY: tenant-smoke
+tenant-smoke:
+	$(PYTHON) tools/tenant_smoke.py
 
 # Line coverage over the unit suite (see README "Development"). Needs
 # pytest-cov; when it is absent the target explains and skips instead of

@@ -1,0 +1,179 @@
+"""TENANCY — what co-locating a model fleet saves, as a planner answer.
+
+Runs the bin-packing fleet planner over a three-tenant fleet (two
+models, skewed traffic weights, per-tenant SLOs) and prices the
+alternative the paper's Table I planning would give: one isolated
+deployment per tenant, each at the same SLO and its entitled share of
+the traffic. Findings to reproduce:
+
+(i)   a co-located deployment exists in which *every* tenant meets its
+      own p90 contract under its own traffic share (the per-tenant rows
+      in ``RunResult.tenancy`` are the evidence, not the blended p90);
+(ii)  at identical per-tenant SLOs, the co-located fleet costs no more
+      than the sum of the standalone per-tenant winners — bin-packing
+      can only exploit the capacity the per-tenant ceil() rounding
+      strands (``savings_usd >= 0``);
+(iii) the winning option carries the fleet spec (``option.tenants``),
+      so the Table I report can label co-located rows.
+
+Wall-clock for the full regeneration is recorded in
+``BENCH_tenancy.json`` (skipped in ``ETUDE_BENCH_SMOKE=1`` runs, which
+shrink the load tests).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import DURATION_S, SMOKE, experiment_runner, run_once
+
+from repro.core.spec import SLO
+from repro.hardware import CPU_E2, GPU_T4
+from repro.tenancy import TenancyConfig
+from repro.tenancy.placement import FleetPlanner
+
+#: Two models, 3:1:1 weights, per-tenant contracts. SLOs are loose
+#: enough for CPU serving at this catalog so the frontier compares
+#: replica *counts*, not device classes.
+FLEET = "home=gru4rec:3,slo=120;search=narm:1,slo=200;related=gru4rec:1,slo=200"
+CATALOG_SIZE = 100_000
+TARGET_RPS = 90
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_tenancy.json"
+
+
+def _describe(option):
+    return (
+        f"{option.instance_type} x{option.replicas} "
+        f"${option.monthly_cost_usd:,.0f}/month"
+    )
+
+
+def test_colocation_savings(benchmark, experiment_runner):
+    tenancy = TenancyConfig.parse(FLEET)
+    planner = FleetPlanner(
+        runner=experiment_runner,
+        slo=SLO(),
+        duration_s=DURATION_S,
+        max_replicas=6,
+    )
+
+    started = time.perf_counter()
+    plan = run_once(
+        benchmark,
+        lambda: planner.plan(
+            tenancy, CATALOG_SIZE, TARGET_RPS, instances=[CPU_E2, GPU_T4]
+        ),
+    )
+    wall_clock_s = time.perf_counter() - started
+
+    print()
+    print(
+        f"--- {tenancy.describe()} (C={CATALOG_SIZE:,}, "
+        f"{TARGET_RPS} req/s)"
+    )
+    for option in sorted(plan.options, key=lambda o: o.monthly_cost_usd):
+        rows = (option.result.tenancy or {}).get("tenants", {})
+        p90s = ", ".join(
+            f"{name}={row['p90_ms']:.1f}ms" for name, row in rows.items()
+        )
+        print(f"  co-located {_describe(option)} ({p90s})")
+    for name, reason in plan.infeasible.items():
+        print(f"  {name}: infeasible ({reason})")
+
+    winner = plan.cheapest()
+    assert winner is not None, "no feasible co-located fleet"
+
+    # (i) Every tenant's own contract holds on the winning option.
+    rows = winner.result.tenancy["tenants"]
+    for tenant in tenancy.primaries:
+        row = rows[tenant.name]
+        assert row["p90_ms"] is not None
+        assert row["p90_ms"] <= tenant.slo_ms
+        assert row["slo_met"] is True
+
+    # (iii) The option is labeled as a fleet deployment.
+    assert winner.tenants == tenancy.spec_string()
+
+    # (ii) Cheaper-or-equal than isolated per-tenant deployments at the
+    # same SLOs.
+    for name, option in plan.standalone.items():
+        label = _describe(option) if option is not None else "infeasible"
+        print(f"  standalone {name}: {label}")
+    total = plan.standalone_total_usd
+    assert total is not None, "a tenant had no standalone baseline"
+    assert winner.monthly_cost_usd <= total
+    savings = plan.savings_usd
+    print(
+        f"  frontier: ${total:,.0f} isolated -> "
+        f"${winner.monthly_cost_usd:,.0f} co-located "
+        f"(saves ${savings:,.0f}/month)"
+    )
+
+    benchmark.extra_info["colocated_cost_usd"] = round(winner.monthly_cost_usd)
+    benchmark.extra_info["standalone_cost_usd"] = round(total)
+    benchmark.extra_info["savings_usd"] = round(savings)
+
+    if not SMOKE:
+        RESULTS_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "tenancy",
+                    "fleet": tenancy.spec_string(),
+                    "catalog_size": CATALOG_SIZE,
+                    "target_rps": TARGET_RPS,
+                    "duration_s": DURATION_S,
+                    "colocated": {
+                        "options": [
+                            {
+                                "instance_type": o.instance_type,
+                                "replicas": o.replicas,
+                                "monthly_cost_usd": round(
+                                    o.monthly_cost_usd, 2
+                                ),
+                                "per_tenant": {
+                                    name: {
+                                        "p90_ms": row["p90_ms"],
+                                        "slo_ms": row["slo_ms"],
+                                        "slo_met": row["slo_met"],
+                                        "rps": row["rps"],
+                                    }
+                                    for name, row in (
+                                        o.result.tenancy or {}
+                                    )
+                                    .get("tenants", {})
+                                    .items()
+                                },
+                            }
+                            for o in sorted(
+                                plan.options,
+                                key=lambda o: o.monthly_cost_usd,
+                            )
+                        ],
+                        "infeasible": dict(plan.infeasible),
+                    },
+                    "standalone": {
+                        name: (
+                            {
+                                "instance_type": o.instance_type,
+                                "replicas": o.replicas,
+                                "monthly_cost_usd": round(
+                                    o.monthly_cost_usd, 2
+                                ),
+                            }
+                            if o is not None
+                            else None
+                        )
+                        for name, o in plan.standalone.items()
+                    },
+                    "winner": {
+                        "colocated": _describe(winner),
+                        "standalone_total_usd": round(total, 2),
+                        "savings_usd_per_month": round(savings, 2),
+                    },
+                    "wall_clock_s": round(wall_clock_s, 2),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {RESULTS_PATH.name} (wall clock {wall_clock_s:.1f} s)")

@@ -22,7 +22,7 @@ array dtype the load generator happened to use.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,9 +50,20 @@ class SessionKeyer:
         self.version = str(version)
         self.window = int(window)
 
-    def key_for(self, session_items: Sequence[int]) -> CacheKey:
-        """The cache key of one recommendation request's session prefix."""
-        return (self.version, prefix_tuple(session_items, self.window))
+    def key_for(
+        self,
+        session_items: Sequence[int],
+        version: Optional[str] = None,
+    ) -> CacheKey:
+        """The cache key of one recommendation request's session prefix.
+
+        ``version`` overrides the keyer's artifact version for this one
+        key — the multi-tenant server passes a tenant-scoped version
+        (``artifact@tenant[#canary]``) so co-located tenants keep
+        disjoint keyspaces in the shared tiers.
+        """
+        scope = self.version if version is None else version
+        return (scope, prefix_tuple(session_items, self.window))
 
     def set_version(self, version: str) -> None:
         """Point the keyer at a new artifact (redeploy / canary swap).

@@ -208,8 +208,13 @@ class RecommendationCache:
 
     # -- keys ------------------------------------------------------------
 
-    def key_for(self, session_items: Sequence[int]) -> CacheKey:
-        return self.keyer.key_for(session_items)
+    def key_for(
+        self,
+        session_items: Sequence[int],
+        version: Optional[str] = None,
+    ) -> CacheKey:
+        """Build a key; ``version`` scopes it to one tenant+arm keyspace."""
+        return self.keyer.key_for(session_items, version=version)
 
     def set_version(self, version: str) -> None:
         """Redeploy invalidation: future keys use the new artifact."""

@@ -53,6 +53,7 @@ def _add_infra_command(subparsers) -> None:
     _add_cache_flag(parser)
     _add_shards_flag(parser)
     _add_retrieval_flag(parser)
+    _add_tenants_flag(parser)
 
 
 def _add_micro_command(subparsers) -> None:
@@ -88,6 +89,7 @@ def _add_run_command(subparsers) -> None:
     _add_retrieval_flag(parser)
     _add_scheduler_flag(parser)
     _add_zones_flag(parser)
+    _add_tenants_flag(parser)
 
 
 def _add_drill_command(subparsers) -> None:
@@ -163,6 +165,7 @@ def _add_plan_command(subparsers) -> None:
         "deploy across N+1 failure domains and pay for the extra "
         "replicas; default 0 = single-domain planning)",
     )
+    _add_tenants_flag(parser)
 
 
 def _add_compare_command(subparsers) -> None:
@@ -295,6 +298,71 @@ def _add_zones_flag(parser) -> None:
         "replica placement, cross-zone network legs charged, zone@T "
         "chaos meaningful; default 1 = the paper's single domain)",
     )
+
+
+def _add_tenants_flag(parser) -> None:
+    parser.add_argument(
+        "--tenants", default=None, metavar="SPEC",
+        help="co-locate a multi-tenant model fleet on the deployment; "
+        "SPEC is ';'-separated name=model:weight segments with options "
+        "slo=MS, shadow, canary=FRAC, burst=F, rollout=T plus a fleet "
+        "fair=N segment, e.g. "
+        "'home=gru4rec:3,slo=60;search=narm:1,slo=120' "
+        "(default: single-model serving)",
+    )
+
+
+def _parse_tenants(args):
+    """TenancyConfig | None from the --tenants flag."""
+    from repro.tenancy.config import TenancyConfig
+
+    if getattr(args, "tenants", None) is None:
+        return None
+    try:
+        config = TenancyConfig.parse(args.tenants)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    return config if config.enabled else None
+
+
+def _render_tenancy(tenancy: dict) -> str:
+    """The per-tenant summary block shared by run and infra-test."""
+    lines = [f"  tenants[{tenancy['config']}]:"]
+    for name, row in tenancy.get("tenants", {}).items():
+        p90 = row.get("p90_ms")
+        slo = row.get("slo_ms")
+        slo_text = ""
+        if slo is not None:
+            met = row.get("slo_met")
+            slo_text = f" slo={slo:g}ms[{'met' if met else 'MISSED'}]"
+        canary = (
+            f", {row['canary_requests']} canary"
+            if row.get("canary_requests")
+            else ""
+        )
+        hits = (
+            f", {row['cache_hits']} cache hits" if row.get("cache_hits") else ""
+        )
+        lines.append(
+            f"    {name}({row['model']}): {row['requests']} req "
+            f"({row.get('rps', 0) or 0:g} rps), ok={row['ok']} "
+            f"err={row['errors']} shed={row['shed']}, "
+            f"p90={'n/a' if p90 is None else f'{p90:.1f} ms'}"
+            + slo_text + canary + hits
+        )
+    for name, row in tenancy.get("shadow", {}).items():
+        lines.append(
+            f"    {name}({row['model']}, shadow): "
+            f"{row['mirrored']} mirrored, {row['completed']} scored, "
+            f"{row['shed']} shed (0 client-visible)"
+        )
+    for rollout in tenancy.get("rollouts", []):
+        lines.append(
+            f"    rollout[{rollout['tenant']}]: "
+            f"{rollout['pods_updated']} pods updated, "
+            f"completed={rollout['completed']}"
+        )
+    return "\n".join(lines)
 
 
 def _add_retrieval_flag(parser) -> None:
@@ -641,6 +709,9 @@ def _cmd_infra(args, out) -> int:
     retrieval = _parse_retrieval(args)
     if retrieval is not None and retrieval.enabled and args.server != "actix":
         raise SystemExit("--retrieval is an actix-server feature")
+    tenants = _parse_tenants(args)
+    if tenants is not None and args.server != "actix":
+        raise SystemExit("--tenants is an actix-server feature")
     result = run_infra_test(
         args.server,
         target_rps=args.rps,
@@ -655,6 +726,7 @@ def _cmd_infra(args, out) -> int:
         cache=cache,
         sharding=sharding,
         retrieval=retrieval,
+        tenants=tenants,
     )
     out.write(render_latency_series(result.series, args.server, every=20) + "\n")
     out.write(
@@ -675,6 +747,8 @@ def _cmd_infra(args, out) -> int:
         out.write(_render_sharding(result.sharding) + "\n")
     if result.retrieval is not None:
         out.write(_render_retrieval(result.retrieval) + "\n")
+    if result.tenancy is not None:
+        out.write(_render_tenancy(result.tenancy) + "\n")
     if telemetry is not None:
         _emit_telemetry(telemetry, out, args.trace_out)
     return 0
@@ -706,6 +780,7 @@ def _cmd_run(args, out) -> int:
     sharding = _parse_sharding(args)
     retrieval = _parse_retrieval(args)
     scheduler = _parse_scheduler(args)
+    tenants = _parse_tenants(args)
     zones = args.zones
     if zones is not None and zones < 1:
         raise SystemExit("--zones must be >= 1")
@@ -719,7 +794,7 @@ def _cmd_run(args, out) -> int:
             value is not None
             for value in (
                 retry, chaos, slo_deadline, admission, routing, fallback,
-                cache, sharding, retrieval, scheduler, zones,
+                cache, sharding, retrieval, scheduler, zones, tenants,
             )
         )
         if overrides_on:
@@ -757,21 +832,31 @@ def _cmd_run(args, out) -> int:
                             else spec.scheduler
                         ),
                         zones=zones if zones is not None else spec.zones,
+                        tenants=(
+                            tenants if tenants is not None else spec.tenants
+                        ),
                     ),
                     slo,
                 )
                 for spec, slo in jobs
             ]
     else:
-        for required in ("model", "catalog", "rps"):
-            if getattr(args, required) is None:
+        model = args.model
+        if model is None and tenants is not None:
+            # A fleet names its own models; the anchor defaults to the
+            # first primary tenant's.
+            model = tenants.primaries[0].model
+        for required, value in (
+            ("model", model), ("catalog", args.catalog), ("rps", args.rps),
+        ):
+            if value is None:
                 raise SystemExit(f"--{required} is required without --spec")
         from repro.core.spec import SLO
 
         jobs = [
             (
                 ExperimentSpec(
-                    model=args.model,
+                    model=model,
                     catalog_size=args.catalog,
                     target_rps=args.rps,
                     hardware=HardwareSpec(args.instance, args.replicas),
@@ -788,6 +873,7 @@ def _cmd_run(args, out) -> int:
                     retrieval=retrieval,
                     scheduler=scheduler,
                     zones=zones if zones is not None else 1,
+                    tenants=tenants,
                 ),
                 SLO(p90_latency_ms=args.p90_limit),
             )
@@ -845,6 +931,8 @@ def _cmd_run(args, out) -> int:
             out.write(_render_scheduler(result.scheduler) + "\n")
         if result.availability is not None:
             out.write(_render_availability(result.availability) + "\n")
+        if result.tenancy is not None:
+            out.write(_render_tenancy(result.tenancy) + "\n")
         if telemetry is not None:
             trace_out = args.trace_out
             if trace_out and len(jobs) > 1:
@@ -920,6 +1008,25 @@ def _cmd_drill(args, out) -> int:
 
 
 def _cmd_plan(args, out) -> int:
+    tenants = _parse_tenants(args)
+    if tenants is not None:
+        # Bin-packing dimension: cheapest co-located fleet vs. the
+        # standalone per-tenant baseline (docs/tenancy.md).
+        from repro.core.report import render_fleet_plan
+        from repro.tenancy.placement import FleetPlanner
+
+        planner = FleetPlanner(
+            runner=ExperimentRunner(),
+            slo=SLO(p90_latency_ms=args.p90_limit),
+            duration_s=args.duration,
+            max_replicas=args.max_replicas,
+        )
+        plan = planner.plan(
+            tenants, args.catalog, args.rps,
+            instances=cloud_catalog(args.cloud),
+        )
+        out.write(render_fleet_plan(plan) + "\n")
+        return 0 if plan.cheapest() is not None else 2
     models = [m.strip() for m in args.models.split(",") if m.strip()]
     scenario = Scenario("custom", args.catalog, args.rps)
     try:

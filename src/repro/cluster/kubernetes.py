@@ -12,7 +12,7 @@ the service.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.simulation import Signal, Simulator
 
 if TYPE_CHECKING:
     from repro.obs.telemetry import Telemetry
+    from repro.tenancy.fleet import TenantServing
 
 
 class DeploymentError(RuntimeError):
@@ -240,6 +241,8 @@ class Cluster:
         index_build_s: float = 0.0,
         auxiliary: Optional[AuxiliaryFleet] = None,
         zones: int = 1,
+        tenants: Optional[Sequence["TenantServing"]] = None,
+        tenant_fair_depth: int = 64,
     ) -> ModelDeployment:
         """Create a deployment; pods become ready asynchronously.
 
@@ -263,6 +266,13 @@ class Cluster:
         signal. Mutually exclusive with ``sharding`` — every pod must hold
         the full catalog so either class can answer any request.
 
+        ``tenants`` co-locates a tenant fleet on every replica
+        (``docs/tenancy.md``): each pod's server gets its *own* clones of
+        the tenant serving states (rollouts bump versions pod by pod), and
+        the caller passes the fleet's *summed* resident footprint as
+        ``resident_bytes`` so the fit checks above price the co-location.
+        Mutually exclusive with ``sharding`` and ``auxiliary``.
+
         ``zones > 1`` spreads the fleet over that many failure domains
         with a round-robin anti-affinity policy: within each shard's
         replica group, consecutive replicas land in consecutive zones, so
@@ -277,6 +287,17 @@ class Cluster:
         if zones < 1:
             raise ValueError("zones must be >= 1")
         shards = sharding.shards if sharding is not None and sharding.enabled else 1
+        if tenants is not None:
+            if shards > 1:
+                raise DeploymentError(
+                    "a tenant fleet does not compose with catalog sharding: "
+                    "every replica hosts every tenant's full artifact"
+                )
+            if auxiliary is not None:
+                raise DeploymentError(
+                    "a tenant fleet does not compose with a heterogeneous "
+                    "auxiliary pool"
+                )
         if auxiliary is not None:
             if shards > 1:
                 raise DeploymentError(
@@ -347,6 +368,8 @@ class Cluster:
                     telemetry,
                     remote_cache,
                     index_build_s,
+                    tenants=tenants,
+                    tenant_fair_depth=tenant_fair_depth,
                 )
             )
         for aux_index in range(aux_replicas):
@@ -394,12 +417,23 @@ class Cluster:
                 "index_build_s": index_build_s,
                 "auxiliary": auxiliary,
                 "zones": zones,
+                "tenants": tenants,
+                "tenant_fair_depth": tenant_fair_depth,
             },
             sharding=sharding if shards > 1 else None,
             zones=zones,
         )
         self.deployments.append(deployment)
         return deployment
+
+    @staticmethod
+    def _clone_tenants(
+        tenants: Optional[Sequence["TenantServing"]],
+    ) -> Optional[Dict[str, "TenantServing"]]:
+        """Per-pod copies of the deployment's tenant table (or None)."""
+        if tenants is None:
+            return None
+        return {serving.name: serving.clone() for serving in tenants}
 
     @staticmethod
     def _model_for_shard(model, sharding: Optional[ShardingConfig], shard: int):
@@ -485,6 +519,8 @@ class Cluster:
                 context.get("telemetry"),
                 context.get("remote_cache"),
                 context.get("index_build_s", 0.0),
+                tenants=context.get("tenants"),
+                tenant_fair_depth=context.get("tenant_fair_depth", 64),
             )
         )
         return pod
@@ -529,6 +565,8 @@ class Cluster:
             telemetry=context.get("telemetry"),
             artifact_version=context["artifact_path"],
             remote_cache=context.get("remote_cache"),
+            tenants=self._clone_tenants(context.get("tenants")),
+            tenant_fair_depth=context.get("tenant_fair_depth", 64),
         )
         pod.ready = True
         pod.ready_at = self.simulator.now
@@ -561,6 +599,8 @@ class Cluster:
         telemetry: Optional["Telemetry"] = None,
         remote_cache: Optional[RemoteCacheTier] = None,
         index_build_s: float = 0.0,
+        tenants: Optional[Sequence["TenantServing"]] = None,
+        tenant_fair_depth: int = 64,
     ):
         # 1. Autopilot provisions a node for the pod.
         yield float(self.rng.uniform(self.PROVISION_MIN_S, self.PROVISION_MAX_S))
@@ -575,7 +615,9 @@ class Cluster:
         )
         load_s = effective_bytes / self.MODEL_LOAD_BANDWIDTH
         yield self.POD_BOOT_S + transfer_s + load_s + jit_warmup_s + index_build_s
-        # 3. Server comes up; the readiness probe flips.
+        # 3. Server comes up; the readiness probe flips. Each pod owns
+        # fresh clones of the tenant serving states: rollouts bump
+        # versions pod by pod, so the state cannot be shared.
         pod.server = EtudeInferenceServer(
             simulator=self.simulator,
             device=pod.instance_type.device,
@@ -588,6 +630,8 @@ class Cluster:
             telemetry=telemetry,
             artifact_version=artifact_path,
             remote_cache=remote_cache,
+            tenants=self._clone_tenants(tenants),
+            tenant_fair_depth=tenant_fair_depth,
         )
         pod.ready = True
         pod.ready_at = self.simulator.now

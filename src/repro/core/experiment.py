@@ -35,6 +35,9 @@ from repro.sharding.plan import (
     shard_score_bytes_per_item,
     shard_service_profile,
 )
+from repro.tenancy.fleet import TenantServing
+from repro.tenancy.rollout import TenantRollout
+from repro.tenancy.split import TrafficSplitter
 from repro.tensor.serialization import save_module_state
 from repro.workload.synthetic import SyntheticWorkloadGenerator
 
@@ -235,6 +238,68 @@ class ExperimentRunner:
                     resident_bytes=assets.resident_bytes,
                 )
 
+        # Co-located tenant fleet: every pod hosts every tenant's artifact
+        # under the instance's memory budget. Disabled (None) leaves the
+        # deployment call byte-for-byte the single-model one.
+        tenancy = spec.tenants
+        tenant_servings: Optional[List[TenantServing]] = None
+        if tenancy is not None:
+            if sharding is not None:
+                raise DeploymentError(
+                    "a tenant fleet does not compose with catalog sharding: "
+                    "every pod must host every tenant's full catalog"
+                )
+            if scheduler is not None:
+                raise DeploymentError(
+                    "a tenant fleet does not compose with the heterogeneous "
+                    "scheduler's auxiliary pool"
+                )
+            if retrieval is not None:
+                raise DeploymentError(
+                    "a tenant fleet does not compose with ANN retrieval: "
+                    "per-tenant index builds are not modeled"
+                )
+            # Lazy import: placement reaches back into the planner (which
+            # imports this module) for the standalone baseline.
+            from repro.tenancy.placement import check_colocation
+
+            tenant_assets = {}
+            tenant_servings = []
+            for tenant in tenancy.tenants:
+                t_assets = tenant_assets.get(tenant.model)
+                if t_assets is None:
+                    t_assets = self.registry.assets(
+                        tenant.model,
+                        spec.catalog_size,
+                        instance.device,
+                        spec.execution,
+                        top_k=spec.top_k,
+                    )
+                    tenant_assets[tenant.model] = t_assets
+                    self._ensure_artifact(t_assets)
+                version = self._artifact_path(t_assets)
+                tenant_servings.append(
+                    TenantServing(
+                        config=tenant,
+                        model=t_assets.model,
+                        service_profile=t_assets.profile,
+                        artifact_version=version,
+                        canary_version=(
+                            f"{version}+next"
+                            if tenant.canary_fraction > 0
+                            else None
+                        ),
+                        resident_bytes=t_assets.resident_bytes,
+                        score_bytes_per_item=t_assets.score_bytes_per_item,
+                    )
+                )
+            # Budget check with a per-tenant breakdown; the cluster's
+            # generic fit checks re-verify the summed footprint below.
+            resident_bytes = check_colocation(instance, tenant_servings)
+            score_bytes = max(
+                s.score_bytes_per_item for s in tenant_servings
+            )
+
         deployment = cluster.deploy_model(
             name=f"{spec.model}-bench",
             instance_type=instance,
@@ -254,6 +319,10 @@ class ExperimentRunner:
             index_build_s=index_build_s,
             auxiliary=auxiliary,
             zones=spec.zones,
+            tenants=tenant_servings,
+            tenant_fair_depth=(
+                tenancy.fair_depth if tenancy is not None else 64
+            ),
         )
 
         workload = SyntheticWorkloadGenerator(
@@ -292,9 +361,19 @@ class ExperimentRunner:
                 catalog_size=spec.catalog_size,
                 dispatcher=dispatcher,
             )
+            submit = service.submit
+            if tenancy is not None:
+                # The splitter *is* the generator's submit function: the
+                # client stream is attributed to tenants without touching
+                # the generator or the collector.
+                splitter = TrafficSplitter(
+                    tenancy, service.submit, simulator, telemetry=telemetry
+                )
+                submit = splitter.submit
+                state["splitter"] = splitter
             generator = LoadGenerator(
                 simulator=simulator,
-                submit=service.submit,
+                submit=submit,
                 session_source=workload.iter_sessions(),
                 target_rps=spec.target_rps,
                 duration_s=spec.duration_s,
@@ -307,6 +386,22 @@ class ExperimentRunner:
                 slo_deadline_s=spec.slo_deadline_s,
             )
             generator.start()
+            if tenancy is not None:
+                # Rollouts anchor at load start, like chaos events.
+                rollouts = []
+                for tenant in tenancy.tenants:
+                    if tenant.rollout_at_s is None:
+                        continue
+                    rollout = TenantRollout(
+                        simulator,
+                        deployment,
+                        tenant,
+                        start_at_s=simulator.now + tenant.rollout_at_s,
+                        telemetry=telemetry,
+                    )
+                    rollout.schedule()
+                    rollouts.append(rollout)
+                state["rollouts"] = rollouts
             if scheduler is not None:
                 tuner = None
                 if scheduler.tune:
@@ -516,6 +611,27 @@ class ExperimentRunner:
             result.retrieval = info
         if spec.zones > 1:
             result.availability = self._availability_section(spec, state)
+        if spec.tenants is not None:
+            splitter = state.get("splitter")
+            if splitter is not None:
+                deployment = state.get("deployment")
+                shed_by_tenant: dict = {}
+                if deployment is not None:
+                    # Current pod servers only (restart caveat as above).
+                    for pod in deployment.pods:
+                        server = pod.server
+                        if server is None or server.tenants is None:
+                            continue
+                        for name, count in server.shed_by_tenant.items():
+                            shed_by_tenant[name] = (
+                                shed_by_tenant.get(name, 0) + count
+                            )
+                rollouts = [r.summary() for r in state.get("rollouts", [])]
+                result.tenancy = splitter.summary(
+                    duration_s=spec.duration_s,
+                    shed_by_tenant=shed_by_tenant,
+                    rollouts=rollouts or None,
+                )
         if telemetry is not None:
             from repro.obs.export import stage_breakdown
 

@@ -31,6 +31,9 @@ from repro.serving.profiles import ActixProfile
 from repro.serving.torchserve import TorchServeServer
 from repro.sharding.config import ShardingConfig
 from repro.sharding.gather import ScatterGatherAggregator
+from repro.tenancy.config import TenancyConfig
+from repro.tenancy.fleet import TenantServing
+from repro.tenancy.split import TrafficSplitter
 from repro.hardware.latency_model import NetworkHop
 from repro.simulation import RandomStreams, Simulator
 from repro.workload.statistics import WorkloadStatistics
@@ -83,6 +86,9 @@ class InfraTestResult:
     #: ANN retrieval tallies (queries, probed lists), present when the run
     #: served with an enabled IVF retrieval mode.
     retrieval: Optional[Dict] = None
+    #: Per-tenant routing/shedding tallies, present when the run split
+    #: traffic across a tenant fleet (``--tenants``).
+    tenancy: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:
@@ -104,6 +110,7 @@ def run_infra_test(
     cache: Optional[CacheConfig] = None,
     sharding: Optional[ShardingConfig] = None,
     retrieval: Optional[RetrievalConfig] = None,
+    tenants: Optional[TenancyConfig] = None,
 ) -> InfraTestResult:
     """Run the no-inference serving test with one of the two stacks.
 
@@ -117,6 +124,10 @@ def run_infra_test(
     result cache (see ``docs/caching.md``); ``retrieval`` stamps the ANN
     retrieval descriptor on it (the no-op model does no scoring, so this
     exercises only the per-request bookkeeping — see ``docs/retrieval.md``).
+    ``tenants`` splits the client stream across a tenant fleet on the
+    single bare server — every tenant serves the no-op profile, so this
+    validates routing proportions, per-tenant deadlines and weighted-fair
+    shedding without model inference (see ``docs/tenancy.md``).
     """
     if server_kind not in ("torchserve", "actix"):
         raise ValueError("server_kind must be 'torchserve' or 'actix'")
@@ -136,6 +147,12 @@ def run_infra_test(
         raise ValueError("ANN retrieval is an Actix-server feature")
     if retrieval is not None and not retrieval.enabled:
         retrieval = None
+    if tenants is not None and not tenants.enabled:
+        tenants = None
+    if tenants is not None and server_kind != "actix":
+        raise ValueError("tenant fleets are an Actix-server feature")
+    if tenants is not None and sharding is not None and sharding.enabled:
+        raise ValueError("a tenant fleet does not compose with sharding")
     registry = registry or GLOBAL_REGISTRY
     assets = registry.assets("noop", 1, INFRA_TEST_DEVICE, "eager", top_k=1)
 
@@ -198,6 +215,23 @@ def run_infra_test(
             )
             submit_target = aggregator.scatter
         else:
+            tenant_servings = None
+            if tenants is not None:
+                # Every tenant serves the no-op profile: the fleet
+                # exercises routing, deadlines and fair shedding only.
+                tenant_servings = {
+                    t.name: TenantServing(
+                        config=t,
+                        service_profile=assets.profile,
+                        artifact_version=f"infra-{t.model}",
+                        canary_version=(
+                            f"infra-{t.model}+next"
+                            if t.canary_fraction > 0
+                            else None
+                        ),
+                    )
+                    for t in tenants.tenants
+                }
             server = EtudeInferenceServer(
                 simulator=simulator,
                 device=INFRA_TEST_DEVICE,
@@ -206,9 +240,20 @@ def run_infra_test(
                 profile=server_profile,
                 batching=BatchingConfig(max_batch_size=1, max_delay_s=0.0),
                 telemetry=telemetry,
+                tenants=tenant_servings,
+                tenant_fair_depth=(
+                    tenants.fair_depth if tenants is not None else 64
+                ),
             )
             servers = [server]
             submit_target = server.submit
+
+    splitter = None
+    if tenants is not None:
+        splitter = TrafficSplitter(
+            tenants, submit_target, simulator, telemetry=telemetry
+        )
+        submit_target = splitter.submit
 
     workload = SyntheticWorkloadGenerator(
         WorkloadStatistics(catalog_size=10_000, alpha_length=1.85, alpha_clicks=1.35),
@@ -301,6 +346,16 @@ def run_infra_test(
             ),
         }
 
+    tenancy_section = None
+    if splitter is not None:
+        shed_by_tenant: Dict[str, int] = {}
+        for s in servers:
+            for name, count in (getattr(s, "shed_by_tenant", None) or {}).items():
+                shed_by_tenant[name] = shed_by_tenant.get(name, 0) + count
+        tenancy_section = splitter.summary(
+            duration_s=duration_s, shed_by_tenant=shed_by_tenant
+        )
+
     return InfraTestResult(
         server=server_kind,
         target_rps=target_rps,
@@ -319,4 +374,5 @@ def run_infra_test(
         cache=cache_section,
         sharding=sharding_section,
         retrieval=retrieval_section,
+        tenancy=tenancy_section,
     )

@@ -58,10 +58,33 @@ class DeploymentOption:
     #: coverage, p90 under the SLO, finite time-to-recovery). None on
     #: options planned without ``survive_zones``.
     survives_zones: Optional[int] = None
+    #: Tenant-fleet spec string when this option co-locates a multi-tenant
+    #: fleet (None = the paper's single-model deployment). Produced by
+    #: :class:`~repro.tenancy.placement.FleetPlanner`.
+    tenants: Optional[str] = None
 
     @property
     def total_machines(self) -> int:
         return self.replicas * self.shards + self.cpu_replicas
+
+
+def option_sort_key(option: DeploymentOption) -> Tuple:
+    """Deterministic option ordering shared by every planner.
+
+    Cost, then fewest total machines, then fewest shards, then
+    instance-type name, then exact retrieval before ANN, homogeneous
+    before scheduler mixes, single-tenant before co-located fleets
+    ("" sorts first in each case).
+    """
+    return (
+        option.monthly_cost_usd,
+        option.total_machines,
+        option.shards,
+        option.instance_type,
+        option.retrieval or "",
+        option.scheduler or "",
+        option.tenants or "",
+    )
 
 
 @dataclass
@@ -83,23 +106,15 @@ class ScenarioPlan:
         fan-out), then instance-type name, then exact retrieval before any
         ANN variant ("" sorts first) — approximation must *win* on cost,
         never tie its way in — then homogeneous before any heterogeneous
-        scheduler mix, for the same reason. With every option at S=1,
-        exact retrieval and no scheduler this is the pre-sharding
-        ordering.
+        scheduler mix, then single-tenant before any co-located tenant
+        layout, for the same reasons. With every option at S=1, exact
+        retrieval, no scheduler and no tenants this is the pre-sharding
+        ordering. The key is a pure function of each option, so the
+        winner is independent of list insertion order.
         """
         if not self.options:
             return None
-        return min(
-            self.options,
-            key=lambda option: (
-                option.monthly_cost_usd,
-                option.total_machines,
-                option.shards,
-                option.instance_type,
-                option.retrieval or "",
-                option.scheduler or "",
-            ),
-        )
+        return min(self.options, key=option_sort_key)
 
 
 class DeploymentPlanner:

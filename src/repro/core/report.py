@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.planner import ScenarioPlan
+from repro.core.planner import ScenarioPlan, option_sort_key
 from repro.core.spec import Scenario
 from repro.metrics.results import LatencySeries
 
@@ -77,16 +77,7 @@ def render_scenario_table(
                         if candidate.instance_type == instance_name
                     ]
                     if candidates:
-                        option = min(
-                            candidates,
-                            key=lambda o: (
-                                o.monthly_cost_usd,
-                                o.total_machines,
-                                o.shards,
-                                o.retrieval or "",
-                                o.scheduler or "",
-                            ),
-                        )
+                        option = min(candidates, key=option_sort_key)
                 per_model[model] = option
             feasible = {m: o for m, o in per_model.items() if o is not None}
             if not feasible:
@@ -137,6 +128,63 @@ def render_scenario_table(
                 "outage(s); cost includes the availability replicas)"
             )
         lines.append("")
+    return "\n".join(lines)
+
+
+def render_fleet_plan(plan) -> str:
+    """The bin-packing section printed beside Table I (``--tenants``).
+
+    Co-located options with per-tenant p90s, the infeasibility reasons,
+    and the standalone (one deployment per tenant) cost baseline.
+    """
+    lines: List[str] = [f"fleet: {plan.tenancy.describe()}"]
+    lines.append(
+        f"  catalog={plan.catalog_size:,} target={plan.target_rps} req/s"
+    )
+    winner = plan.cheapest()
+    if plan.options:
+        lines.append(
+            f"  {'Instance':<10} {'Repl':>4} {'Cost/month':>11}  "
+            "per-tenant p90/slo (ms)"
+        )
+        for option in sorted(plan.options, key=option_sort_key):
+            marker = "*" if option is winner else " "
+            rows = (option.result.tenancy or {}).get("tenants", {})
+            cells = " ".join(
+                f"{name}={row['p90_ms']:.1f}"
+                + (f"/{row['slo_ms']:g}" if row["slo_ms"] is not None else "")
+                for name, row in rows.items()
+                if row["p90_ms"] is not None
+            )
+            lines.append(
+                f"  {marker}{option.instance_type:<9} {option.replicas:>4} "
+                f"{format_cost(option.monthly_cost_usd):>11}  {cells}"
+            )
+    else:
+        lines.append("  no feasible co-located deployment")
+    for name, reason in plan.infeasible.items():
+        lines.append(f"  {name}: infeasible ({reason})")
+    if plan.standalone:
+        lines.append("  standalone baseline (one deployment per tenant):")
+        for name, option in plan.standalone.items():
+            if option is None:
+                lines.append(f"    {name}: no feasible standalone plan")
+            else:
+                lines.append(
+                    f"    {name}: {option.instance_type} "
+                    f"x{option.replicas} "
+                    f"{format_cost(option.monthly_cost_usd)}"
+                )
+        total = plan.standalone_total_usd
+        if total is not None:
+            lines.append(f"    total {format_cost(total)}")
+        savings = plan.savings_usd
+        if savings is not None:
+            verdict = "saves" if savings >= 0 else "adds"
+            lines.append(
+                f"  co-location {verdict} {format_cost(abs(savings))}/month "
+                "vs isolated deployments"
+            )
     return "\n".join(lines)
 
 

@@ -20,6 +20,7 @@ from repro.loadgen.retry import RetryPolicy
 from repro.serving.admission import AdmissionPolicy
 from repro.serving.fallback import FallbackConfig
 from repro.sharding.config import ShardingConfig
+from repro.tenancy.config import TenancyConfig
 from repro.workload.statistics import WorkloadStatistics
 
 
@@ -110,6 +111,12 @@ class ExperimentSpec:
     #: network legs are charged, and ``zone@T:name=z0`` chaos becomes
     #: meaningful. See ``docs/availability.md``.
     zones: int = 1
+    #: Co-located tenant fleet (None or an empty fleet = the paper's
+    #: single-model serving, bit-identical to a config-less run). Accepts
+    #: a :class:`~repro.tenancy.config.TenancyConfig` or its compact spec
+    #: string (``"a=gru4rec:3,slo=60;b=narm:1,slo=120"``). See
+    #: ``docs/tenancy.md``.
+    tenants: Optional[Union[TenancyConfig, str]] = None
 
     def __post_init__(self):
         if self.execution not in ("jit", "eager", "onnx"):
@@ -140,6 +147,14 @@ class ExperimentSpec:
             object.__setattr__(self, "retrieval", RetrievalConfig.parse(self.retrieval))
         if isinstance(self.scheduler, str):
             object.__setattr__(self, "scheduler", SchedulerConfig.parse(self.scheduler))
+        if isinstance(self.tenants, str):
+            object.__setattr__(self, "tenants", TenancyConfig.parse(self.tenants))
+        if (
+            isinstance(self.tenants, TenancyConfig)
+            and not self.tenants.enabled
+        ):
+            # An empty fleet is the contractual off state.
+            object.__setattr__(self, "tenants", None)
 
     def workload_statistics(self) -> WorkloadStatistics:
         """The provided statistics, or the bol.com-like defaults."""

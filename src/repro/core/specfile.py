@@ -52,6 +52,7 @@ _KNOWN_KEYS = {
     "retrieval",
     "scheduler",
     "zones",
+    "tenants",
 }
 
 
@@ -112,6 +113,7 @@ def spec_from_dict(raw: Dict[str, Any]) -> Tuple[ExperimentSpec, SLO]:
         retrieval=raw.get("retrieval"),
         scheduler=raw.get("scheduler"),
         zones=int(raw.get("zones", 1)),
+        tenants=raw.get("tenants"),
     )
     return spec, slo
 
@@ -165,6 +167,8 @@ def spec_to_dict(spec: ExperimentSpec, slo: SLO = SLO()) -> Dict[str, Any]:
         document["scheduler"] = spec.scheduler.spec_string()
     if spec.zones != 1:
         document["zones"] = spec.zones
+    if spec.tenants is not None:
+        document["tenants"] = spec.tenants.spec_string()
     if spec.workload is not None:
         document["workload"] = {
             "catalog_size": spec.workload.catalog_size,

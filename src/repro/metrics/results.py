@@ -112,6 +112,10 @@ class RunResult:
     #: injected zone outages with their time-to-recovery), present when
     #: the run spread the fleet over ``zones > 1``.
     availability: Optional[Dict] = None
+    #: Multi-tenant fleet report (per-tenant rps/p50/p90/shed/hit-rate
+    #: tallies, shadow mirroring counts, rollout events), present when the
+    #: run co-located a tenant fleet (``--tenants``).
+    tenancy: Optional[Dict] = None
 
     @property
     def error_rate(self) -> float:

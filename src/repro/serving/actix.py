@@ -56,6 +56,7 @@ from repro.simulation import Signal, Simulator
 if TYPE_CHECKING:
     from repro.obs.telemetry import Telemetry
     from repro.obs.trace import Span
+    from repro.tenancy.fleet import TenantServing
 
 
 def _split_payload(payload) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
@@ -124,6 +125,8 @@ class EtudeInferenceServer:
         telemetry: Optional["Telemetry"] = None,
         artifact_version: str = "v0",
         remote_cache: Optional[RemoteCacheTier] = None,
+        tenants: Optional[Dict[str, "TenantServing"]] = None,
+        tenant_fair_depth: int = 64,
     ):
         self.simulator = simulator
         self.device = device
@@ -196,6 +199,34 @@ class EtudeInferenceServer:
         self.ann_probed_lists = 0
         self._ann_query_counter = None
         self._ann_probe_counter = None
+        #: Co-located tenant fleet (default-off; ``docs/tenancy.md``).
+        #: ``None`` — the contractual off state — keeps every path below
+        #: bit-identical to the single-model server. Enabled, each request
+        #: carries a tenant stamp: its own model + service profile + cache
+        #: keyspace, and weighted-fair shedding under overload.
+        self.tenants = tenants
+        self.tenant_fair_depth = tenant_fair_depth
+        #: Small absolute slack over the proportional share, so fairness
+        #: never sheds at trivially shallow queues.
+        self.tenant_fair_slack = 2
+        self.shed_tenant_fair = 0
+        self.shed_by_tenant: Dict[str, int] = {}
+        self._tenant_queued: Optional[Dict[str, int]] = None
+        self._tenant_entitlement: Dict[str, float] = {}
+        if tenants is not None:
+            self._tenant_queued = {name: 0 for name in tenants}
+            self.shed_by_tenant = {name: 0 for name in tenants}
+            primary_weight = sum(
+                serving.config.weight
+                for serving in tenants.values()
+                if not serving.config.shadow
+            )
+            for name, serving in tenants.items():
+                self._tenant_entitlement[name] = (
+                    0.0
+                    if serving.config.shadow or primary_weight <= 0
+                    else serving.config.weight / primary_weight
+                )
         if telemetry is not None:
             labels = {"server": name}
             metrics = telemetry.metrics
@@ -314,6 +345,11 @@ class EtudeInferenceServer:
             # Doomed on arrival: shed before it occupies a queue slot.
             self._shed(request, respond, reason="deadline")
             return
+        if self._tenant_queued is not None and not self._fair_admit(request):
+            # Weighted-fair shedding: this tenant is already over its
+            # entitled share of the backlog — its storm, its sheds.
+            self._shed(request, respond, reason="tenant_fair")
+            return
         if len(self._queue) >= self.profile.max_queue_depth:
             self._shed(request, respond, reason="queue_full")
             return
@@ -326,6 +362,7 @@ class EtudeInferenceServer:
                 "queued", request.request_id, server=self.name
             )
         self._queue.append((request, respond, self.simulator.now))
+        self._note_queued(request)
         self._work_signal.fire()
         if (
             self._linger_wake is not None
@@ -377,7 +414,9 @@ class EtudeInferenceServer:
         """
         cache = self.cache
         now = self.simulator.now
-        key = cache.key_for(request.session_items)
+        key = cache.key_for(
+            request.session_items, version=self._tenant_cache_version(request)
+        )
         value = cache.lookup_local(key, now)
         if value is not MISSING:
             self._serve_cache_hit(request, respond, value, tier="local")
@@ -595,8 +634,14 @@ class EtudeInferenceServer:
             self.shed_deadline += 1
         elif reason == "codel":
             self.shed_codel += 1
+        elif reason == "tenant_fair":
+            self.shed_tenant_fair += 1
         else:
             self.shed_queue_full += 1
+        if self.tenants is not None and request.tenant is not None:
+            self.shed_by_tenant[request.tenant] = (
+                self.shed_by_tenant.get(request.tenant, 0) + 1
+            )
         if self.telemetry is not None:
             counter = self._shed_counters.get(reason)
             if counter is None:
@@ -680,6 +725,7 @@ class EtudeInferenceServer:
         while self._queue:
             entry = policy.pop(self._queue)
             request, respond, arrival = entry
+            self._note_dequeued(request)
             now = self.simulator.now
             if not policy.viable(request.deadline_s, now):
                 self._shed(
@@ -696,7 +742,12 @@ class EtudeInferenceServer:
 
     @property
     def shed_total(self) -> int:
-        return self.shed_deadline + self.shed_codel + self.shed_queue_full
+        return (
+            self.shed_deadline
+            + self.shed_codel
+            + self.shed_queue_full
+            + self.shed_tenant_fair
+        )
 
     def crash(self) -> None:
         """Simulated pod crash: stop accepting, fail everything queued.
@@ -707,6 +758,7 @@ class EtudeInferenceServer:
         self.healthy = False
         while self._queue:
             request, respond, _arrival = self._queue.popleft()
+            self._note_dequeued(request)
             if self.telemetry is not None:
                 span = self._queued_spans.pop(request.request_id, None)
                 if span is not None:
@@ -732,6 +784,70 @@ class EtudeInferenceServer:
 
     def queue_depth(self) -> int:
         return len(self._queue)
+
+    # -- co-located tenants (default-off) ------------------------------------
+
+    def _tenant_serving(self, request: RecommendationRequest):
+        """The request's tenant serving state, or None off-tenancy."""
+        if self.tenants is None or request.tenant is None:
+            return None
+        return self.tenants.get(request.tenant)
+
+    def _tenant_cache_version(
+        self, request: RecommendationRequest
+    ) -> Optional[str]:
+        """Tenant+arm cache keyspace; None = the server's own version."""
+        serving = self._tenant_serving(request)
+        if serving is None:
+            return None
+        return serving.cache_version(request.arm or "stable")
+
+    def _tenant_profile(self, request: RecommendationRequest):
+        """The service profile pricing this request's inference."""
+        serving = self._tenant_serving(request)
+        if serving is None:
+            return self.service_profile
+        return serving.service_profile
+
+    def _note_queued(self, request: RecommendationRequest) -> None:
+        if self._tenant_queued is None or request.tenant is None:
+            return
+        self._tenant_queued[request.tenant] = (
+            self._tenant_queued.get(request.tenant, 0) + 1
+        )
+
+    def _note_dequeued(self, request: RecommendationRequest) -> None:
+        if self._tenant_queued is None or request.tenant is None:
+            return
+        queued = self._tenant_queued.get(request.tenant, 0)
+        self._tenant_queued[request.tenant] = max(0, queued - 1)
+
+    def _fair_admit(self, request: RecommendationRequest) -> bool:
+        """Weighted-fair admission: may this tenant take a queue slot?
+
+        Below ``tenant_fair_depth`` everyone queues freely. Above it, a
+        tenant may only hold its entitled share of the backlog (plus a
+        small slack): a storming tenant sheds against its own share
+        while everyone else's slots stay protected. Shadow tenants have
+        zero entitlement — best-effort work is shed first.
+        """
+        total = len(self._queue)
+        if total < self.tenant_fair_depth or request.tenant is None:
+            return True
+        share = self._tenant_entitlement.get(request.tenant, 0.0)
+        queued = self._tenant_queued.get(request.tenant, 0)
+        return queued + 1 <= share * (total + 1) + self.tenant_fair_slack
+
+    def set_tenant_version(self, name: str, version: str) -> None:
+        """Bump one tenant's artifact version on this replica (rollout).
+
+        Future cache keys of the tenant embed the new version, so its
+        stale entries can never answer again — while every co-tenant's
+        keyspace (and entries) survive untouched.
+        """
+        if self.tenants is None or name not in self.tenants:
+            raise KeyError(f"server {self.name!r} hosts no tenant {name!r}")
+        self.tenants[name].artifact_version = version
 
     @property
     def batch_flushes(self) -> int:
@@ -770,15 +886,17 @@ class EtudeInferenceServer:
             return False
         items = None
         scores = None
-        if self.model is not None:
-            if hasattr(self.model, "recommend_with_scores"):
+        serving = self._tenant_serving(request)
+        model = serving.model if serving is not None else self.model
+        if model is not None:
+            if hasattr(model, "recommend_with_scores"):
                 # Shard replica: score only this pod's catalog slice and
                 # keep the scores — the scatter-gather merge needs them.
-                items, scores = self.model.recommend_with_scores(
+                items, scores = model.recommend_with_scores(
                     request.session_items
                 )
             else:
-                items = self.model.recommend(request.session_items)
+                items = model.recommend(request.session_items)
         self._resolve_flight_ok(
             request, items if scores is None else (items, scores)
         )
@@ -803,12 +921,18 @@ class EtudeInferenceServer:
 
     # -- CPU path -------------------------------------------------------------------
 
-    def _cpu_service_time(self) -> float:
-        """Single-inference time under current worker contention."""
-        base = self.service_profile.latency(1)
-        memory_s = (
-            self.service_profile.bytes_per_item / self.device.weight_bandwidth
-        )
+    def _cpu_service_time(
+        self, profile: Optional[ServiceTimeProfile] = None
+    ) -> float:
+        """Single-inference time under current worker contention.
+
+        ``profile`` prices a specific tenant's model on a co-located
+        replica; the default is the server's own profile (bit-identical
+        to the historical no-argument call).
+        """
+        profile = profile if profile is not None else self.service_profile
+        base = profile.latency(1)
+        memory_s = profile.bytes_per_item / self.device.weight_bandwidth
         other_s = max(base - memory_s, 0.0)
         contention = 1.0
         if self.device.shared_bandwidth:
@@ -824,6 +948,7 @@ class EtudeInferenceServer:
                 continue
             if self.admission is None:
                 request, respond, arrival = self._queue.popleft()
+                self._note_dequeued(request)
             else:
                 entry = self._next_viable()
                 if entry is None:
@@ -836,7 +961,7 @@ class EtudeInferenceServer:
                 if queued_span is not None:
                     queued_span.finish(at=started)
             self._active_workers += 1
-            inference_s = self._cpu_service_time()
+            inference_s = self._cpu_service_time(self._tenant_profile(request))
             http_s = self._http_overhead()
             yield http_s + inference_s
             self._active_workers -= 1
@@ -873,8 +998,35 @@ class EtudeInferenceServer:
 
     # -- GPU path ---------------------------------------------------------------------
 
-    def _gpu_batch_time(self, batch_size: int) -> float:
+    def _gpu_batch_time(self, batch_size: int, batch=None) -> float:
+        """Device time for one flush (a single noise draw either way).
+
+        A multi-tenant flush may mix models: the device runs one kernel
+        sequence per (tenant, arm) group, so the batch costs the sum of
+        each group's batched latency under its own profile. Off-tenancy
+        (or when the whole batch is one tenant's) this reduces to the
+        single-profile expression, with the identical RNG draw.
+        """
         noise = float(self.rng.lognormal(mean=0.0, sigma=0.08))
+        if self.tenants is not None and batch is not None:
+            groups: Dict[Optional[Tuple[str, str]], int] = {}
+            for request, _respond, _arrival in batch:
+                serving = self._tenant_serving(request)
+                key = (
+                    None
+                    if serving is None
+                    else (serving.name, request.arm or "stable")
+                )
+                groups[key] = groups.get(key, 0) + 1
+            base = 0.0
+            for key, count in groups.items():
+                profile = (
+                    self.service_profile
+                    if key is None
+                    else self.tenants[key[0]].service_profile
+                )
+                base += profile.latency(count)
+            return base * noise * self.slowdown
         return self.service_profile.latency(batch_size) * noise * self.slowdown
 
     def _gpu_executor(self):
@@ -912,6 +1064,8 @@ class EtudeInferenceServer:
                 continue
             if self.admission is None:
                 batch = [self._queue.popleft() for _ in range(take)]
+                for entry in batch:
+                    self._note_dequeued(entry[0])
             else:
                 # Assemble the batch from still-viable requests only:
                 # doomed work must not occupy a GPU batch slot.
@@ -942,7 +1096,7 @@ class EtudeInferenceServer:
                     continue
                 take = len(batch)
             started = self.simulator.now
-            batch_time = self._gpu_batch_time(take)
+            batch_time = self._gpu_batch_time(take, batch)
             yield batch_time
             self._batch_counter += 1
             self.batched_requests += take

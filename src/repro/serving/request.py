@@ -29,6 +29,12 @@ class RecommendationRequest:
     #: the load generator from the run's SLO deadline; None = no deadline,
     #: the paper's behaviour). Admission control sheds work past it.
     deadline_s: Optional[float] = None
+    #: Tenant this request belongs to (stamped by the traffic splitter on
+    #: tenancy-enabled runs; None = the single-tenant paper harness).
+    tenant: Optional[str] = None
+    #: Traffic arm within the tenant ("stable" / "canary"); only
+    #: meaningful when ``tenant`` is set.
+    arm: Optional[str] = None
 
     @property
     def session_length(self) -> int:

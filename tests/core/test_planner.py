@@ -105,3 +105,70 @@ class TestCheapestTieBreak:
 
         plan = ScenarioPlan(scenario=Scenario("e", 1, 1), model="stamp")
         assert plan.cheapest() is None
+
+
+class TestCombinedDimensionTieBreak:
+    """Regression for the full option space: when sharded, scheduler-mixed,
+    ANN and co-located-tenant options tie on cost and machine count, the
+    winner must be the *plainest* deployment (fewest shards, then name,
+    then exact retrieval, then homogeneous, then single-tenant) and must
+    not depend on list insertion order."""
+
+    def _tied_options(self):
+        from repro.core.planner import DeploymentOption
+
+        # All cost 100, all 2 machines total — only the qualitative
+        # dimensions differ.
+        return [
+            DeploymentOption(
+                "CPU", 2, 100.0, result=None,
+                tenants="a=stamp:1;b=stamp:1",
+            ),
+            DeploymentOption(
+                "CPU", 2, 100.0, result=None, scheduler="cpu=1",
+            ),
+            DeploymentOption(
+                "CPU", 2, 100.0, result=None, retrieval="ivf:nlist=32",
+            ),
+            DeploymentOption("CPU", 1, 100.0, result=None, shards=2),
+            DeploymentOption("CPU", 2, 100.0, result=None),  # the winner
+        ]
+
+    def _fingerprint(self, option):
+        return (
+            option.instance_type, option.replicas, option.shards,
+            option.retrieval, option.scheduler, option.tenants,
+        )
+
+    def test_plainest_option_wins(self):
+        from repro.core.planner import option_sort_key
+
+        winner = min(self._tied_options(), key=option_sort_key)
+        assert self._fingerprint(winner) == ("CPU", 2, 1, None, None, None)
+
+    def test_order_independent_across_planners(self):
+        import itertools
+
+        from repro.core.planner import ScenarioPlan
+        from repro.tenancy import TenancyConfig
+        from repro.tenancy.placement import FleetPlan
+
+        options = self._tied_options()
+        scenario = Scenario("tied", 10_000, 100)
+        fleet = TenancyConfig.parse("a=stamp:1;b=stamp:1")
+        answers = set()
+        for permutation in itertools.permutations(options):
+            shuffled = list(permutation)
+            scenario_winner = ScenarioPlan(
+                scenario=scenario, model="stamp", options=shuffled
+            ).cheapest()
+            fleet_winner = FleetPlan(
+                tenancy=fleet, catalog_size=10_000, target_rps=100,
+                options=shuffled,
+            ).cheapest()
+            # Both planners share one ordering contract.
+            assert self._fingerprint(fleet_winner) == self._fingerprint(
+                scenario_winner
+            )
+            answers.add(self._fingerprint(scenario_winner))
+        assert answers == {("CPU", 2, 1, None, None, None)}

@@ -1,0 +1,129 @@
+"""The ``--tenants`` grammar: parsing, validation, round-tripping."""
+
+import pytest
+
+from repro.tenancy import DEFAULT_FAIR_DEPTH, TenancyConfig, TenantConfig
+
+
+class TestTenantSegment:
+    def test_minimal_segment(self):
+        tenant = TenantConfig.parse("home=gru4rec:3")
+        assert tenant.name == "home"
+        assert tenant.model == "gru4rec"
+        assert tenant.weight == 3.0
+        assert tenant.slo_ms is None
+        assert not tenant.shadow
+        assert tenant.canary_fraction == 0.0
+        assert tenant.burst == 1.0
+        assert tenant.rollout_at_s is None
+
+    def test_full_segment(self):
+        tenant = TenantConfig.parse(
+            "search=narm:1.5,slo=120,canary=0.1,burst=4,rollout=30"
+        )
+        assert tenant.slo_ms == 120.0
+        assert tenant.canary_fraction == 0.1
+        assert tenant.burst == 4.0
+        assert tenant.rollout_at_s == 30.0
+
+    def test_shadow_segment(self):
+        tenant = TenantConfig.parse("mirror=gru4rec:0.2,shadow")
+        assert tenant.shadow
+        assert tenant.weight == 0.2  # the mirror fraction
+
+    def test_segment_round_trips(self):
+        texts = [
+            "home=gru4rec:3",
+            "search=narm:1.5,slo=120,canary=0.1,burst=4,rollout=30",
+            "mirror=gru4rec:0.2,slo=200,shadow",
+        ]
+        for text in texts:
+            tenant = TenantConfig.parse(text)
+            assert TenantConfig.parse(tenant.spec_string()) == tenant
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "gru4rec:3",  # no name
+            "home=gru4rec",  # no weight
+            "home=gru4rec:lots",  # weight not a number
+            "home=gru4rec:3,turbo=9",  # unknown option
+            "home=gru4rec:3,slo=fast",  # option value not a number
+            "Home=gru4rec:3",  # name violates the grammar
+            "home=gru4rec:0",  # zero weight on a primary
+            "home=gru4rec:-1",
+            "home=gru4rec:3,slo=0",
+            "home=gru4rec:3,canary=1.0",  # canary fraction must be < 1
+            "home=gru4rec:3,burst=0",
+            "home=gru4rec:3,rollout=-5",
+            "mirror=gru4rec:1.5,shadow",  # mirror fraction > 1
+            "mirror=gru4rec:0.2,shadow,canary=0.1",  # shadow has no canary
+        ],
+    )
+    def test_invalid_segments_raise(self, text):
+        with pytest.raises(ValueError):
+            TenantConfig.parse(text)
+
+
+class TestFleetString:
+    def test_empty_string_is_disabled(self):
+        fleet = TenancyConfig.parse("")
+        assert not fleet.enabled
+        assert fleet.tenants == ()
+
+    def test_fleet_with_fair_depth(self):
+        fleet = TenancyConfig.parse(
+            "home=gru4rec:3,slo=60;search=narm:1,slo=120;"
+            "mirror=gru4rec:0.1,shadow;fair=16"
+        )
+        assert fleet.enabled
+        assert [t.name for t in fleet.tenants] == ["home", "search", "mirror"]
+        assert [t.name for t in fleet.primaries] == ["home", "search"]
+        assert [t.name for t in fleet.shadows] == ["mirror"]
+        assert fleet.fair_depth == 16
+        assert fleet.models() == ("gru4rec", "narm")
+
+    def test_fleet_round_trips(self):
+        text = (
+            "home=gru4rec:3,slo=60;search=narm:1,slo=120,canary=0.1;"
+            "mirror=gru4rec:0.1,shadow;fair=16"
+        )
+        fleet = TenancyConfig.parse(text)
+        assert TenancyConfig.parse(fleet.spec_string()) == fleet
+        # The default fair depth is omitted from the canonical string.
+        assert "fair" not in TenancyConfig.parse("a=stamp:1").spec_string()
+        assert TenancyConfig.parse("a=stamp:1").fair_depth == DEFAULT_FAIR_DEPTH
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "home=gru4rec:3;home=narm:1",  # duplicate names
+            "mirror=gru4rec:0.1,shadow",  # no primary tenant
+            "home=gru4rec:3;fair=lots",  # fair depth not an integer
+            "home=gru4rec:3;fair=0",
+            "home=gru4rec:3;turbo=9",  # unknown fleet option
+        ],
+    )
+    def test_invalid_fleets_raise(self, text):
+        with pytest.raises(ValueError):
+            TenancyConfig.parse(text)
+
+    def test_entitlements_normalize_over_primaries(self):
+        fleet = TenancyConfig.parse(
+            "a=stamp:3;b=stamp:1;m=stamp:0.5,shadow"
+        )
+        assert fleet.entitlement("a") == pytest.approx(0.75)
+        assert fleet.entitlement("b") == pytest.approx(0.25)
+        assert fleet.entitlement("m") == 0.0  # shadow work is best-effort
+
+    def test_burst_scales_offered_not_entitled(self):
+        fleet = TenancyConfig.parse("a=stamp:1,burst=4;b=stamp:1")
+        assert fleet.entitlement("a") == pytest.approx(0.5)
+        assert fleet.traffic_weight("a") == pytest.approx(4.0)
+        assert fleet.traffic_weight("b") == pytest.approx(1.0)
+
+    def test_describe_names_every_tenant(self):
+        fleet = TenancyConfig.parse("a=stamp:3,slo=60;m=stamp:0.1,shadow")
+        text = fleet.describe()
+        assert "a(stamp, 3, slo 60ms)" in text
+        assert "shadow 0.1" in text

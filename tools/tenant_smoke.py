@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Tenant-fleet smoke test (``make tenant-smoke``).
+
+Four small deterministic drills against the multi-tenant serving path,
+asserting the correctness contract of ``docs/tenancy.md``:
+
+- **Isolation** — two tenants with *different* models co-located on one
+  server: every answer a tenant's requests receive is bit-identical to
+  the answer that tenant's model produces when it is served alone on a
+  single-model server (co-location changes capacity accounting, never
+  recommendations).
+- **Shadow** — a shadow tenant's mirrored traffic is scored server-side
+  but produces zero client-visible responses.
+- **Canary rollout** — a full experiment with a canary arm and a
+  rolling version update completes the rollout on every pod with no
+  5xx.
+- **Fairness** — a tenant storming at 4x its entitlement on a
+  saturated server cannot starve its co-tenant: the victim keeps its
+  SLO and the sheds concentrate on the storm.
+
+Exits non-zero with a diagnostic on any violation, so ``make test``
+fails loudly if tenancy correctness regresses.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+import numpy as np  # noqa: E402
+
+from repro.core import ExperimentRunner, ExperimentSpec, HardwareSpec  # noqa: E402
+from repro.core.infra_test import run_infra_test  # noqa: E402
+from repro.hardware import CPU_E2, LatencyModel  # noqa: E402
+from repro.models import ModelConfig, create_model  # noqa: E402
+from repro.serving import AdmissionPolicy, EtudeInferenceServer, FallbackConfig  # noqa: E402
+from repro.serving.request import HTTP_OK, RecommendationRequest  # noqa: E402
+from repro.simulation import Simulator  # noqa: E402
+from repro.tenancy import TenancyConfig, TenantServing, TrafficSplitter  # noqa: E402
+from repro.tensor.ops import CostRecord, CostTrace  # noqa: E402
+from repro.workload.statistics import WorkloadStatistics  # noqa: E402
+from repro.workload.synthetic import SyntheticWorkloadGenerator  # noqa: E402
+
+CATALOG = 2_000
+NUM_REQUESTS = 300
+SPACING_S = 0.002
+SEED = 31
+MODELS = {"a": "stamp", "b": "narm"}
+
+
+def _profile():
+    trace = CostTrace()
+    trace.append(CostRecord(op="linear", param_bytes=1e6, write_bytes=1e5))
+    return LatencyModel(CPU_E2.device).profile(trace)
+
+
+def _click_stream():
+    workload = SyntheticWorkloadGenerator(
+        WorkloadStatistics(
+            catalog_size=CATALOG, alpha_length=1.85, alpha_clicks=1.85
+        ),
+        seed=SEED,
+    )
+    prefixes = []
+    for session in workload.iter_sessions():
+        for click_end in range(1, len(session) + 1):
+            prefixes.append(np.asarray(session[:click_end], dtype=np.int64))
+            if len(prefixes) == NUM_REQUESTS:
+                return prefixes
+
+
+def _models():
+    return {
+        name: create_model(kind, ModelConfig.for_catalog(CATALOG, top_k=5))
+        for name, kind in MODELS.items()
+    }
+
+
+def _run_colocated(fleet_text):
+    """The fleet on one shared server; returns per-tenant answers keyed
+    by session prefix, plus the splitter for shadow accounting."""
+    simulator = Simulator()
+    config = TenancyConfig.parse(fleet_text)
+    profile = _profile()
+    models = _models()
+    tenants = {}
+    for tenant in config.tenants:
+        tenants[tenant.name] = TenantServing(
+            config=tenant,
+            model=models.get(tenant.name, models["a"]),
+            service_profile=profile,
+            artifact_version=f"smoke-{tenant.name}",
+        )
+    server = EtudeInferenceServer(
+        simulator, CPU_E2.device, profile,
+        np.random.default_rng(SEED), tenants=tenants,
+    )
+    splitter = TrafficSplitter(config, server.submit, simulator)
+    answers = {name: {} for name in tenants}
+    delivered = []
+
+    def driver():
+        for request_id, prefix in enumerate(_click_stream()):
+            request = RecommendationRequest(
+                request_id=request_id,
+                session_id=request_id,
+                session_items=prefix,
+                sent_at=simulator.now,
+            )
+
+            def deliver(response, req=request):
+                delivered.append(response)
+                if response.status == HTTP_OK:
+                    answers[req.tenant][req.session_items.tobytes()] = (
+                        response.items
+                    )
+
+            splitter.submit(request, deliver)
+            yield SPACING_S
+
+    simulator.spawn(driver())
+    simulator.run()
+    return answers, delivered, splitter
+
+
+def _run_alone(model_kind, prefixes):
+    """One tenant's model served alone on a plain single-model server."""
+    simulator = Simulator()
+    model = create_model(model_kind, ModelConfig.for_catalog(CATALOG, top_k=5))
+    server = EtudeInferenceServer(
+        simulator, CPU_E2.device, _profile(),
+        np.random.default_rng(SEED), model=model,
+    )
+    answers = {}
+
+    def driver():
+        for request_id, prefix in enumerate(prefixes):
+            request = RecommendationRequest(
+                request_id=request_id,
+                session_id=request_id,
+                session_items=prefix,
+                sent_at=simulator.now,
+            )
+
+            def deliver(response, key=prefix.tobytes()):
+                if response.status == HTTP_OK:
+                    answers[key] = response.items
+
+            server.submit(request, deliver)
+            yield SPACING_S
+
+    simulator.spawn(driver())
+    simulator.run()
+    return answers
+
+
+def check_isolation(failures):
+    answers, delivered, _ = _run_colocated("a=stamp:3;b=narm:1")
+    if len(delivered) != NUM_REQUESTS:
+        failures.append(
+            f"isolation: {len(delivered)} responses for "
+            f"{NUM_REQUESTS} requests"
+        )
+    prefixes = _click_stream()
+    compared = 0
+    for name, kind in MODELS.items():
+        alone = _run_alone(kind, prefixes)
+        for key, items in answers[name].items():
+            compared += 1
+            if not np.array_equal(items, alone[key]):
+                failures.append(
+                    f"isolation: tenant {name!r} answer differs from "
+                    f"{kind} served alone"
+                )
+                break
+    print(
+        f"tenant smoke: isolation — {compared} co-located answers "
+        "bit-identical to each tenant served alone"
+    )
+
+
+def check_shadow(failures):
+    answers, delivered, splitter = _run_colocated(
+        "a=stamp:1;m=stamp:0.5,shadow"
+    )
+    mirrored = splitter.shadow_mirrored["m"]
+    completed = splitter.shadow_completed["m"]
+    if mirrored == 0 or completed != mirrored:
+        failures.append(
+            f"shadow: {mirrored} mirrored but {completed} scored"
+        )
+    if len(delivered) != NUM_REQUESTS:
+        failures.append(
+            f"shadow: {len(delivered)} client responses for "
+            f"{NUM_REQUESTS} client requests (shadow work leaked)"
+        )
+    print(
+        f"tenant smoke: shadow — {mirrored} mirrored, {completed} scored, "
+        "0 client-visible"
+    )
+
+
+def check_canary_rollout(failures):
+    result = ExperimentRunner(seed=SEED).run(
+        ExperimentSpec(
+            model="stamp", catalog_size=10_000, target_rps=40,
+            hardware=HardwareSpec("CPU", 2), duration_s=25.0,
+            tenants="a=stamp:3,canary=0.2,rollout=5;b=stamp:1",
+        )
+    )
+    (rollout,) = result.tenancy["rollouts"]
+    if not rollout["completed"] or rollout["pods_updated"] != 2:
+        failures.append(f"canary rollout did not complete: {rollout}")
+    if result.error_requests:
+        failures.append(
+            f"canary rollout: {result.error_requests} non-200 responses"
+        )
+    row = result.tenancy["tenants"]["a"]
+    if row["canary_requests"] == 0:
+        failures.append("canary rollout: the canary arm served nothing")
+    print(
+        f"tenant smoke: rollout — {rollout['pods_updated']} pods to "
+        f"{rollout['events'][0]['version']!r}, "
+        f"{row['canary_requests']} canary requests, 0 errors"
+    )
+
+
+def check_fairness(failures):
+    slo_ms = 50.0
+    result = run_infra_test(
+        "actix", target_rps=8_000, duration_s=10.0, seed=7,
+        slo_deadline_s=slo_ms / 1000.0,
+        admission=AdmissionPolicy(slack_s=0.01),
+        fallback=FallbackConfig(),
+        tenants=TenancyConfig.parse(
+            f"a=noop:1,slo={slo_ms:g},burst=4;b=noop:1,slo={slo_ms:g};fair=16"
+        ),
+    )
+    rows = result.tenancy["tenants"]
+    victim = rows["b"]
+    if victim["p90_ms"] is None or victim["p90_ms"] > slo_ms:
+        failures.append(
+            f"fairness: victim p90 {victim['p90_ms']} ms over the "
+            f"{slo_ms:g} ms SLO during the storm"
+        )
+    if rows["a"]["shed"] == 0:
+        failures.append("fairness: the 4x storm never triggered shedding")
+    storm_rate = rows["a"]["shed"] / max(1, rows["a"]["requests"])
+    victim_rate = victim["shed"] / max(1, victim["requests"])
+    if storm_rate <= victim_rate:
+        failures.append(
+            f"fairness: storm shed rate {storm_rate:.3f} not above the "
+            f"victim's {victim_rate:.3f}"
+        )
+    print(
+        f"tenant smoke: fairness — victim p90 {victim['p90_ms']:.1f} ms "
+        f"(SLO {slo_ms:g} ms), sheds {rows['a']['shed']} storm vs "
+        f"{victim['shed']} victim"
+    )
+
+
+def main() -> int:
+    failures = []
+    check_isolation(failures)
+    check_shadow(failures)
+    check_canary_rollout(failures)
+    check_fairness(failures)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("tenant smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
