@@ -183,18 +183,22 @@ def test_cache_aware_planning(benchmark):
     """Table-I-style planning: the cache-aware planner's verified plan for
     Fashion-on-CPU costs no more than the cache-less plan."""
     scenario = Scenario("Fashion", 1_000_000, 500)
+    # Floor at 20 s: the TIMEPROP ramp only offers the target rate in its
+    # final ticks, and the smoke-mode 15 s run leaves a single at-target
+    # window whose presence flips with provisioning jitter at this seed.
+    plan_duration_s = max(DURATION_S / 2, 20.0)
 
     def plan_both():
         plain = DeploymentPlanner(
             runner=ExperimentRunner(seed=73),
             slo=SLO(p90_latency_ms=50.0),
-            duration_s=DURATION_S / 2,
+            duration_s=plan_duration_s,
             max_replicas=6,
         )
         cached = DeploymentPlanner(
             runner=ExperimentRunner(seed=73),
             slo=SLO(p90_latency_ms=50.0),
-            duration_s=DURATION_S / 2,
+            duration_s=plan_duration_s,
             max_replicas=6,
             cache=CacheConfig(capacity=65536, window=2, ttl_s=0.0),
         )

@@ -7,7 +7,7 @@ profile and which diverge. This bench regenerates those per-second series
 for a representative deployment per (scenario, instance type).
 """
 
-from conftest import DURATION_S, REPETITIONS, experiment_runner, run_once
+from conftest import DURATION_S, REPETITIONS, experiment_runner, run_grid, run_once
 
 from repro.core import ExperimentSpec, HardwareSpec
 from repro.core.report import render_latency_series
@@ -23,30 +23,31 @@ FIG4_PANELS = (
 
 
 def test_fig4_series(benchmark, experiment_runner):
-    outcomes = {}
+    # Every panel cell is an independent deployment — exactly the grid
+    # shape the execution backend fans out (serial by default; set
+    # ETUDE_BACKEND=mp to parallelize with bit-identical series).
+    cells = [
+        (
+            (scenario, instance, replicas, model),
+            ExperimentSpec(
+                model=model,
+                catalog_size=catalog,
+                target_rps=rps,
+                hardware=HardwareSpec(instance, replicas),
+                duration_s=DURATION_S,
+            ),
+        )
+        for scenario, catalog, rps, deployments in FIG4_PANELS
+        for instance, replicas in deployments
+        for model in HEALTHY_MODELS
+    ]
 
     def sweep():
-        for scenario, catalog, rps, deployments in FIG4_PANELS:
-            for instance, replicas in deployments:
-                for model in HEALTHY_MODELS:
-                    spec = ExperimentSpec(
-                        model=model,
-                        catalog_size=catalog,
-                        target_rps=rps,
-                        hardware=HardwareSpec(instance, replicas),
-                        duration_s=DURATION_S,
-                    )
-                    try:
-                        result = experiment_runner.run_repeated(
-                            spec, repetitions=REPETITIONS
-                        )
-                    except Exception as error:  # DeploymentError -> infeasible
-                        outcomes[(scenario, instance, replicas, model)] = error
-                        continue
-                    outcomes[(scenario, instance, replicas, model)] = result
-        return outcomes
+        return run_grid(
+            experiment_runner, cells, repetitions=REPETITIONS
+        )
 
-    run_once(benchmark, sweep)
+    outcomes = run_once(benchmark, sweep)
 
     print()
     for scenario, catalog, rps, deployments in FIG4_PANELS:

@@ -1,0 +1,159 @@
+"""PAR — serial-vs-multiprocessing wall clock for a planner sweep.
+
+Runs an identical >= 16-candidate deployment-plan sweep on the serial
+backend and on multiprocessing pools (2 workers, then one per core),
+asserting the plans are bit-identical before comparing wall clocks —
+speed that changes the answer is worthless. The trajectory lands in
+``BENCH_parallel.json`` so future PRs can see whether the parallel path
+keeps paying for itself.
+
+Interpretation notes:
+
+- every sweep starts from a cold registry (fresh runner, fresh worker
+  state), so serial and mp both pay full model tracing; nothing leaks
+  between timed sweeps;
+- on hosts with few cores, mp *loses* to serial — workers re-trace
+  models the serial sweep traces once, and fork/pickle overhead is pure
+  tax. The >= 2x speedup expectation only applies on >= 4 cores
+  (docs/parallelism.md, "when mp loses").
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import REPETITIONS, SMOKE, run_once
+
+from repro.core import DeploymentPlanner
+from repro.core.experiment import ExperimentRunner
+from repro.core.registry import AssetRegistry
+from repro.core.spec import Scenario
+from repro.hardware.instances import instance_by_name
+
+SCENARIO = Scenario("parallel-sweep", 20_000, 60)
+MODELS = ("gru4rec", "narm")
+INSTANCES = ("CPU", "GPU-T4")
+SHARD_COUNTS = (1, 2, 4, 8)  # 2 models x 2 instances x 4 = 16 candidates
+DURATION_S = 15.0 if SMOKE else 45.0
+SEED = 20240704
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _sweep(backend_spec):
+    """One cold full sweep; returns (fingerprint, wall_s)."""
+    planner = DeploymentPlanner(
+        runner=ExperimentRunner(registry=AssetRegistry(), seed=SEED),
+        duration_s=DURATION_S,
+        max_replicas=4,
+        repetitions=REPETITIONS,
+        shard_counts=SHARD_COUNTS,
+        backend=backend_spec,
+    )
+    instances = [instance_by_name(name) for name in INSTANCES]
+    started = time.perf_counter()
+    plans = planner.plan(SCENARIO, list(MODELS), instances=instances)
+    wall_s = time.perf_counter() - started
+    fingerprint = json.dumps(
+        {
+            model: {
+                "options": [
+                    (
+                        option.instance_type,
+                        option.replicas,
+                        option.shards,
+                        option.monthly_cost_usd,
+                        option.result.p90_at_target_ms,
+                        option.result.total_requests,
+                        option.result.ok_requests,
+                    )
+                    for option in plan.options
+                ],
+                "infeasible": list(plan.infeasible.items()),
+            }
+            for model, plan in plans.items()
+        },
+        sort_keys=True,
+    )
+    return fingerprint, wall_s
+
+
+def test_parallel_speedup(benchmark):
+    cores = os.cpu_count() or 1
+    candidates = len(MODELS) * len(INSTANCES) * len(SHARD_COUNTS)
+    assert candidates >= 16
+
+    timings = {}
+    fingerprints = {}
+
+    def all_sweeps():
+        for spec in ("serial", "mp:workers=2", "mp"):
+            fingerprints[spec], timings[spec] = _sweep(spec)
+        return timings
+
+    run_once(benchmark, all_sweeps)
+
+    print()
+    print(
+        f"=== PAR {candidates} candidates, duration {DURATION_S:g} s, "
+        f"{cores} host core(s)"
+    )
+    runs = []
+    serial_s = timings["serial"]
+    for spec, wall_s in timings.items():
+        speedup = serial_s / wall_s if wall_s > 0 else float("inf")
+        workers = (
+            1 if spec == "serial" else (2 if spec == "mp:workers=2" else cores)
+        )
+        identical = fingerprints[spec] == fingerprints["serial"]
+        runs.append(
+            {
+                "backend": spec,
+                "workers": workers,
+                "wall_s": round(wall_s, 3),
+                "speedup_vs_serial": round(speedup, 3),
+                "identical_to_serial": identical,
+            }
+        )
+        print(
+            f"  {spec:14s} workers={workers:<2d} wall={wall_s:7.2f} s  "
+            f"speedup={speedup:5.2f}x  identical={identical}"
+        )
+
+    # Determinism is non-negotiable on every host; speed is conditional.
+    for run in runs:
+        assert run["identical_to_serial"], run["backend"]
+    best_speedup = max(run["speedup_vs_serial"] for run in runs[1:])
+    if cores >= 4:
+        assert best_speedup >= 2.0, (
+            f"expected >= 2x on a {cores}-core host, got {best_speedup:.2f}x"
+        )
+
+    benchmark.extra_info["candidates"] = candidates
+    benchmark.extra_info["host_cores"] = cores
+    benchmark.extra_info["best_speedup"] = best_speedup
+
+    if not SMOKE:
+        RESULTS_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "parallel",
+                    "scenario": {
+                        "name": SCENARIO.name,
+                        "catalog_size": SCENARIO.catalog_size,
+                        "target_rps": SCENARIO.target_rps,
+                    },
+                    "models": list(MODELS),
+                    "instances": list(INSTANCES),
+                    "shard_counts": list(SHARD_COUNTS),
+                    "candidates": candidates,
+                    "duration_s": DURATION_S,
+                    "repetitions": REPETITIONS,
+                    "host_cores": cores,
+                    "runs": runs,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {RESULTS_PATH.name}")

@@ -11,7 +11,7 @@ models, printing the Table I layout. Paper findings to reproduce:
       infeasible on T4s.
 """
 
-from conftest import DURATION_S, REPETITIONS, experiment_runner, run_once
+from conftest import DURATION_S, REPETITIONS, experiment_runner, grid_backend, run_once
 
 from repro.core import DeploymentPlanner, SCENARIOS
 from repro.core.report import render_scenario_table
@@ -20,11 +20,14 @@ from repro.models import HEALTHY_MODELS
 
 
 def test_table1(benchmark, experiment_runner):
+    # Candidate evaluations fan out on the execution backend (serial by
+    # default; ETUDE_BACKEND=mp parallelizes with a bit-identical table).
     planner = DeploymentPlanner(
         runner=experiment_runner,
         duration_s=DURATION_S,
         max_replicas=8,
         repetitions=REPETITIONS,
+        backend=grid_backend(),
     )
 
     def plan_all():

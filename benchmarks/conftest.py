@@ -38,3 +38,51 @@ def experiment_runner():
 def run_once(benchmark, fn):
     """Time one full regeneration of an artifact (no repetition rounds)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def grid_backend(spec=None):
+    """The execution backend benchmark grids fan out on.
+
+    Defaults to the ``ETUDE_BACKEND`` env var, then serial — so
+    ``ETUDE_BACKEND=mp make bench`` parallelizes every wired grid while
+    the artifacts stay bit-identical (docs/parallelism.md).
+    """
+    from repro.exec import make_backend
+
+    return make_backend(spec)
+
+
+def run_grid(runner, cells, repetitions=1, backend=None):
+    """Run independent keyed ExperimentSpecs on the execution backend.
+
+    ``cells`` is an iterable of ``(key, spec)``; returns ``{key: value}``
+    merged in submission order, where a value is a RunResult or — for a
+    cell that cannot deploy — a DeploymentError instance, mirroring what
+    a serial try/except around ``runner.run_repeated`` would have kept.
+    """
+    from repro.cluster.kubernetes import DeploymentError
+    from repro.exec import ExecTask, make_backend
+
+    backend = make_backend(backend)
+    tasks = [
+        ExecTask(
+            key=key,
+            kind="experiment_run",
+            payload={
+                "spec": spec,
+                "seed": runner.seed,
+                "repetitions": repetitions,
+            },
+        )
+        for key, spec in cells
+    ]
+    context = None if backend.config.parallel else runner
+    results = {}
+    for outcome in backend.run_tasks(tasks, context=context):
+        if outcome.memos:
+            runner.registry.absorb_memos(outcome.memos)
+        value = outcome.value
+        if isinstance(value, dict) and "deployment_error" in value:
+            value = DeploymentError(value["deployment_error"])
+        results[outcome.key] = value
+    return results

@@ -29,6 +29,7 @@ from repro.core import (
 )
 from repro.core.report import render_latency_series, render_scenario_table
 from repro.core.spec import Scenario
+from repro.exec.backend import ExecTask, make_backend
 from repro.hardware.clouds import cloud_catalog
 from repro.hardware.instances import instance_by_name
 from repro.models import BENCHMARK_MODELS, HEALTHY_MODELS, MODEL_REGISTRY
@@ -90,6 +91,7 @@ def _add_run_command(subparsers) -> None:
     _add_scheduler_flag(parser)
     _add_zones_flag(parser)
     _add_tenants_flag(parser)
+    _add_backend_flag(parser)
 
 
 def _add_drill_command(subparsers) -> None:
@@ -166,6 +168,7 @@ def _add_plan_command(subparsers) -> None:
         "replicas; default 0 = single-domain planning)",
     )
     _add_tenants_flag(parser)
+    _add_backend_flag(parser)
 
 
 def _add_compare_command(subparsers) -> None:
@@ -291,6 +294,17 @@ def _add_shards_flag(parser) -> None:
     )
 
 
+def _add_backend_flag(parser) -> None:
+    parser.add_argument(
+        "--backend", default=None, metavar="SPEC",
+        help="execution backend for independent candidate evaluations "
+        "and multi-job spec files: 'serial' (default) or "
+        "'mp[:workers=N]' (process pool, N=0 or omitted means one "
+        "worker per core); results are bit-identical either way. "
+        "Overrides the ETUDE_BACKEND env var (docs/parallelism.md)",
+    )
+
+
 def _add_zones_flag(parser) -> None:
     parser.add_argument(
         "--zones", type=int, default=None, metavar="N",
@@ -382,6 +396,14 @@ def _parse_retrieval(args):
         return None
     try:
         return RetrievalConfig.parse(args.retrieval)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _parse_backend(args):
+    """Backend instance from the --backend flag (or ETUDE_BACKEND)."""
+    try:
+        return make_backend(getattr(args, "backend", None))
     except ValueError as error:
         raise SystemExit(str(error))
 
@@ -879,10 +901,48 @@ def _cmd_run(args, out) -> int:
             )
         ]
 
+    # Independent jobs of a multi-job spec file can fan out to the
+    # execution backend; results come back in job order so the rendered
+    # report is byte-identical to a serial run. Tracing stays serial —
+    # a Telemetry bundle is live in-process state, not a picklable task
+    # payload.
+    precomputed = None
+    backend = _parse_backend(args)
+    if backend.config.parallel and len(jobs) > 1:
+        if _make_telemetry(args) is not None:
+            out.write(
+                "note: --trace forces the serial backend "
+                "(spans are recorded in-process)\n"
+            )
+        else:
+            tasks = [
+                ExecTask(
+                    key=("experiment_run", index),
+                    kind="experiment_run",
+                    payload={"spec": spec, "seed": runner.seed},
+                )
+                for index, (spec, _slo) in enumerate(jobs)
+            ]
+            precomputed = []
+            for outcome in backend.run_tasks(tasks):
+                if outcome.memos:
+                    runner.registry.absorb_memos(outcome.memos)
+                value = outcome.value
+                if isinstance(value, dict) and "deployment_error" in value:
+                    # Same failure surface as the serial path, which
+                    # lets runner.run's DeploymentError propagate.
+                    from repro.cluster.kubernetes import DeploymentError
+
+                    raise DeploymentError(value["deployment_error"])
+                precomputed.append(value)
+
     all_ok = True
     for index, (spec, slo) in enumerate(jobs):
         telemetry = _make_telemetry(args)
-        result = runner.run(spec, telemetry=telemetry)
+        if precomputed is not None:
+            result = precomputed[index]
+        else:
+            result = runner.run(spec, telemetry=telemetry)
         if args.series and result.series is not None:
             out.write(
                 render_latency_series(result.series, spec.model, every=10) + "\n"
@@ -1015,6 +1075,12 @@ def _cmd_plan(args, out) -> int:
         from repro.core.report import render_fleet_plan
         from repro.tenancy.placement import FleetPlanner
 
+        if args.backend is not None:
+            out.write(
+                "note: --backend does not apply to fleet planning; "
+                "running serially\n"
+            )
+
         planner = FleetPlanner(
             runner=ExperimentRunner(),
             slo=SLO(p90_latency_ms=args.p90_limit),
@@ -1054,6 +1120,7 @@ def _cmd_plan(args, out) -> int:
         min_recall=args.min_recall,
         scheduler_options=(None,) + _parse_scheduler_options(args),
         survive_zones=args.survive_zones,
+        backend=_parse_backend(args),
     )
     instances = cloud_catalog(args.cloud)
     plans = planner.plan(scenario, models, instances=instances)

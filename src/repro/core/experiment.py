@@ -115,10 +115,16 @@ class ExperimentRunner:
         )
         artifact = self._ensure_artifact(assets)
 
-        self.infra.reset_simulator()
+        # Every stream this run consumes — workload, network, retries, and
+        # the cluster's provisioning/server-noise draws — derives from
+        # (infra seed, spec seed) alone, never from how many runs this
+        # runner executed before. Hermetic runs are what make the parallel
+        # execution backend's child-process evaluations bit-identical to a
+        # serial sweep (docs/parallelism.md).
+        streams = self.infra.streams.fork(spec.seed)
+        self.infra.reset_simulator(cluster_rng=streams.stream("cluster"))
         simulator = self.infra.simulator
         cluster = self.infra.cluster
-        streams = self.infra.streams.fork(spec.seed)
         if telemetry is not None:
             telemetry.bind(simulator)
 

@@ -23,6 +23,7 @@ from repro.cache.tier import CacheConfig
 from repro.cluster.kubernetes import DeploymentError
 from repro.core.experiment import ExperimentRunner
 from repro.core.spec import SLO, ExperimentSpec, HardwareSpec, Scenario
+from repro.exec.backend import ExecTask, make_backend
 from repro.hardware.instances import INSTANCE_TYPES, InstanceType, instance_by_name
 from repro.metrics.results import RunResult
 from repro.scheduler.config import SchedulerConfig
@@ -117,6 +118,21 @@ class ScenarioPlan:
         return min(self.options, key=option_sort_key)
 
 
+@dataclass
+class CandidateOutcome:
+    """What one candidate evaluation contributed to the plan.
+
+    Exactly one of ``option`` / ``infeasible`` / ``skipped`` is
+    meaningful. Picklable, so the execution backend can ship outcomes
+    back from worker processes verbatim.
+    """
+
+    key: str
+    option: Optional[DeploymentOption] = None
+    infeasible: Optional[str] = None
+    skipped: bool = False
+
+
 class DeploymentPlanner:
     """Searches deployment options meeting the SLO at minimum cost."""
 
@@ -133,6 +149,8 @@ class DeploymentPlanner:
         min_recall: float = 0.95,
         scheduler_options: Sequence[Optional[SchedulerConfig]] = (None,),
         survive_zones: int = 0,
+        backend=None,
+        telemetry=None,
     ):
         self.runner = runner or ExperimentRunner()
         self.slo = slo
@@ -182,6 +200,13 @@ class DeploymentPlanner:
         if survive_zones < 0:
             raise ValueError("survive_zones must be >= 0")
         self.survive_zones = survive_zones
+        #: Execution backend for the candidate fan-out. None defers to
+        #: the ``ETUDE_BACKEND`` env var, then serial. A backend object,
+        #: a BackendConfig, or a spec string ("mp:workers=4") all work.
+        self.backend = make_backend(backend)
+        #: Optional observability bundle: the backend emits an
+        #: ``exec_task`` span per candidate plus per-backend counters.
+        self.telemetry = telemetry
         self._hit_rate_memo: Dict[Tuple[int, int], float] = {}
 
     @property
@@ -467,69 +492,153 @@ class DeploymentPlanner:
 
     # -- the Table I product -----------------------------------------------------------
 
+    def evaluate_candidate(
+        self,
+        model: str,
+        scenario: Scenario,
+        instance: InstanceType,
+        shards: int = 1,
+        retrieval: Optional[RetrievalConfig] = None,
+        scheduler: Optional[SchedulerConfig] = None,
+    ) -> CandidateOutcome:
+        """Evaluate one (instance, shards, retrieval, scheduler) candidate.
+
+        Self-contained and side-effect-free apart from registry
+        memoization, so the execution backend can run candidates in any
+        process in any order — each produces the same CandidateOutcome
+        the old in-line loop body would have folded into the plan.
+        """
+        # S=1 exact keeps the pre-sharding infeasible key so existing
+        # reports/tests read unchanged.
+        key = instance.name if shards == 1 else f"{instance.name} (S={shards})"
+        recall: Optional[float] = None
+        if retrieval is not None:
+            key = f"{key} [{retrieval.spec_string()}]"
+            recall = self.runner.registry.measured_recall(
+                model, scenario.catalog_size, retrieval
+            )
+            if recall < self.min_recall:
+                return CandidateOutcome(
+                    key=key,
+                    infeasible=(
+                        f"recall {recall:.3f} below the "
+                        f"{self.min_recall:.2f} floor"
+                    ),
+                )
+        if scheduler is not None:
+            key = f"{key} {{{scheduler.spec_string()}}}"
+            if shards > 1:
+                # Structural non-composition, not a scenario property —
+                # skip quietly.
+                return CandidateOutcome(key=key, skipped=True)
+            if not instance.device.is_accelerator:
+                return CandidateOutcome(
+                    key=key,
+                    infeasible=(
+                        "heterogeneous scheduler needs an "
+                        "accelerator primary fleet"
+                    ),
+                )
+        option = self.min_feasible_replicas(
+            model, scenario, instance, shards, retrieval, scheduler
+        )
+        if option is None:
+            reason = f"no feasible deployment within {self.max_replicas} replicas"
+            if self.survive_zones:
+                reason += f" that survives {self.survive_zones} zone outage(s)"
+            return CandidateOutcome(key=key, infeasible=reason)
+        option.recall = recall
+        return CandidateOutcome(key=key, option=option)
+
+    def _task_params(self) -> Dict:
+        """Everything a worker needs to rebuild an equivalent planner."""
+        return {
+            "runner_seed": self.runner.seed,
+            "slo": self.slo,
+            "duration_s": self.duration_s,
+            "max_replicas": self.max_replicas,
+            "repetitions": self.repetitions,
+            "cache": self.cache,
+            "min_recall": self.min_recall,
+            "survive_zones": self.survive_zones,
+        }
+
+    def _evaluate_candidates(
+        self, model: str, scenario: Scenario, candidates: List[Tuple]
+    ) -> List[CandidateOutcome]:
+        """Fan candidates out to the execution backend, in grid order.
+
+        The backend returns outcomes in submission order whatever its
+        worker count, and worker memo deltas (recalls, traces, profiles)
+        are folded back into the parent registry so repeated candidates
+        are never re-measured.
+        """
+        params = self._task_params()
+        tasks = [
+            ExecTask(
+                key=(
+                    "plan_candidate",
+                    model,
+                    scenario.name,
+                    instance.name,
+                    shards,
+                    retrieval.spec_string() if retrieval is not None else None,
+                    scheduler.spec_string() if scheduler is not None else None,
+                ),
+                kind="plan_candidate",
+                payload={
+                    "params": params,
+                    "model": model,
+                    "scenario": scenario,
+                    "instance": instance.name,
+                    "shards": shards,
+                    "retrieval": retrieval,
+                    "scheduler": scheduler,
+                },
+            )
+            for instance, shards, retrieval, scheduler in candidates
+        ]
+        results = self.backend.run_tasks(
+            tasks, context=self, telemetry=self.telemetry
+        )
+        outcomes: List[CandidateOutcome] = []
+        for task_outcome in results:
+            if task_outcome.memos:
+                self.runner.registry.absorb_memos(task_outcome.memos)
+            outcomes.append(task_outcome.value)
+        return outcomes
+
     def plan(
         self,
         scenario: Scenario,
         models: Sequence[str],
         instances: Optional[Sequence[InstanceType]] = None,
     ) -> Dict[str, ScenarioPlan]:
-        """Evaluate every model on every instance type for one scenario."""
+        """Evaluate every model on every instance type for one scenario.
+
+        Candidates are independent, so they run on the configured
+        execution backend; the merge is canonical — infeasible entries in
+        grid order, options sorted by :func:`option_sort_key` — making
+        the plan byte-identical across backends and worker counts.
+        """
         instances = list(instances or INSTANCE_TYPES)
         plans: Dict[str, ScenarioPlan] = {}
         for model in models:
             plan = ScenarioPlan(scenario=scenario, model=model)
-            for instance in instances:
-                for shards in self.shard_counts:
-                    for retrieval in self.retrieval_options:
-                        for scheduler in self.scheduler_options:
-                            # S=1 exact keeps the pre-sharding infeasible
-                            # key so existing reports/tests read unchanged.
-                            key = (
-                                instance.name
-                                if shards == 1
-                                else f"{instance.name} (S={shards})"
-                            )
-                            recall: Optional[float] = None
-                            if retrieval is not None:
-                                key = f"{key} [{retrieval.spec_string()}]"
-                                recall = self.runner.registry.measured_recall(
-                                    model, scenario.catalog_size, retrieval
-                                )
-                                if recall < self.min_recall:
-                                    plan.infeasible[key] = (
-                                        f"recall {recall:.3f} below the "
-                                        f"{self.min_recall:.2f} floor"
-                                    )
-                                    continue
-                            if scheduler is not None:
-                                key = f"{key} {{{scheduler.spec_string()}}}"
-                                if shards > 1:
-                                    # Structural non-composition, not a
-                                    # scenario property — skip quietly.
-                                    continue
-                                if not instance.device.is_accelerator:
-                                    plan.infeasible[key] = (
-                                        "heterogeneous scheduler needs an "
-                                        "accelerator primary fleet"
-                                    )
-                                    continue
-                            option = self.min_feasible_replicas(
-                                model, scenario, instance, shards, retrieval,
-                                scheduler,
-                            )
-                            if option is None:
-                                reason = (
-                                    "no feasible deployment within "
-                                    f"{self.max_replicas} replicas"
-                                )
-                                if self.survive_zones:
-                                    reason += (
-                                        " that survives "
-                                        f"{self.survive_zones} zone outage(s)"
-                                    )
-                                plan.infeasible[key] = reason
-                            else:
-                                option.recall = recall
-                                plan.options.append(option)
+            candidates = [
+                (instance, shards, retrieval, scheduler)
+                for instance in instances
+                for shards in self.shard_counts
+                for retrieval in self.retrieval_options
+                for scheduler in self.scheduler_options
+            ]
+            for outcome in self._evaluate_candidates(model, scenario, candidates):
+                if outcome.skipped:
+                    continue
+                if outcome.infeasible is not None:
+                    plan.infeasible[outcome.key] = outcome.infeasible
+                else:
+                    plan.options.append(outcome.option)
+            plan.options.sort(key=option_sort_key)
             plans[model] = plan
         return plans

@@ -206,6 +206,49 @@ class AssetRegistry:
             )
         return self._profiles[key]
 
+    # -- cross-process memo shipping ------------------------------------------
+
+    #: Memo sections that are picklable pure data, safe to ship between
+    #: processes. ``_models`` and ``_runners`` are deliberately excluded:
+    #: runners hold closures over live model objects, and models are heavy
+    #: — both are rebuilt deterministically from the shipped traces.
+    MEMO_SECTIONS = ("recalls", "traces", "profiles")
+
+    def export_memos(self, skip: Optional[Dict[str, set]] = None) -> Dict[str, Dict]:
+        """Picklable memo entries, minus any keys listed in ``skip``.
+
+        Used by the parallel execution backend: a worker exports only the
+        entries it computed since its last shipment, the parent folds them
+        into its own cache with :meth:`absorb_memos` so repeated
+        candidates are never re-measured.
+        """
+        skip = skip or {}
+        exported: Dict[str, Dict] = {}
+        for section in self.MEMO_SECTIONS:
+            table = getattr(self, f"_{section}")
+            seen = skip.get(section, ())
+            delta = {key: value for key, value in table.items() if key not in seen}
+            if delta:
+                exported[section] = delta
+        return exported
+
+    def absorb_memos(self, memos: Dict[str, Dict]) -> int:
+        """Fold shipped memo entries into this registry; returns how many
+        were new. Existing entries win — every value is deterministic in
+        its key, so first-write-wins and last-write-wins agree; keeping
+        the incumbent just avoids churn."""
+        absorbed = 0
+        for section in self.MEMO_SECTIONS:
+            delta = memos.get(section)
+            if not delta:
+                continue
+            table = getattr(self, f"_{section}")
+            for key, value in delta.items():
+                if key not in table:
+                    table[key] = value
+                    absorbed += 1
+        return absorbed
+
     def assets(
         self,
         name: str,

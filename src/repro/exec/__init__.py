@@ -1,0 +1,37 @@
+"""Pluggable parallel execution for plan sweeps and benchmark grids.
+
+Independent candidate evaluations and grid cells run as keyed, isolated
+tasks on a selectable backend — ``serial`` (in-process, the reference)
+or ``mp[:workers=N]`` (process pool) — with a deterministic merge: the
+same inputs produce bit-identical plans and results on every backend,
+at every worker count. Select with ``--backend`` on ``run``/``plan`` or
+the ``ETUDE_BACKEND`` env var; see ``docs/parallelism.md``.
+"""
+
+from repro.exec.backend import (
+    Backend,
+    ExecError,
+    ExecTask,
+    MultiprocessingBackend,
+    SerialBackend,
+    TaskOutcome,
+    make_backend,
+)
+from repro.exec.config import BACKEND_ENV_VAR, BackendConfig, resolve_backend
+from repro.exec.tasks import reset_worker_state, run_task, task_kind
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Backend",
+    "BackendConfig",
+    "ExecError",
+    "ExecTask",
+    "MultiprocessingBackend",
+    "SerialBackend",
+    "TaskOutcome",
+    "make_backend",
+    "resolve_backend",
+    "reset_worker_state",
+    "run_task",
+    "task_kind",
+]

@@ -1,0 +1,177 @@
+"""Task kinds the execution backends know how to run.
+
+A task is a ``(key, kind, payload)`` triple; this module maps each
+``kind`` to a handler. Handlers run in two modes:
+
+- **in-parent** (serial backend): ``context`` is the live orchestrator —
+  the :class:`~repro.core.planner.DeploymentPlanner` for
+  ``plan_candidate`` tasks, the :class:`~repro.core.experiment.ExperimentRunner`
+  for ``experiment_run`` tasks — and the handler uses it directly, so the
+  parent's registry memoization works exactly as before.
+- **in-worker** (multiprocessing backend): ``context`` is ``None``. The
+  handler rebuilds its orchestrator from the picklable payload, cached
+  per worker process, with a **fresh registry** shared across that
+  worker's tasks. New memo entries (recalls, traces, profiles) are
+  shipped back with each result so the parent can fold them into its own
+  cache and never re-measure a repeated candidate.
+
+Handlers import their subject modules lazily — ``repro.core`` imports
+``repro.exec`` for the backend interface, so eager imports here would be
+circular.
+
+Everything a handler returns must be picklable and a pure function of
+the payload (see ``docs/parallelism.md`` for the determinism contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+_HANDLERS: Dict[str, Callable] = {}
+
+
+def task_kind(name: str):
+    """Register a handler: ``fn(payload, context) -> (value, memos)``."""
+
+    def register(fn):
+        _HANDLERS[name] = fn
+        return fn
+
+    return register
+
+
+def run_task(kind: str, payload: dict, context: Any = None) -> Tuple[Any, Optional[dict]]:
+    """Execute one task; returns ``(value, shipped_memos_or_None)``."""
+    try:
+        handler = _HANDLERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown task kind {kind!r}; known: {sorted(_HANDLERS)}"
+        )
+    return handler(payload, context)
+
+
+# -- worker-process state -----------------------------------------------------
+#
+# A pool worker serves many tasks; rebuilding an ExperimentRunner (and
+# re-tracing every model) per task would erase the parallel speedup. Each
+# worker keeps one registry plus per-seed runners and per-parameter
+# planners, all module-level so they survive across tasks. The
+# MultiprocessingBackend's pool initializer calls reset_worker_state() so
+# a fork()ed child never inherits the parent's half-warm caches — every
+# worker starts from the same cold, deterministic state.
+
+_worker_registry = None
+_worker_runners: Dict[tuple, Any] = {}
+_worker_planners: Dict[str, Any] = {}
+#: Memo keys already shipped to the parent from this worker, per section.
+_shipped: Dict[str, set] = {}
+
+
+def reset_worker_state() -> None:
+    """Drop all cached worker state (pool initializer; also for tests)."""
+    global _worker_registry
+    _worker_registry = None
+    _worker_runners.clear()
+    _worker_planners.clear()
+    _shipped.clear()
+
+
+def _registry():
+    global _worker_registry
+    if _worker_registry is None:
+        from repro.core.registry import AssetRegistry
+
+        _worker_registry = AssetRegistry()
+    return _worker_registry
+
+
+def _collect_memos() -> Optional[dict]:
+    """Memo entries computed since this worker's last shipment."""
+    if _worker_registry is None:
+        return None
+    memos = _worker_registry.export_memos(skip=_shipped)
+    for section, delta in memos.items():
+        _shipped.setdefault(section, set()).update(delta)
+    return memos or None
+
+
+def _worker_runner(seed: int):
+    key = ("runner", seed)
+    if key not in _worker_runners:
+        from repro.core.experiment import ExperimentRunner
+
+        _worker_runners[key] = ExperimentRunner(registry=_registry(), seed=seed)
+    return _worker_runners[key]
+
+
+def _worker_planner(params: dict):
+    key = repr(sorted(params.items(), key=lambda item: item[0]))
+    if key not in _worker_planners:
+        from repro.core.planner import DeploymentPlanner
+        from repro.exec.backend import SerialBackend
+
+        _worker_planners[key] = DeploymentPlanner(
+            runner=_worker_runner(params["runner_seed"]),
+            slo=params["slo"],
+            duration_s=params["duration_s"],
+            max_replicas=params["max_replicas"],
+            repetitions=params["repetitions"],
+            cache=params["cache"],
+            min_recall=params["min_recall"],
+            survive_zones=params["survive_zones"],
+            # Workers never fan out again — no nested process pools.
+            backend=SerialBackend(),
+        )
+    return _worker_planners[key]
+
+
+# -- task kinds ---------------------------------------------------------------
+
+
+@task_kind("plan_candidate")
+def _plan_candidate(payload: dict, context: Any):
+    """One planner candidate: (model, instance, shards, retrieval, scheduler).
+
+    ``context`` (serial) is the parent DeploymentPlanner; workers rebuild
+    an equivalent planner from ``payload["params"]``. Both paths call the
+    same ``evaluate_candidate``, so the CandidateOutcome — key string,
+    option, infeasibility message — is bit-identical by construction.
+    """
+    from repro.hardware.instances import instance_by_name
+
+    planner = context if context is not None else _worker_planner(payload["params"])
+    outcome = planner.evaluate_candidate(
+        payload["model"],
+        payload["scenario"],
+        instance_by_name(payload["instance"]),
+        shards=payload["shards"],
+        retrieval=payload["retrieval"],
+        scheduler=payload["scheduler"],
+    )
+    memos = None if context is not None else _collect_memos()
+    return outcome, memos
+
+
+@task_kind("experiment_run")
+def _experiment_run(payload: dict, context: Any):
+    """One benchmark-grid cell: run an ExperimentSpec, return the RunResult.
+
+    An undeployable cell (DeploymentError) returns an error marker dict
+    instead of raising — grid sweeps record infeasibility per cell, they
+    don't abort the sweep.
+    """
+    from repro.cluster.kubernetes import DeploymentError
+
+    spec = payload["spec"]
+    repetitions = payload.get("repetitions", 1)
+    runner = context if context is not None else _worker_runner(payload["seed"])
+    try:
+        if repetitions > 1:
+            value = runner.run_repeated(spec, repetitions=repetitions)
+        else:
+            value = runner.run(spec)
+    except DeploymentError as error:
+        value = {"deployment_error": str(error)}
+    memos = None if context is not None else _collect_memos()
+    return value, memos

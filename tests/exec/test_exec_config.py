@@ -1,0 +1,102 @@
+"""Backend selection: the ``serial|mp[:workers=N]`` grammar and env var."""
+
+import os
+
+import pytest
+
+from repro.exec import BACKEND_ENV_VAR, BackendConfig, resolve_backend
+from repro.exec.backend import (
+    MultiprocessingBackend,
+    SerialBackend,
+    make_backend,
+)
+
+
+class TestGrammar:
+    def test_serial(self):
+        config = BackendConfig.parse("serial")
+        assert config.kind == "serial"
+        assert not config.parallel
+        assert config.effective_workers() == 1
+
+    def test_mp_defaults_to_all_cores(self):
+        config = BackendConfig.parse("mp")
+        assert config.kind == "mp"
+        assert config.parallel
+        assert config.workers == 0
+        assert config.effective_workers() == (os.cpu_count() or 1)
+
+    def test_mp_with_workers(self):
+        config = BackendConfig.parse("mp:workers=4")
+        assert config.workers == 4
+        assert config.effective_workers() == 4
+
+    def test_whitespace_and_case_normalized(self):
+        assert BackendConfig.parse("  MP : workers = 2 ") == BackendConfig(
+            "mp", 2
+        )
+
+    def test_empty_means_serial(self):
+        assert BackendConfig.parse("") == BackendConfig("serial")
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "threads",
+            "mp:workers=0",
+            "mp:workers=-1",
+            "mp:workers=two",
+            "mp:cores=4",
+            "serial:workers=2",
+        ],
+    )
+    def test_invalid_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            BackendConfig.parse(spec)
+
+    def test_spec_string_round_trips(self):
+        for spec in ("serial", "mp", "mp:workers=3"):
+            config = BackendConfig.parse(spec)
+            assert BackendConfig.parse(config.spec_string()) == config
+
+    def test_negative_workers_rejected_directly(self):
+        with pytest.raises(ValueError):
+            BackendConfig(kind="mp", workers=-1)
+        with pytest.raises(ValueError):
+            BackendConfig(kind="serial", workers=2)
+        with pytest.raises(ValueError):
+            BackendConfig(kind="threads")
+
+
+class TestResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend() == BackendConfig("serial")
+
+    def test_env_var_used_when_no_explicit_spec(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "mp:workers=2")
+        assert resolve_backend() == BackendConfig("mp", 2)
+
+    def test_explicit_spec_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "mp:workers=8")
+        assert resolve_backend("serial") == BackendConfig("serial")
+
+    def test_config_passes_through(self):
+        config = BackendConfig("mp", 3)
+        assert resolve_backend(config) is config
+
+    def test_make_backend_builds_the_right_type(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(make_backend(), SerialBackend)
+        assert isinstance(make_backend("serial"), SerialBackend)
+        backend = make_backend("mp:workers=2")
+        assert isinstance(backend, MultiprocessingBackend)
+        assert backend.config.workers == 2
+
+    def test_make_backend_honors_env_var(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "mp")
+        assert isinstance(make_backend(), MultiprocessingBackend)
+
+    def test_make_backend_passes_backends_through(self):
+        backend = SerialBackend()
+        assert make_backend(backend) is backend

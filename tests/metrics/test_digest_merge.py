@@ -1,0 +1,81 @@
+"""Regression: ``LatencyDigest.merge`` must be order-independent.
+
+Parallel result folding merges per-worker digests in whatever grouping
+is convenient; the fold is only deterministic if ``merge(a, b)`` and
+``merge(b, a)`` agree *exactly* — including the exact tracked min/max
+(which ``percentile`` clamps to, so a drifted min leaks into every
+quantile) and the bin counts behind every percentile query.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.percentile import LatencyDigest
+
+
+def digest_of(latencies):
+    digest = LatencyDigest()
+    digest.record_many(latencies)
+    return digest
+
+
+def assert_identical(x: LatencyDigest, y: LatencyDigest):
+    assert x.count == y.count
+    assert np.array_equal(x._counts, y._counts)
+    assert x._sum == y._sum
+    assert x._min == y._min
+    assert x._max == y._max
+    for q in (0, 1, 25, 50, 75, 90, 99, 100):
+        assert x.percentile(q) == y.percentile(q)
+
+
+latency_lists = st.lists(
+    st.floats(min_value=1e-6, max_value=500.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=latency_lists, b=latency_lists)
+def test_merge_commutes_exactly(a, b):
+    assert_identical(digest_of(a).merge(digest_of(b)),
+                     digest_of(b).merge(digest_of(a)))
+
+
+def test_exact_min_path_is_order_independent():
+    # The tracked minimum is exact (not binned); percentile(0) returns it
+    # and every other percentile clamps to it from below.
+    small = digest_of([0.0002, 0.0003])
+    large = digest_of([0.2, 0.3])
+    ab, ba = small.merge(large), large.merge(small)
+    assert ab.percentile(0) == ba.percentile(0) == 0.0002
+    assert ab.min() == ba.min()
+    assert ab.max() == ba.max() == 0.3
+
+
+def test_percentile_clamp_path_is_order_independent():
+    # One-sample digests force the clamp-to-envelope path: the bin edge
+    # sits above the observation, so every percentile must clamp to the
+    # same exact value whichever digest came first.
+    x, y = digest_of([0.0123]), digest_of([4.56])
+    ab, ba = x.merge(y), y.merge(x)
+    for q in (1, 50, 99, 100):
+        assert ab.percentile(q) == ba.percentile(q)
+
+
+def test_merge_chains_associate():
+    parts = [digest_of([0.001 * (i + 1), 0.1 * (i + 1)]) for i in range(4)]
+    left = parts[0].merge(parts[1]).merge(parts[2]).merge(parts[3])
+    right = parts[3].merge(parts[2].merge(parts[1].merge(parts[0])))
+    assert_identical(left, right)
+
+
+def test_merge_does_not_mutate_inputs():
+    a, b = digest_of([0.01]), digest_of([0.02])
+    a_counts, b_counts = a._counts.copy(), b._counts.copy()
+    a.merge(b)
+    assert np.array_equal(a._counts, a_counts)
+    assert np.array_equal(b._counts, b_counts)
+    assert a.count == 1 and b.count == 1

@@ -287,8 +287,12 @@ class TestPlannerDimension:
 
     def test_mixed_fleet_option_costs_both_classes(self):
         config = SchedulerConfig.parse("cpu=1,target=20")
+        # 15 s, not DURATION_S: the TIMEPROP ramp only offers the target
+        # rate in its final ticks, and a 10 s run leaves a single at-target
+        # window whose presence flips with provisioning jitter. 15 s gives
+        # enough at-target windows for feasibility to be jitter-robust.
         planner = DeploymentPlanner(
-            duration_s=DURATION_S, scheduler_options=(None, config)
+            duration_s=15.0, scheduler_options=(None, config)
         )
         gpu = instance_by_name("GPU-T4")
         plan = planner.plan(

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Parallel execution-backend smoke test (``make parallel-smoke``).
+
+One tiny planner grid evaluated three ways — serial, mp(2), mp(4) — and
+compared byte-for-byte: the rendered report table, the canonical plan
+fingerprint (options incl. tie-break order, infeasible messages), and
+``cheapest()`` must be identical on every backend, per the determinism
+contract in ``docs/parallelism.md``. On hosts with >= 4 cores the mp(4)
+sweep must also beat the serial wall clock (cold-start tax and all);
+fewer cores make that expectation meaningless, so it is skipped with a
+note rather than asserted.
+
+Exits non-zero with a diagnostic on any violation, so ``make test``
+fails loudly if cross-backend determinism regresses.
+"""
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.core import DeploymentPlanner  # noqa: E402
+from repro.core.experiment import ExperimentRunner  # noqa: E402
+from repro.core.registry import AssetRegistry  # noqa: E402
+from repro.core.report import render_scenario_table  # noqa: E402
+from repro.core.spec import Scenario  # noqa: E402
+from repro.hardware.instances import instance_by_name  # noqa: E402
+
+#: Sized so the serial sweep takes whole seconds: big enough that a
+#: 4-core pool's fork/trace overhead can amortize (the wall-clock check
+#: below is meaningless on a grid that serial finishes in milliseconds),
+#: small enough to stay a smoke test.
+SCENARIO = Scenario("smoke", 50_000, 150)
+MODELS = ["gru4rec", "narm"]
+INSTANCES = ("CPU", "GPU-T4")
+SHARD_COUNTS = (1, 2)
+DURATION_S = 30.0
+SEED = 1234
+BACKENDS = ("serial", "mp:workers=2", "mp:workers=4")
+
+
+def sweep(backend):
+    """Cold plan sweep on one backend: (table, fingerprint, wall_s)."""
+    planner = DeploymentPlanner(
+        runner=ExperimentRunner(registry=AssetRegistry(), seed=SEED),
+        duration_s=DURATION_S,
+        max_replicas=4,
+        shard_counts=SHARD_COUNTS,
+        backend=backend,
+    )
+    instances = [instance_by_name(name) for name in INSTANCES]
+    started = time.perf_counter()
+    plans = planner.plan(SCENARIO, MODELS, instances=instances)
+    wall_s = time.perf_counter() - started
+    table = render_scenario_table(
+        {SCENARIO.name: plans}, MODELS, instance_names=list(INSTANCES)
+    )
+    fingerprint = json.dumps(
+        {
+            model: {
+                "options": [
+                    (
+                        option.instance_type,
+                        option.replicas,
+                        option.shards,
+                        option.retrieval,
+                        option.scheduler,
+                        option.monthly_cost_usd,
+                        option.result.p90_at_target_ms,
+                        option.result.total_requests,
+                        option.result.ok_requests,
+                        option.result.error_requests,
+                    )
+                    for option in plan.options
+                ],
+                "cheapest": (
+                    plan.cheapest().instance_type
+                    if plan.cheapest() is not None
+                    else None
+                ),
+                "infeasible": list(plan.infeasible.items()),
+            }
+            for model, plan in plans.items()
+        },
+        sort_keys=True,
+    )
+    return table, fingerprint, wall_s
+
+
+def main() -> int:
+    tables = {}
+    fingerprints = {}
+    timings = {}
+    for backend in BACKENDS:
+        tables[backend], fingerprints[backend], timings[backend] = sweep(backend)
+        print(f"{backend:14s} wall={timings[backend]:6.2f} s")
+
+    failures = []
+    for backend in BACKENDS[1:]:
+        if fingerprints[backend] != fingerprints["serial"]:
+            failures.append(
+                f"{backend} plan fingerprint differs from serial:\n"
+                f"  serial: {fingerprints['serial']}\n"
+                f"  {backend}: {fingerprints[backend]}"
+            )
+        if tables[backend] != tables["serial"]:
+            failures.append(
+                f"{backend} rendered table differs from serial:\n"
+                f"--- serial ---\n{tables['serial']}\n"
+                f"--- {backend} ---\n{tables[backend]}"
+            )
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        if timings["mp:workers=4"] >= timings["serial"]:
+            failures.append(
+                f"mp(4) did not beat serial on a {cores}-core host: "
+                f"{timings['mp:workers=4']:.2f} s vs {timings['serial']:.2f} s"
+            )
+    else:
+        print(
+            f"note: {cores} host core(s) — skipping the wall-clock check "
+            "(mp legitimately loses without cores to spread over)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("parallel smoke OK: serial == mp(2) == mp(4), byte-for-byte")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
